@@ -1,0 +1,237 @@
+// Package bbrnash reproduces "Are we heading towards a BBR-dominant
+// Internet?" (Mishra, Tiu & Leong, IMC 2022) as a reusable Go library.
+//
+// It bundles four layers, re-exported here as the stable public API:
+//
+//   - An analytical model (Predict, PredictInterval, PredictWare) of the
+//     bandwidth shares of CUBIC and BBR flows competing at a drop-tail
+//     bottleneck, including the Ware et al. (IMC 2019) baseline.
+//   - A Nash Equilibrium predictor (PredictNash, PredictNashRegion) for the
+//     congestion-control choice game: the mixed CUBIC/BBR distribution from
+//     which no flow gains by switching.
+//   - A deterministic packet-level network simulator (NewNetwork) with
+//     implementations of CUBIC, New Reno, BBRv1, BBRv2, Copa and PCC
+//     Vivace, standing in for the paper's Linux testbed.
+//   - The experiment harness (Figures, RunMix, FindNE) that regenerates
+//     every figure in the paper's evaluation at configurable scale.
+//
+// # Quick start
+//
+//	s := bbrnash.Scenario{
+//		Capacity: 100 * bbrnash.Mbps,
+//		Buffer:   bbrnash.BufferBytes(100*bbrnash.Mbps, 40*time.Millisecond, 3),
+//		RTT:      40 * time.Millisecond,
+//		NumCubic: 5, NumBBR: 5,
+//	}
+//	p, err := bbrnash.Predict(s, bbrnash.Synchronized)
+//	// p.PerBBR, p.PerCubic are the modeled per-flow bandwidths.
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package bbrnash
+
+import (
+	"bbrnash/internal/cc"
+	"bbrnash/internal/cc/bbr"
+	"bbrnash/internal/cc/bbrv2"
+	"bbrnash/internal/cc/copa"
+	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/cc/reno"
+	"bbrnash/internal/cc/vivace"
+	"bbrnash/internal/core"
+	"bbrnash/internal/exp"
+	"bbrnash/internal/game"
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/units"
+)
+
+// Quantity types and helpers (internal/units).
+type (
+	// Rate is a data rate in bits per second.
+	Rate = units.Rate
+	// Bytes is an amount of data in bytes.
+	Bytes = units.Bytes
+)
+
+// Common rate and size units.
+const (
+	Kbps = units.Kbps
+	Mbps = units.Mbps
+	Gbps = units.Gbps
+	KB   = units.KB
+	MB   = units.MB
+	// MSS is the segment size used throughout (1460 bytes).
+	MSS = units.MSS
+)
+
+// BDP returns the bandwidth-delay product of a path.
+var BDP = units.BDP
+
+// BufferBytes sizes a buffer as a multiple of a path's BDP.
+var BufferBytes = units.BufferBytes
+
+// InBDP expresses a byte count in BDP multiples.
+var InBDP = units.InBDP
+
+// Analytical model (internal/core — the paper's §2 and §4).
+type (
+	// Scenario describes a modeled bottleneck shared by CUBIC and BBR
+	// flows with one base RTT.
+	Scenario = core.Scenario
+	// Prediction is the model's output for one synchronization mode.
+	Prediction = core.Prediction
+	// Interval brackets predictions between both synchronization bounds.
+	Interval = core.Interval
+	// SyncMode selects the CUBIC synchronization extreme (§2.4).
+	SyncMode = core.SyncMode
+	// Regime classifies model validity for a scenario.
+	Regime = core.Regime
+	// WareScenario parameterizes the Ware et al. baseline model.
+	WareScenario = core.WareScenario
+	// WarePrediction is the baseline model's output.
+	WarePrediction = core.WarePrediction
+	// NashScenario describes the congestion-control choice game.
+	NashScenario = core.NashScenario
+	// NashPoint is a predicted equilibrium distribution.
+	NashPoint = core.NashPoint
+	// NashRegion is the equilibrium band between the two bounds.
+	NashRegion = core.NashRegion
+)
+
+// Synchronization modes and validity regimes.
+const (
+	Synchronized    = core.Synchronized
+	Desynchronized  = core.Desynchronized
+	RegimeValid     = core.RegimeValid
+	RegimeShallow   = core.RegimeShallow
+	RegimeUltraDeep = core.RegimeUltraDeep
+)
+
+// Model entry points.
+var (
+	// Predict evaluates the throughput model for one sync mode.
+	Predict = core.Predict
+	// PredictExact evaluates the variant without the b_b+b_c≈B
+	// approximation (used by the ablation benchmarks).
+	PredictExact = core.PredictExact
+	// PredictInterval evaluates both bounds.
+	PredictInterval = core.PredictInterval
+	// PredictWare evaluates the Ware et al. baseline.
+	PredictWare = core.PredictWare
+	// PredictNash locates the model's Nash Equilibrium.
+	PredictNash = core.PredictNash
+	// PredictNashRegion evaluates the equilibrium band.
+	PredictNashRegion = core.PredictNashRegion
+)
+
+// Simulator (internal/netsim) and congestion control (internal/cc).
+type (
+	// Network is one packet-level simulation instance.
+	Network = netsim.Network
+	// NetworkConfig describes the bottleneck.
+	NetworkConfig = netsim.Config
+	// FlowConfig describes one sender.
+	FlowConfig = netsim.FlowConfig
+	// Flow is a sender/receiver pair attached to a Network.
+	Flow = netsim.Flow
+	// FlowStats is a per-flow measurement snapshot.
+	FlowStats = netsim.FlowStats
+	// LinkStats is a bottleneck measurement snapshot.
+	LinkStats = netsim.LinkStats
+	// Algorithm is the congestion-control interface.
+	Algorithm = cc.Algorithm
+	// AlgorithmConstructor builds an Algorithm for one flow.
+	AlgorithmConstructor = cc.Constructor
+	// AlgorithmParams carries per-flow constants.
+	AlgorithmParams = cc.Params
+)
+
+// NewNetwork creates a simulation instance.
+var NewNetwork = netsim.New
+
+// Sampler records periodic per-flow time series (throughput, in-flight,
+// buffer share); attach with NewSampler before running the simulation.
+type Sampler = netsim.Sampler
+
+// FlowSample is one sampler observation.
+type FlowSample = netsim.Sample
+
+// NewSampler attaches a Sampler to a flow.
+var NewSampler = netsim.NewSampler
+
+// Congestion-control constructors, each usable as FlowConfig.Algorithm.
+var (
+	CUBIC   AlgorithmConstructor = cubic.New
+	NewReno AlgorithmConstructor = reno.New
+	BBR     AlgorithmConstructor = bbr.New
+	BBRv2   AlgorithmConstructor = bbrv2.New
+	Copa    AlgorithmConstructor = copa.New
+	Vivace  AlgorithmConstructor = vivace.New
+)
+
+// AlgorithmByName resolves a constructor from its name ("cubic", "reno",
+// "bbr", "bbrv2", "copa", "vivace").
+var AlgorithmByName = exp.AlgorithmByName
+
+// Experiments (internal/exp) and game theory (internal/game).
+type (
+	// ExperimentScale selects fidelity (FullScale reproduces the paper's
+	// protocol).
+	ExperimentScale = exp.Scale
+	// MixConfig describes one mixed-distribution run.
+	MixConfig = exp.MixConfig
+	// MixResult aggregates a run.
+	MixResult = exp.MixResult
+	// NESearchConfig describes an empirical equilibrium search.
+	NESearchConfig = exp.NESearchConfig
+	// NESearchResult is its outcome.
+	NESearchResult = exp.NESearchResult
+	// GroupNEConfig describes the multi-RTT equilibrium search (§4.5).
+	GroupNEConfig = exp.GroupNEConfig
+	// GroupNEResult is its outcome.
+	GroupNEResult = exp.GroupNEResult
+	// GroupConfig describes one multi-RTT simulation run.
+	GroupConfig = exp.GroupConfig
+	// GroupResult carries its per-group class averages.
+	GroupResult = exp.GroupResult
+	// UtilityFunc scores a flow's throughput/delay outcome (§4.3).
+	UtilityFunc = exp.UtilityFunc
+	// Figure is one reproducible paper artifact.
+	Figure = exp.Figure
+	// FigureResult is a generated figure.
+	FigureResult = exp.FigureResult
+	// SymmetricGame is the N-player binary-choice game of §4.1.
+	SymmetricGame = game.SymmetricBinary
+	// GroupGame is its multi-RTT generalization (§4.5).
+	GroupGame = game.GroupSymmetric
+)
+
+// Experiment scales.
+var (
+	FullScale  = exp.Full
+	QuickScale = exp.Quick
+	SmokeScale = exp.Smoke
+)
+
+// Experiment entry points.
+var (
+	// RunMix executes one mixed-distribution simulation.
+	RunMix = exp.RunMix
+	// RunMixTrials averages RunMix over jittered trials.
+	RunMixTrials = exp.RunMixTrials
+	// FindNE searches for empirical Nash Equilibria.
+	FindNE = exp.FindNE
+	// FindNEUtility is FindNE under an arbitrary utility function (§4.3).
+	FindNEUtility = exp.FindNEUtility
+	// LinearUtility builds α·throughput − γ·delay utilities.
+	LinearUtility = exp.LinearUtility
+	// ThroughputUtility is the paper's default utility.
+	ThroughputUtility exp.UtilityFunc = exp.ThroughputUtility
+	// RunGroups executes one multi-RTT simulation.
+	RunGroups = exp.RunGroups
+	// FindGroupNE searches for multi-RTT equilibria.
+	FindGroupNE = exp.FindGroupNE
+	// Figures returns the registry of paper figures.
+	Figures = exp.Figures
+	// FigureByID finds one figure.
+	FigureByID = exp.FigureByID
+)

@@ -1,0 +1,97 @@
+// Command bbrsim runs one bottleneck simulation and prints per-flow and
+// link statistics.
+//
+// Usage:
+//
+//	bbrsim -capacity 100 -rtt 40 -buffer 3 -flows bbr:2,cubic:3 -duration 60s
+//
+// The -flows specification is a comma-separated list of name:count pairs;
+// names come from the algorithm registry (cubic, reno, bbr, bbrv2, copa,
+// vivace). -buffer is in multiples of the BDP computed from -capacity and
+// -rtt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"bbrnash/internal/exp"
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/plot"
+	"bbrnash/internal/rng"
+	"bbrnash/internal/units"
+)
+
+func main() {
+	var (
+		capMbps  = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
+		rttMs    = flag.Float64("rtt", 40, "base RTT in milliseconds")
+		bufBDP   = flag.Float64("buffer", 3, "buffer size in BDP multiples")
+		flows    = flag.String("flows", "bbr:1,cubic:1", "flow spec: name:count[,name:count...]")
+		duration = flag.Duration("duration", 2*time.Minute, "flow duration")
+		seed     = flag.Uint64("seed", 1, "start-jitter seed")
+		jitter   = flag.Duration("jitter", 10*time.Millisecond, "max random start offset")
+	)
+	flag.Parse()
+
+	capacity := units.Rate(*capMbps) * units.Mbps
+	rtt := time.Duration(*rttMs * float64(time.Millisecond))
+	buffer := units.BufferBytes(capacity, rtt, *bufBDP)
+
+	n, err := netsim.New(netsim.Config{Capacity: capacity, Buffer: buffer})
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := exp.ParseFlowSpec(*flows)
+	if err != nil {
+		fatal(err)
+	}
+	r := rng.New(*seed)
+	var all []*netsim.Flow
+	for _, spec := range specs {
+		for i := 0; i < spec.Count; i++ {
+			f, err := n.AddFlow(netsim.FlowConfig{
+				Name:      fmt.Sprintf("%s%d", spec.Name, i),
+				RTT:       rtt,
+				Start:     r.Duration(*jitter),
+				Algorithm: spec.Ctor,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			all = append(all, f)
+		}
+	}
+
+	start := time.Now()
+	n.Run(*duration)
+	elapsed := time.Since(start)
+
+	fmt.Printf("bottleneck: %v, buffer %v (%.1f BDP), base RTT %v, %d flows, %v simulated\n",
+		capacity, buffer, *bufBDP, rtt, len(all), *duration)
+
+	tbl := &plot.Table{Header: []string{"flow", "algorithm", "throughput", "lost", "meanRTT", "avgQueue"}}
+	for _, f := range all {
+		st := f.Stats()
+		tbl.AddRow(st.Name, st.Algorithm,
+			fmt.Sprintf("%.2f Mbps", st.Throughput.Mbit()),
+			strconv.Itoa(st.Lost),
+			st.MeanRTT.Round(100*time.Microsecond).String(),
+			fmt.Sprintf("%.0f pkts", st.MeanQueueOccupancy.Packets()))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	link := n.Link()
+	fmt.Printf("link: utilization %.1f%%, mean queue delay %v, drops %d\n",
+		100*link.Utilization, link.MeanQueueDelay.Round(100*time.Microsecond), link.Drops)
+	fmt.Printf("(%d events in %v wall time)\n", n.Events(), elapsed.Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bbrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command figures regenerates the paper's evaluation figures.
+//
+// Each figure is emitted as a CSV file (for external plotting) plus an
+// ASCII chart and summary notes on stdout.
+//
+// Usage:
+//
+//	figures -fig all -scale quick -out ./figures
+//	figures -fig 3a,3b -scale full
+//	figures -list
+//
+// Scales: "full" is the paper's protocol (2-minute flows, 10 trials,
+// exhaustive NE scans) and can take many hours on one core; "quick" keeps
+// every figure's shape at a fraction of the cost; "smoke" is a fast sanity
+// pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bbrnash/internal/exp"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "all", "comma-separated figure IDs (e.g. 1,3a,9f) or 'all'")
+		scaleFlag = flag.String("scale", "quick", "experiment scale: full, quick or smoke")
+		outFlag   = flag.String("out", "figures", "directory for CSV output ('' to skip CSVs)")
+		listFlag  = flag.Bool("list", false, "list available figures and exit")
+		width     = flag.Int("width", 72, "ASCII chart width")
+		height    = flag.Int("height", 18, "ASCII chart height")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, f := range exp.Figures() {
+			fmt.Printf("%-4s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	scale, err := exp.ScaleByName(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var figs []exp.Figure
+	if *figFlag == "all" {
+		figs = exp.Figures()
+	} else {
+		for _, id := range strings.Split(*figFlag, ",") {
+			f, err := exp.FigureByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			figs = append(figs, f)
+		}
+	}
+
+	if *outFlag != "" {
+		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, f := range figs {
+		fmt.Printf("=== Figure %s: %s (scale %s)\n", f.ID, f.Title, scale.Name)
+		start := time.Now()
+		res, err := f.Generate(scale)
+		if err != nil {
+			fatal(fmt.Errorf("figure %s: %w", f.ID, err))
+		}
+		for i, chart := range res.Charts {
+			fmt.Println(chart.RenderASCII(*width, *height))
+			if *outFlag != "" {
+				name := fmt.Sprintf("fig%s.csv", f.ID)
+				if len(res.Charts) > 1 {
+					name = fmt.Sprintf("fig%s_%d.csv", f.ID, i+1)
+				}
+				path := filepath.Join(*outFlag, name)
+				file, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				if err := chart.WriteCSV(file); err != nil {
+					file.Close()
+					fatal(err)
+				}
+				if err := file.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		for _, note := range res.Notes {
+			fmt.Printf("note: %s\n", note)
+		}
+		fmt.Printf("figure %s done in %v\n\n", f.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command modelcalc evaluates the paper's analytical model (and the Ware
+// et al. baseline) for one scenario, without running any simulation.
+//
+// Usage:
+//
+//	modelcalc -capacity 100 -rtt 40 -buffer 5 -ncubic 5 -nbbr 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bbrnash/internal/core"
+	"bbrnash/internal/units"
+)
+
+func main() {
+	var (
+		capMbps = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
+		rttMs   = flag.Float64("rtt", 40, "base RTT in milliseconds")
+		bufBDP  = flag.Float64("buffer", 5, "buffer size in BDP multiples")
+		nCubic  = flag.Int("ncubic", 1, "number of CUBIC flows")
+		nBBR    = flag.Int("nbbr", 1, "number of BBR flows")
+	)
+	flag.Parse()
+
+	capacity := units.Rate(*capMbps) * units.Mbps
+	rtt := time.Duration(*rttMs * float64(time.Millisecond))
+	buffer := units.BufferBytes(capacity, rtt, *bufBDP)
+	s := core.Scenario{
+		Capacity: capacity, Buffer: buffer, RTT: rtt,
+		NumCubic: *nCubic, NumBBR: *nBBR,
+	}
+
+	fmt.Printf("scenario: %v link, %v base RTT, buffer %v = %.1f BDP, %d CUBIC vs %d BBR\n",
+		capacity, rtt, buffer, s.BufferBDP(), s.NumCubic, s.NumBBR)
+
+	iv, err := core.PredictInterval(s)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("regime: %v\n\n", iv.Sync.Regime)
+	for _, p := range []core.Prediction{iv.Sync, iv.Desync} {
+		fmt.Printf("%s bound:\n", p.Mode)
+		fmt.Printf("  aggregate: BBR %.2f Mbps, CUBIC %.2f Mbps\n", p.AggBBR.Mbit(), p.AggCubic.Mbit())
+		fmt.Printf("  per-flow:  BBR %.2f Mbps, CUBIC %.2f Mbps\n", p.PerBBR.Mbit(), p.PerCubic.Mbit())
+		fmt.Printf("  BBR buffer share b_b = %.0f pkts, RTT+ = %v\n\n",
+			p.BBRBuffer.Packets(), p.RTTPlus.Round(100*time.Microsecond))
+	}
+
+	if *nBBR >= 1 {
+		wp, err := core.PredictWare(core.WareScenario{
+			Capacity: capacity, Buffer: buffer, RTT: rtt, NumBBR: *nBBR, Duration: 2 * time.Minute,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ware et al. baseline: BBR %.2f Mbps aggregate (p = %.3f, probe time %v of 2m)\n\n",
+			wp.AggBBR.Mbit(), wp.CubicFraction, wp.ProbeTime.Round(10*time.Millisecond))
+	}
+
+	n := *nCubic + *nBBR
+	if n >= 2 {
+		region, err := core.PredictNashRegion(core.NashScenario{
+			Capacity: capacity, Buffer: buffer, RTT: rtt, N: n,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nash equilibrium for %d flows: %.1f to %.1f CUBIC flows\n",
+			n, region.CubicLow(), region.CubicHigh())
+		if region.Sync.AllBBR {
+			fmt.Println("  (synchronized bound predicts an all-BBR equilibrium)")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modelcalc:", err)
+	os.Exit(1)
+}

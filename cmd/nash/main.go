@@ -1,0 +1,78 @@
+// Command nash predicts and (optionally) empirically verifies the Nash
+// Equilibrium distribution of CUBIC and a competing algorithm at one
+// bottleneck.
+//
+// Usage:
+//
+//	nash -capacity 100 -rtt 40 -buffer 5 -n 20 -alg bbr -verify -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bbrnash/internal/core"
+	"bbrnash/internal/exp"
+	"bbrnash/internal/units"
+)
+
+func main() {
+	var (
+		capMbps = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
+		rttMs   = flag.Float64("rtt", 40, "base RTT in milliseconds")
+		bufBDP  = flag.Float64("buffer", 5, "buffer size in BDP multiples")
+		n       = flag.Int("n", 20, "total number of flows")
+		alg     = flag.String("alg", "bbr", "non-CUBIC algorithm")
+		verify  = flag.Bool("verify", false, "also search for the equilibrium empirically (simulations)")
+		scaleN  = flag.String("scale", "quick", "verification scale: full, quick or smoke")
+	)
+	flag.Parse()
+
+	capacity := units.Rate(*capMbps) * units.Mbps
+	rtt := time.Duration(*rttMs * float64(time.Millisecond))
+	buffer := units.BufferBytes(capacity, rtt, *bufBDP)
+
+	region, err := core.PredictNashRegion(core.NashScenario{
+		Capacity: capacity, Buffer: buffer, RTT: rtt, N: *n,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model (for BBR): equilibrium at %.1f to %.1f CUBIC flows of %d (buffer %.1f BDP)\n",
+		region.CubicLow(), region.CubicHigh(), *n, *bufBDP)
+
+	if !*verify {
+		return
+	}
+	scale, err := exp.ScaleByName(*scaleN)
+	if err != nil {
+		fatal(err)
+	}
+	ctor, err := exp.AlgorithmByName(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("verifying empirically with %s flows (%s scale, %d trials)...\n", *alg, scale.Name, scale.Trials)
+	for trial := 0; trial < scale.Trials; trial++ {
+		res, err := exp.FindNE(exp.NESearchConfig{
+			Capacity: capacity, Buffer: buffer, RTT: rtt, N: *n,
+			Duration: scale.FlowDuration, Seed: uint64(trial+1) * 1e6,
+			X: ctor, Exhaustive: scale.Exhaustive,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trial %d: equilibria at", trial+1)
+		for _, k := range res.EquilibriaX {
+			fmt.Printf(" %d CUBIC/%d %s", *n-k, k, *alg)
+		}
+		fmt.Printf(" (%d simulations)\n", res.Simulations)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nash:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+package bbrnash_test
+
+import (
+	"fmt"
+	"time"
+
+	"bbrnash"
+)
+
+// Predict the bandwidth split between one CUBIC and one BBR flow at a
+// 50 Mbps bottleneck with a 3 BDP buffer (the paper's hand-checkable
+// reference point: an exact 25/25 split).
+func ExamplePredict() {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * bbrnash.Mbps
+	p, err := bbrnash.Predict(bbrnash.Scenario{
+		Capacity: capacity,
+		Buffer:   bbrnash.BufferBytes(capacity, rtt, 3),
+		RTT:      rtt,
+		NumCubic: 1,
+		NumBBR:   1,
+	}, bbrnash.Synchronized)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("BBR %.1f Mbps, CUBIC %.1f Mbps, RTT+ %v\n",
+		p.AggBBR.Mbit(), p.AggCubic.Mbit(), p.RTTPlus)
+	// Output: BBR 25.0 Mbps, CUBIC 25.0 Mbps, RTT+ 80ms
+}
+
+// Predict where the CUBIC/BBR mix stabilizes for 50 same-RTT flows — the
+// paper's central question.
+func ExamplePredictNashRegion() {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * bbrnash.Mbps
+	region, err := bbrnash.PredictNashRegion(bbrnash.NashScenario{
+		Capacity: capacity,
+		Buffer:   bbrnash.BufferBytes(capacity, rtt, 3),
+		RTT:      rtt,
+		N:        50,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("equilibrium: %.0f-%.0f of 50 flows stay on CUBIC\n",
+		region.CubicLow(), region.CubicHigh())
+	// Output: equilibrium: 17-25 of 50 flows stay on CUBIC
+}
+
+// Evaluate the Ware et al. (IMC 2019) baseline model the paper compares
+// against.
+func ExamplePredictWare() {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * bbrnash.Mbps
+	p, err := bbrnash.PredictWare(bbrnash.WareScenario{
+		Capacity: capacity,
+		Buffer:   bbrnash.BufferBytes(capacity, rtt, 10),
+		RTT:      rtt,
+		NumBBR:   1,
+		Duration: 2 * time.Minute,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Ware et al. predict BBR gets %.1f Mbps\n", p.AggBBR.Mbit())
+	// Output: Ware et al. predict BBR gets 25.8 Mbps
+}
+
+// Classify where a configuration sits relative to the model's validity
+// domain.
+func ExampleScenario_regimes() {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * bbrnash.Mbps
+	for _, bdp := range []float64{0.5, 10, 150} {
+		p, err := bbrnash.Predict(bbrnash.Scenario{
+			Capacity: capacity,
+			Buffer:   bbrnash.BufferBytes(capacity, rtt, bdp),
+			RTT:      rtt,
+			NumCubic: 1,
+			NumBBR:   1,
+		}, bbrnash.Synchronized)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%.1f BDP: %v\n", bdp, p.Regime)
+	}
+	// Output:
+	// 0.5 BDP: shallow(<1BDP)
+	// 10.0 BDP: valid
+	// 150.0 BDP: ultra-deep(>100BDP)
+}

@@ -1,0 +1,53 @@
+// Quickstart: predict how one CUBIC and one BBR flow split a bottleneck,
+// then check the prediction against the packet-level simulator.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bbrnash"
+)
+
+func main() {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * bbrnash.Mbps
+	buffer := bbrnash.BufferBytes(capacity, rtt, 5) // 5x the BDP
+
+	// 1. Ask the analytical model.
+	pred, err := bbrnash.Predict(bbrnash.Scenario{
+		Capacity: capacity,
+		Buffer:   buffer,
+		RTT:      rtt,
+		NumCubic: 1,
+		NumBBR:   1,
+	}, bbrnash.Synchronized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model:     BBR %.1f Mbps vs CUBIC %.1f Mbps (RTT+ = %v)\n",
+		pred.AggBBR.Mbit(), pred.AggCubic.Mbit(), pred.RTTPlus)
+
+	// 2. Run the same scenario in the simulator.
+	net, err := bbrnash.NewNetwork(bbrnash.NetworkConfig{Capacity: capacity, Buffer: buffer})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bbrFlow, err := net.AddFlow(bbrnash.FlowConfig{Name: "bbr", RTT: rtt, Algorithm: bbrnash.BBR})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cubicFlow, err := net.AddFlow(bbrnash.FlowConfig{Name: "cubic", RTT: rtt, Algorithm: bbrnash.CUBIC})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Run(2 * time.Minute)
+	fmt.Printf("simulator: BBR %.1f Mbps vs CUBIC %.1f Mbps (link %.0f%% utilized)\n",
+		bbrFlow.Stats().Throughput.Mbit(), cubicFlow.Stats().Throughput.Mbit(),
+		100*net.Link().Utilization)
+}

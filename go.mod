@@ -1,0 +1,3 @@
+module bbrnash
+
+go 1.22

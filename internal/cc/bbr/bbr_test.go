@@ -1,0 +1,272 @@
+package bbr
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/cc/cctest"
+	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/units"
+)
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+func singleBBR(t *testing.T, capacity units.Rate, rtt time.Duration, bufBDP float64, dur time.Duration) (cctest.Result, *BBR) {
+	t.Helper()
+	var inst *BBR
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = NewWithOptions(p, WithCycleOffset(0))
+		return inst
+	}
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  capacity,
+		BufferBDP: bufBDP,
+		Flows:     []cctest.FlowSpec{{RTT: rtt, Alg: ctor}},
+		Warmup:    2 * time.Second,
+		Duration:  dur,
+	})
+	return res, inst
+}
+
+func TestStartupFindsBandwidth(t *testing.T) {
+	capacity := 50 * units.Mbps
+	var inst *BBR
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = New(p).(*BBR)
+		return inst
+	}
+	n, err := netsim.New(netsim.Config{Capacity: capacity, Buffer: units.BufferBytes(capacity, 40*time.Millisecond, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddFlow(netsim.FlowConfig{RTT: 40 * time.Millisecond, Algorithm: ctor}); err != nil {
+		t.Fatal(err)
+	}
+	// Startup doubles per round; finding 50 Mbps from 10 segments takes
+	// O(log2(BDP/10)) ≈ 5 rounds ≈ 200 ms. Give it 2 seconds.
+	n.Run(2 * time.Second)
+	if inst.State() == Startup {
+		t.Fatalf("still in Startup after 2s (state changes: %d)", inst.StateChanges())
+	}
+	if err := relErr(float64(inst.BtlBw()), float64(capacity)); err > 0.1 {
+		t.Errorf("BtlBw = %v, want about %v", inst.BtlBw(), capacity)
+	}
+}
+
+func TestReachesProbeBWAndUtilizesLink(t *testing.T) {
+	res, inst := singleBBR(t, 50*units.Mbps, 40*time.Millisecond, 4, 20*time.Second)
+	if inst.State() != ProbeBW {
+		t.Errorf("state = %v, want ProbeBW", inst.State())
+	}
+	if res.Link.Utilization < 0.9 {
+		t.Errorf("utilization = %v, want >= 0.9", res.Link.Utilization)
+	}
+}
+
+func TestRTpropAccurate(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * units.Mbps
+	_, inst := singleBBR(t, capacity, rtt, 4, 20*time.Second)
+	// RTprop should be within one transmission time of the base RTT.
+	want := rtt + capacity.TimeToSend(units.MSS)
+	if inst.RTprop() > want+time.Millisecond {
+		t.Errorf("RTprop = %v, want about %v", inst.RTprop(), want)
+	}
+}
+
+// A solo BBR flow should keep the queue mostly empty (low delay), in sharp
+// contrast to CUBIC which fills the buffer.
+func TestSoloBBRKeepsQueueSmall(t *testing.T) {
+	res, _ := singleBBR(t, 50*units.Mbps, 40*time.Millisecond, 8, 30*time.Second)
+	bdp := float64(units.BDP(50*units.Mbps, 40*time.Millisecond))
+	if q := float64(res.Link.MeanQueueOccupancy); q > 0.5*bdp {
+		t.Errorf("mean queue = %v bytes, want < half a BDP (%v)", q, bdp/2)
+	}
+}
+
+// When competing with CUBIC, BBR becomes cwnd-bound at 2 × BtlBw × RTprop —
+// the in-flight cap the paper's model depends on (assumption 2).
+func TestInflightCapWhenCompeting(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * units.Mbps
+	var inst *BBR
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = NewWithOptions(p, WithCycleOffset(0))
+		return inst
+	}
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  capacity,
+		BufferBDP: 5,
+		Flows: []cctest.FlowSpec{
+			{Name: "bbr", RTT: rtt, Alg: ctor},
+			{Name: "cubic", RTT: rtt, Alg: cubic.New},
+		},
+		Warmup:   10 * time.Second,
+		Duration: 40 * time.Second,
+	})
+	_ = res
+	// cwnd must equal 2 * BtlBw * RTprop.
+	want := 2 * float64(units.Rate(inst.BtlBw()).BytesIn(inst.RTprop()))
+	got := float64(inst.CongestionWindow())
+	if inst.State() == ProbeRTT {
+		t.Skip("snapshot landed in ProbeRTT")
+	}
+	if relErr(got, want) > 0.01 {
+		t.Errorf("cwnd = %v, want 2*estBDP = %v", got, want)
+	}
+}
+
+// While competing with CUBIC the queue never drains completely, so BBR's
+// RTprop is over-estimated: base RTT plus CUBIC's minimum queue share.
+func TestRTpropBloatedWhenCompeting(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * units.Mbps
+	var inst *BBR
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = NewWithOptions(p, WithCycleOffset(0))
+		return inst
+	}
+	cctest.Run(t, cctest.Scenario{
+		Capacity:  capacity,
+		BufferBDP: 5,
+		Flows: []cctest.FlowSpec{
+			{Name: "bbr", RTT: rtt, Alg: ctor},
+			{Name: "cubic", RTT: rtt, Alg: cubic.New},
+		},
+		Warmup:   10 * time.Second,
+		Duration: 60 * time.Second,
+	})
+	if inst.RTprop() <= rtt+2*time.Millisecond {
+		t.Errorf("RTprop = %v, expected bloat above base %v while competing in a 5 BDP buffer", inst.RTprop(), rtt)
+	}
+}
+
+// ProbeRTT must fire roughly every 10 seconds when the min-RTT estimate
+// cannot refresh (competing traffic keeps the queue occupied).
+func TestProbeRTTCadenceWhenCompeting(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * units.Mbps
+	var inst *BBR
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = NewWithOptions(p, WithCycleOffset(0))
+		return inst
+	}
+	probeRTTs := 0
+	n, err := netsim.New(netsim.Config{Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddFlow(netsim.FlowConfig{Name: "bbr", RTT: rtt, Algorithm: ctor}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddFlow(netsim.FlowConfig{Name: "cubic", RTT: rtt, Algorithm: cubic.New}); err != nil {
+		t.Fatal(err)
+	}
+	last := Startup
+	for i := 0; i < 600; i++ { // 60 seconds in 100ms steps
+		n.Run(100 * time.Millisecond)
+		if s := inst.State(); s == ProbeRTT && last != ProbeRTT {
+			probeRTTs++
+		}
+		last = inst.State()
+	}
+	// Expect roughly one ProbeRTT per 10 s over 60 s; allow slack for the
+	// first cycle and sampling granularity.
+	if probeRTTs < 3 || probeRTTs > 8 {
+		t.Errorf("observed %d ProbeRTT episodes in 60s, want about 6", probeRTTs)
+	}
+}
+
+// BBR should get a disproportionately large share against one CUBIC flow in
+// a small buffer (Hock et al., Ware et al., and Figure 3 of the paper).
+func TestBBRDominatesInSmallBuffer(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  50 * units.Mbps,
+		BufferBDP: 1.5,
+		Flows: []cctest.FlowSpec{
+			{Name: "bbr", RTT: rtt, Alg: New},
+			{Name: "cubic", RTT: rtt, Alg: cubic.New},
+		},
+		Duration: 120 * time.Second,
+	})
+	bbrShare := float64(res.Stats[0].Throughput) / float64(res.TotalThroughput())
+	if bbrShare < 0.55 {
+		t.Errorf("BBR share = %.2f in a 1.5 BDP buffer, want > 0.55", bbrShare)
+	}
+}
+
+// In deep buffers CUBIC's queue occupancy wins: BBR's share must decline
+// with buffer depth (the shape of Figure 3).
+func TestBBRShareDeclinesWithBufferDepth(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	share := func(bufBDP float64) float64 {
+		res := cctest.Run(t, cctest.Scenario{
+			Capacity:  50 * units.Mbps,
+			BufferBDP: bufBDP,
+			Flows: []cctest.FlowSpec{
+				{Name: "bbr", RTT: rtt, Alg: New},
+				{Name: "cubic", RTT: rtt, Alg: cubic.New},
+			},
+			Duration: 120 * time.Second,
+		})
+		return float64(res.Stats[0].Throughput) / float64(res.TotalThroughput())
+	}
+	shallow := share(2)
+	deep := share(16)
+	if deep >= shallow {
+		t.Errorf("BBR share did not decline with buffer depth: %.3f (2 BDP) vs %.3f (16 BDP)", shallow, deep)
+	}
+	if deep > 0.5 {
+		t.Errorf("BBR share in a 16 BDP buffer = %.3f, want below 0.5", deep)
+	}
+}
+
+func TestTwoBBRFlowsFair(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  50 * units.Mbps,
+		BufferBDP: 4,
+		Flows: []cctest.FlowSpec{
+			{RTT: rtt, Alg: New},
+			{RTT: rtt, Alg: New},
+		},
+		Warmup:   10 * time.Second,
+		Duration: 60 * time.Second,
+	})
+	if idx := res.JainIndex(); idx < 0.9 {
+		t.Errorf("Jain index = %v, want >= 0.9", idx)
+	}
+	if res.Link.Utilization < 0.9 {
+		t.Errorf("utilization = %v", res.Link.Utilization)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{Startup: "Startup", Drain: "Drain", ProbeBW: "ProbeBW", ProbeRTT: "ProbeRTT", State(9): "Unknown"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(cc.Params{}).Name() != "bbr" {
+		t.Error("wrong name")
+	}
+}

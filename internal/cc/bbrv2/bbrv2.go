@@ -1,0 +1,541 @@
+// Package bbrv2 implements a simplified BBR version 2 (Cardwell et al.,
+// "BBR v2: A Model-based Congestion Control", IETF 104/105 ICCRG updates).
+//
+// BBRv2 keeps BBRv1's model-based skeleton (bottleneck-bandwidth and
+// min-RTT estimators, pacing-gain cycling) but bounds its in-flight data by
+// an explicit loss-responsive ceiling:
+//
+//   - inflight_hi is cut multiplicatively (β = 0.3, to 70%) whenever a
+//     round's loss rate exceeds about 2%, and is raised again only by
+//     deliberate probing;
+//   - cruising keeps 15% headroom below inflight_hi to leave room for
+//     competing flows;
+//   - bandwidth probes are spaced seconds apart (REFILL then UP), instead
+//     of every eight RTTs;
+//   - ProbeRTT fires every 5 s and only shrinks the window to half the
+//     estimated BDP, not four packets.
+//
+// The net effect the paper relies on (§4.6): BBRv2 behaves like BBR but is
+// distinctly less aggressive against loss-based flows, so its Nash
+// Equilibria sit at higher CUBIC shares (Figure 11) while still claiming a
+// disproportionate share at small flow counts (Figure 7).
+package bbrv2
+
+import (
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+// State is a BBRv2 state-machine state.
+type State int
+
+// BBRv2 states. ProbeBW is split into four sub-states.
+const (
+	Startup State = iota
+	Drain
+	ProbeDown
+	Cruise
+	Refill
+	ProbeUp
+	ProbeRTT
+)
+
+func (s State) String() string {
+	switch s {
+	case Startup:
+		return "Startup"
+	case Drain:
+		return "Drain"
+	case ProbeDown:
+		return "ProbeDown"
+	case Cruise:
+		return "Cruise"
+	case Refill:
+		return "Refill"
+	case ProbeUp:
+		return "ProbeUp"
+	case ProbeRTT:
+		return "ProbeRTT"
+	default:
+		return "Unknown"
+	}
+}
+
+// Tunable constants (IETF BBRv2 presentation defaults).
+const (
+	highGain      = 2.77
+	cwndGain      = 2.0
+	probeDownGain = 0.9
+	probeUpGain   = 1.25
+	// Beta is the multiplicative decrease applied to inflight_hi on a
+	// lossy round: the ceiling drops to 1−Beta = 70%.
+	Beta = 0.3
+	// Headroom is the fraction of inflight_hi left unused while cruising.
+	Headroom = 0.15
+	// LossThresh is the per-round loss rate that triggers a ceiling cut.
+	// The IETF default is 2%; drop-tail overflow against many CUBIC flows
+	// is bursty, so rounds are judged on sustained loss.
+	LossThresh = 0.05
+	// ProbeRTTInterval and ProbeRTTDuration differ from v1: probes are
+	// more frequent but shallower.
+	ProbeRTTInterval = 5 * time.Second
+	ProbeRTTDuration = 200 * time.Millisecond
+	// probeWait is the cruising time between bandwidth probes.
+	probeWait = 1 * time.Second
+	// btlBwFilterLen is the bandwidth max-filter window: two probe cycles,
+	// so a probe's bandwidth sample survives until the next probe and
+	// gains ratchet instead of decaying between probes.
+	btlBwFilterLen = 2 * (probeWait + 500*time.Millisecond)
+	rtFilterLen    = 10 * time.Second
+
+	startupGrowthTarget = 1.25
+	fullBwCountTarget   = 3
+	minPipeCwndSegments = 4
+)
+
+// BBR2 is a simplified BBRv2 congestion-control instance.
+type BBR2 struct {
+	mss units.Bytes
+
+	state State
+
+	// Estimators. Unlike v1's keep-min-until-expiry scheme, v2 tracks the
+	// minimum RTT over a sliding 10 s window, so when competing traffic
+	// keeps the queue occupied the estimate converges to the paper's
+	// RTT⁺ = base RTT + residual queue drain time.
+	btlBw    *cc.MaxFilter
+	rtFilter *cc.MinFilter
+	initCwnd units.Bytes
+
+	lastAckTime eventsim.Time
+
+	// Round accounting.
+	nextRoundDelivered units.Bytes
+	roundCount         int64
+	roundStart         bool
+	lostInRound        units.Bytes
+	deliveredInRound   units.Bytes
+
+	// Startup.
+	fullBw      units.Rate
+	fullBwCount int
+	filledPipe  bool
+
+	// Loss-responsive bounds. inflightHi is the long-term ceiling, only
+	// adjusted by probing; inflightLo is the short-term conservative bound
+	// cut on lossy rounds and reset at every bandwidth probe (Refill).
+	inflightHi units.Bytes // 0 means "not yet set" (no ceiling)
+	inflightLo units.Bytes // 0 means "not set"
+	probeUpAdd units.Bytes // exponential raise amount during ProbeUp
+
+	// Probe scheduling.
+	probeWaitUntil eventsim.Time
+	probeUpRounds  int
+	probeUpTarget  units.Bytes
+
+	// ProbeRTT.
+	probeRTTDoneStamp eventsim.Time
+	probeRTTRoundDone bool
+	lastProbeRTTEnd   eventsim.Time
+
+	// Dials.
+	pacingGain  float64
+	cwndGainNow float64
+	pacingRate  units.Rate
+	cwnd        units.Bytes
+
+	stateChanges int
+	lossRounds   int
+}
+
+// New constructs a BBRv2 instance. It satisfies cc.Constructor.
+func New(p cc.Params) cc.Algorithm {
+	p = p.WithDefaults()
+	return &BBR2{
+		mss:         p.MSS,
+		state:       Startup,
+		btlBw:       cc.NewMaxFilter(eventsim.At(btlBwFilterLen)),
+		rtFilter:    cc.NewMinFilter(eventsim.At(rtFilterLen)),
+		pacingGain:  highGain,
+		cwndGainNow: highGain,
+		cwnd:        p.InitialCwnd,
+		initCwnd:    p.InitialCwnd,
+	}
+}
+
+// Name implements cc.Algorithm.
+func (b *BBR2) Name() string { return "bbrv2" }
+
+// State returns the current state (for tests and tracing).
+func (b *BBR2) State() State { return b.state }
+
+// InflightHi returns the current loss-bounded in-flight ceiling (0 when
+// unset).
+func (b *BBR2) InflightHi() units.Bytes { return b.inflightHi }
+
+// BtlBw returns the bottleneck-bandwidth estimate as of the last ACK.
+func (b *BBR2) BtlBw() units.Rate {
+	v, ok := b.btlBw.Get(b.lastAckTime)
+	if !ok {
+		return 0
+	}
+	return units.Rate(v)
+}
+
+// RTprop returns the min-RTT estimate: the smallest sample in the sliding
+// window.
+func (b *BBR2) RTprop() time.Duration {
+	v, _, ok := b.rtFilter.Best(b.lastAckTime)
+	if !ok {
+		return 0
+	}
+	return time.Duration(v)
+}
+
+func (b *BBR2) bdp(gain float64) units.Bytes {
+	bw := b.BtlBw()
+	rt := b.RTprop()
+	if bw == 0 || rt == 0 {
+		return 0
+	}
+	return units.Bytes(gain * float64(bw.BytesIn(rt)))
+}
+
+// OnSent implements cc.Algorithm.
+func (b *BBR2) OnSent(e cc.SendEvent) {}
+
+// OnLoss implements cc.Algorithm.
+func (b *BBR2) OnLoss(e cc.LossEvent) {
+	b.lostInRound += e.Bytes
+}
+
+// OnAck implements cc.Algorithm.
+func (b *BBR2) OnAck(e cc.AckEvent) {
+	b.updateRound(e)
+	b.updateBtlBw(e)
+	b.updateRTprop(e)
+	b.checkFullPipe()
+	b.advanceStateMachine(e)
+	b.checkProbeRTT(e)
+	b.setPacingRate()
+	b.setCwnd(e)
+}
+
+func (b *BBR2) updateRound(e cc.AckEvent) {
+	b.deliveredInRound += e.Bytes
+	if e.Delivered >= b.nextRoundDelivered {
+		b.nextRoundDelivered = e.Delivered + e.Inflight
+		b.roundCount++
+		b.roundStart = true
+		b.handleRoundEnd(e)
+		b.lostInRound = 0
+		b.deliveredInRound = 0
+	} else {
+		b.roundStart = false
+	}
+}
+
+// handleRoundEnd applies the v2 loss response to a round whose loss rate
+// exceeded LossThresh. During a bandwidth probe, the long-term ceiling
+// inflight_hi is pinned at the level where loss appeared and the probe
+// ends; otherwise only the short-term bound inflight_lo is cut, and it is
+// forgotten again at the next probe, so transient loss cannot ratchet the
+// flow to zero.
+func (b *BBR2) handleRoundEnd(e cc.AckEvent) {
+	total := b.deliveredInRound + b.lostInRound
+	if total <= 0 || b.lostInRound == 0 {
+		return
+	}
+	if float64(b.lostInRound/total) <= LossThresh {
+		return
+	}
+	b.lossRounds++
+	floor := units.Bytes(minPipeCwndSegments) * b.mss
+
+	switch b.state {
+	case ProbeUp, Refill:
+		// Probed too high: the safe ceiling is what was in flight.
+		level := e.Inflight
+		if level < floor {
+			level = floor
+		}
+		if b.inflightHi == 0 || level < b.inflightHi {
+			b.inflightHi = level
+		}
+		b.enterProbeDown(e.Now)
+	case Startup:
+		if !b.filledPipe {
+			// v2 exits startup on sustained loss.
+			b.filledPipe = true
+			b.inflightHi = e.Inflight + b.lostInRound
+			b.enterDrain()
+		}
+	default:
+		// Short-term cut, recovered at the next Refill.
+		cur := b.inflightLo
+		if cur == 0 {
+			cur = e.Inflight + b.lostInRound
+		}
+		cur = units.Bytes(float64(cur) * (1 - Beta))
+		if cur < floor {
+			cur = floor
+		}
+		b.inflightLo = cur
+	}
+}
+
+func (b *BBR2) updateBtlBw(e cc.AckEvent) {
+	b.lastAckTime = e.Now
+	if e.Rate <= 0 {
+		return
+	}
+	if !e.RateAppLimited || float64(e.Rate) > b.btlBwValue() {
+		b.btlBw.Update(e.Now, float64(e.Rate))
+	}
+}
+
+func (b *BBR2) btlBwValue() float64 {
+	v, _ := b.btlBw.Get(b.lastAckTime)
+	return v
+}
+
+func (b *BBR2) updateRTprop(e cc.AckEvent) {
+	if e.RTT > 0 {
+		b.rtFilter.Update(e.Now, float64(e.RTT))
+	}
+}
+
+func (b *BBR2) checkFullPipe() {
+	if b.filledPipe || !b.roundStart {
+		return
+	}
+	bw := units.Rate(b.btlBwValue())
+	if float64(bw) >= float64(b.fullBw)*startupGrowthTarget {
+		b.fullBw = bw
+		b.fullBwCount = 0
+		return
+	}
+	b.fullBwCount++
+	if b.fullBwCount >= fullBwCountTarget {
+		b.filledPipe = true
+		if b.state == Startup {
+			b.enterDrain()
+		}
+	}
+}
+
+func (b *BBR2) enterDrain() {
+	b.setState(Drain)
+	b.pacingGain = 1 / highGain
+	b.cwndGainNow = highGain
+}
+
+func (b *BBR2) advanceStateMachine(e cc.AckEvent) {
+	switch b.state {
+	case Drain:
+		if e.Inflight <= b.bdp(1.0) {
+			b.enterProbeDown(e.Now)
+		}
+	case ProbeDown:
+		// Drain toward the headroom target, then cruise.
+		if e.Inflight <= b.cruiseTarget() || e.Inflight <= b.bdp(1.0) {
+			b.enterCruise(e.Now)
+		}
+	case Cruise:
+		if e.Now >= b.probeWaitUntil {
+			b.enterRefill(e)
+		}
+	case Refill:
+		// One round with the ceiling lifted refills the pipe.
+		if b.roundStart {
+			b.enterProbeUp()
+		}
+	case ProbeUp:
+		if b.roundStart {
+			b.probeUpRounds++
+			b.raiseInflightHi()
+		}
+		// Probe until the 1.25 gain is reflected in flight (measured
+		// against the BDP at probe start), then back off.
+		if e.Inflight >= b.probeUpTarget && b.probeUpRounds >= 1 || b.probeUpRounds >= 6 {
+			b.enterProbeDown(e.Now)
+		}
+	}
+}
+
+func (b *BBR2) cruiseTarget() units.Bytes {
+	if b.inflightHi == 0 {
+		return b.bdp(1.0)
+	}
+	t := units.Bytes(float64(b.inflightHi) * (1 - Headroom))
+	if bdp := b.bdp(1.0); bdp > 0 && t > b.bdp(cwndGain) {
+		t = b.bdp(cwndGain)
+	}
+	return t
+}
+
+func (b *BBR2) raiseInflightHi() {
+	if b.inflightHi == 0 {
+		return // no ceiling to raise
+	}
+	if b.probeUpAdd < b.mss {
+		b.probeUpAdd = b.mss
+	} else {
+		b.probeUpAdd *= 2
+	}
+	b.inflightHi += b.probeUpAdd
+}
+
+func (b *BBR2) enterProbeDown(now eventsim.Time) {
+	b.setState(ProbeDown)
+	b.pacingGain = probeDownGain
+	b.cwndGainNow = cwndGain
+	b.probeUpAdd = 0
+	b.probeUpRounds = 0
+	b.probeWaitUntil = now.Add(probeWait)
+}
+
+func (b *BBR2) enterCruise(now eventsim.Time) {
+	b.setState(Cruise)
+	b.pacingGain = 1
+	b.cwndGainNow = cwndGain
+	if b.probeWaitUntil < now {
+		b.probeWaitUntil = now.Add(probeWait)
+	}
+}
+
+func (b *BBR2) enterRefill(e cc.AckEvent) {
+	b.setState(Refill)
+	b.pacingGain = 1
+	b.cwndGainNow = cwndGain
+	// Forget the short-term loss bound: the probe re-measures what is safe.
+	b.inflightLo = 0
+	// Mark a fresh round so the refill lasts exactly one round trip.
+	b.nextRoundDelivered = e.Delivered + e.Inflight
+}
+
+func (b *BBR2) enterProbeUp() {
+	b.setState(ProbeUp)
+	b.pacingGain = probeUpGain
+	b.cwndGainNow = cwndGain
+	b.probeUpRounds = 0
+	b.probeUpTarget = b.bdp(probeUpGain)
+}
+
+func (b *BBR2) checkProbeRTT(e cc.AckEvent) {
+	// A ProbeRTT is due when the reigning minimum was sampled too long
+	// ago: the estimate may only be standing because nothing has drained
+	// the queue since.
+	if b.state != ProbeRTT && e.Now.Sub(b.lastProbeRTTEnd) > ProbeRTTInterval {
+		if _, at, ok := b.rtFilter.Best(e.Now); ok && e.Now.Sub(at) > ProbeRTTInterval {
+			b.enterProbeRTTState()
+		}
+	}
+	if b.state == ProbeRTT {
+		b.handleProbeRTT(e)
+	}
+}
+
+func (b *BBR2) enterProbeRTTState() {
+	b.setState(ProbeRTT)
+	b.pacingGain = 1
+	b.cwndGainNow = 1
+	b.probeRTTDoneStamp = 0
+}
+
+func (b *BBR2) probeRTTCwnd() units.Bytes {
+	// v2 probes at half the estimated BDP rather than four packets.
+	c := b.bdp(0.5)
+	if min := units.Bytes(minPipeCwndSegments) * b.mss; c < min {
+		c = min
+	}
+	return c
+}
+
+func (b *BBR2) handleProbeRTT(e cc.AckEvent) {
+	if b.probeRTTDoneStamp == 0 && e.Inflight <= b.probeRTTCwnd() {
+		b.probeRTTDoneStamp = e.Now.Add(ProbeRTTDuration)
+		b.probeRTTRoundDone = false
+		b.nextRoundDelivered = e.Delivered + e.Inflight
+	}
+	if b.probeRTTDoneStamp != 0 {
+		if b.roundStart {
+			b.probeRTTRoundDone = true
+		}
+		if b.probeRTTRoundDone && e.Now >= b.probeRTTDoneStamp {
+			b.lastProbeRTTEnd = e.Now
+			if b.filledPipe {
+				b.enterProbeDown(e.Now)
+			} else {
+				b.setState(Startup)
+				b.pacingGain = highGain
+				b.cwndGainNow = highGain
+			}
+		}
+	}
+}
+
+func (b *BBR2) setState(s State) {
+	if b.state != s {
+		b.state = s
+		b.stateChanges++
+	}
+}
+
+// StateChanges counts transitions (for tests).
+func (b *BBR2) StateChanges() int { return b.stateChanges }
+
+// LossRounds counts rounds whose loss rate exceeded LossThresh (for tests).
+func (b *BBR2) LossRounds() int { return b.lossRounds }
+
+// InflightLo returns the short-term loss bound (0 when unset).
+func (b *BBR2) InflightLo() units.Bytes { return b.inflightLo }
+
+func (b *BBR2) setPacingRate() {
+	bw := b.BtlBw()
+	if bw == 0 {
+		if rt := b.RTprop(); rt > 0 {
+			b.pacingRate = units.Rate(b.pacingGain * 8 * float64(b.initCwnd) / rt.Seconds())
+		}
+		return
+	}
+	b.pacingRate = units.Rate(b.pacingGain * float64(bw))
+}
+
+func (b *BBR2) setCwnd(e cc.AckEvent) {
+	if b.state == ProbeRTT {
+		b.cwnd = b.probeRTTCwnd()
+		return
+	}
+	target := b.bdp(b.cwndGainNow)
+	if target == 0 {
+		return
+	}
+	// Apply the loss-responsive bounds, with headroom while cruising.
+	switch b.state {
+	case Cruise, ProbeDown:
+		if t := b.cruiseTarget(); t > 0 && target > t {
+			target = t
+		}
+		if b.inflightLo > 0 && target > b.inflightLo {
+			target = b.inflightLo
+		}
+	default:
+		if b.inflightHi > 0 && target > b.inflightHi {
+			target = b.inflightHi
+		}
+	}
+	if min := units.Bytes(minPipeCwndSegments) * b.mss; target < min {
+		target = min
+	}
+	b.cwnd = target
+}
+
+// CongestionWindow implements cc.Algorithm.
+func (b *BBR2) CongestionWindow() units.Bytes { return b.cwnd }
+
+// PacingRate implements cc.Algorithm.
+func (b *BBR2) PacingRate() units.Rate { return b.pacingRate }

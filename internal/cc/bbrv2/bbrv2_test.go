@@ -1,0 +1,171 @@
+package bbrv2
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/cc/bbr"
+	"bbrnash/internal/cc/cctest"
+	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/units"
+)
+
+func TestSoloUtilizationAndLowDelay(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 4,
+		Flows:     []cctest.FlowSpec{{RTT: 40 * time.Millisecond, Alg: New}},
+		Warmup:    3 * time.Second,
+		Duration:  30 * time.Second,
+	})
+	if res.Link.Utilization < 0.95 {
+		t.Errorf("utilization = %v, want >= 0.95", res.Link.Utilization)
+	}
+	if res.Link.MeanQueueDelay > 5*time.Millisecond {
+		t.Errorf("queue delay = %v, want < 5ms for a solo BBRv2 flow", res.Link.MeanQueueDelay)
+	}
+}
+
+func TestLessAggressiveThanBBRv1(t *testing.T) {
+	share := func(ctor cc.Constructor) float64 {
+		res := cctest.Run(t, cctest.Scenario{
+			Capacity:  100 * units.Mbps,
+			BufferBDP: 5,
+			Flows: []cctest.FlowSpec{
+				{Name: "x", RTT: 40 * time.Millisecond, Alg: ctor},
+				{Name: "cubic", RTT: 40 * time.Millisecond, Alg: cubic.New},
+			},
+			Duration: 120 * time.Second,
+		})
+		return float64(res.Stats[0].Throughput) / float64(res.TotalThroughput())
+	}
+	v1 := share(bbr.New)
+	v2 := share(New)
+	if v2 >= v1 {
+		t.Errorf("BBRv2 share (%.3f) should be below BBRv1 share (%.3f)", v2, v1)
+	}
+	if v2 < 0.05 {
+		t.Errorf("BBRv2 share (%.3f) collapsed; it should remain competitive", v2)
+	}
+}
+
+// BBRv2 must still claim more than a proportional share against CUBIC in a
+// small buffer (the Figure 7 property that gives it a mixed NE).
+func TestDisproportionateShareInSmallBuffer(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 2,
+		Flows: []cctest.FlowSpec{
+			{Name: "v2", RTT: 40 * time.Millisecond, Alg: New},
+			{Name: "c1", RTT: 40 * time.Millisecond, Alg: cubic.New},
+			{Name: "c2", RTT: 40 * time.Millisecond, Alg: cubic.New},
+			{Name: "c3", RTT: 40 * time.Millisecond, Alg: cubic.New},
+		},
+		Duration: 120 * time.Second,
+	})
+	fair := float64(res.TotalThroughput()) / 4
+	if got := float64(res.Stats[0].Throughput); got < fair {
+		t.Errorf("BBRv2 throughput %v below fair share %v in a 2 BDP buffer", got, fair)
+	}
+}
+
+func TestRespondsToLoss(t *testing.T) {
+	// Competing with CUBIC in a small buffer forces lossy rounds; the
+	// ceiling must engage.
+	var inst *BBR2
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = New(p).(*BBR2)
+		return inst
+	}
+	cctest.Run(t, cctest.Scenario{
+		Capacity:  50 * units.Mbps,
+		BufferBDP: 2,
+		Flows: []cctest.FlowSpec{
+			{Name: "v2", RTT: 40 * time.Millisecond, Alg: ctor},
+			{Name: "cubic", RTT: 40 * time.Millisecond, Alg: cubic.New},
+		},
+		Duration: 30 * time.Second,
+	})
+	// Every counted loss round pins or cuts one of the bounds; the bounds
+	// themselves may be legitimately reset by the time the run ends (the
+	// short-term bound is forgotten at every Refill).
+	if inst.LossRounds() == 0 {
+		t.Error("no lossy rounds detected despite competition in a small buffer")
+	}
+}
+
+func TestRTpropBloatsWhenCompeting(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	var inst *BBR2
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = New(p).(*BBR2)
+		return inst
+	}
+	cctest.Run(t, cctest.Scenario{
+		Capacity:  50 * units.Mbps,
+		BufferBDP: 5,
+		Flows: []cctest.FlowSpec{
+			{Name: "v2", RTT: rtt, Alg: ctor},
+			{Name: "cubic", RTT: rtt, Alg: cubic.New},
+		},
+		Duration: 40 * time.Second,
+	})
+	if inst.RTprop() <= rtt+2*time.Millisecond {
+		t.Errorf("RTprop = %v, expected bloat above base %v (sliding-window min)", inst.RTprop(), rtt)
+	}
+}
+
+func TestTwoBBRv2Fair(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 4,
+		Flows: []cctest.FlowSpec{
+			{RTT: 40 * time.Millisecond, Alg: New},
+			{RTT: 40 * time.Millisecond, Alg: New},
+		},
+		Warmup:   10 * time.Second,
+		Duration: 60 * time.Second,
+	})
+	if idx := res.JainIndex(); idx < 0.9 {
+		t.Errorf("Jain index = %v, want >= 0.9", idx)
+	}
+}
+
+func TestReachesSteadyStateStates(t *testing.T) {
+	var inst *BBR2
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = New(p).(*BBR2)
+		return inst
+	}
+	cctest.Run(t, cctest.Scenario{
+		Capacity:  50 * units.Mbps,
+		BufferBDP: 4,
+		Flows:     []cctest.FlowSpec{{RTT: 40 * time.Millisecond, Alg: ctor}},
+		Duration:  10 * time.Second,
+	})
+	if s := inst.State(); s == Startup || s == Drain {
+		t.Errorf("still in %v after 10s", s)
+	}
+	if inst.StateChanges() < 3 {
+		t.Errorf("only %d state changes; probing seems stuck", inst.StateChanges())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		Startup: "Startup", Drain: "Drain", ProbeDown: "ProbeDown", Cruise: "Cruise",
+		Refill: "Refill", ProbeUp: "ProbeUp", ProbeRTT: "ProbeRTT", State(99): "Unknown",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(cc.Params{}).Name() != "bbrv2" {
+		t.Error("wrong name")
+	}
+}

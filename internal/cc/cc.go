@@ -1,0 +1,112 @@
+// Package cc defines the congestion-control interface between transport
+// algorithms and the network simulator, together with shared machinery:
+// windowed min/max filters, delivery-rate sample plumbing, and a registry of
+// algorithm constructors.
+//
+// An Algorithm controls its flow through two dials, mirroring how Linux TCP
+// exposes congestion control:
+//
+//   - a congestion window (an upper bound on bytes in flight), and
+//   - an optional pacing rate (zero means ack-clocked, unpaced sending).
+//
+// Window-based algorithms (Reno, CUBIC) leave the pacing rate at zero;
+// rate-based algorithms (BBR, Vivace) drive pacing and use the window as an
+// in-flight cap — for BBR that cap, 2·BDP, is the linchpin of the paper's
+// model.
+package cc
+
+import (
+	"time"
+
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+// AckEvent describes one cumulative acknowledgement delivered to the sender.
+type AckEvent struct {
+	// Now is the simulation time the ACK reached the sender.
+	Now eventsim.Time
+	// Seq is the sequence number of the newest packet acknowledged.
+	Seq uint64
+	// Bytes is the number of bytes newly acknowledged.
+	Bytes units.Bytes
+	// SentAt is when the acknowledged packet was sent.
+	SentAt eventsim.Time
+	// RTT is the round-trip time sample for the acknowledged packet.
+	RTT time.Duration
+	// Inflight is the number of bytes outstanding after this ACK.
+	Inflight units.Bytes
+	// Delivered is the connection's total delivered byte count.
+	Delivered units.Bytes
+	// Rate is the delivery-rate sample computed per the BBR rate-estimation
+	// algorithm (zero when no sample could be formed).
+	Rate units.Rate
+	// RateAppLimited reports whether the rate sample was taken while the
+	// sender was application-limited. Bulk flows in this repository never
+	// are, but the field keeps the sampling logic faithful.
+	RateAppLimited bool
+}
+
+// LossEvent describes the detected loss of a single packet.
+type LossEvent struct {
+	// Now is the simulation time the loss was detected at the sender.
+	Now eventsim.Time
+	// Seq is the sequence number of the lost packet.
+	Seq uint64
+	// Bytes is the size of the lost packet.
+	Bytes units.Bytes
+	// SentAt is when the lost packet was sent.
+	SentAt eventsim.Time
+	// Inflight is the number of bytes outstanding after accounting the loss.
+	Inflight units.Bytes
+}
+
+// SendEvent describes the transmission of a single packet.
+type SendEvent struct {
+	Now      eventsim.Time
+	Seq      uint64
+	Bytes    units.Bytes
+	Inflight units.Bytes
+}
+
+// Algorithm is a congestion-control algorithm instance bound to one flow.
+// The simulator calls the On* hooks in event order and reads the two dials
+// after every hook. Implementations need not be safe for concurrent use.
+type Algorithm interface {
+	// Name identifies the algorithm (e.g. "cubic", "bbr").
+	Name() string
+	// OnAck processes an acknowledgement.
+	OnAck(e AckEvent)
+	// OnLoss processes a packet loss.
+	OnLoss(e LossEvent)
+	// OnSent observes a transmission.
+	OnSent(e SendEvent)
+	// CongestionWindow is the current in-flight cap in bytes.
+	CongestionWindow() units.Bytes
+	// PacingRate is the current pacing rate; zero disables pacing.
+	PacingRate() units.Rate
+}
+
+// Params carries the per-flow constants every algorithm receives at
+// construction time.
+type Params struct {
+	// MSS is the maximum segment size.
+	MSS units.Bytes
+	// InitialCwnd is the initial congestion window; if zero, algorithms
+	// use ten segments (RFC 6928).
+	InitialCwnd units.Bytes
+}
+
+// WithDefaults fills unset fields.
+func (p Params) WithDefaults() Params {
+	if p.MSS <= 0 {
+		p.MSS = units.MSS
+	}
+	if p.InitialCwnd <= 0 {
+		p.InitialCwnd = 10 * p.MSS
+	}
+	return p
+}
+
+// Constructor builds a fresh Algorithm instance for one flow.
+type Constructor func(Params) Algorithm

@@ -1,0 +1,124 @@
+// Package cctest provides shared helpers for exercising congestion-control
+// algorithms in the network simulator. It is imported only by tests.
+package cctest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/units"
+)
+
+// Scenario describes a bottleneck plus a set of flows for a test run.
+type Scenario struct {
+	Capacity units.Rate
+	// BufferBDP sizes the buffer as a multiple of Capacity×RTT (using the
+	// first flow's RTT). If zero, Buffer is used directly.
+	BufferBDP float64
+	Buffer    units.Bytes
+	Flows     []FlowSpec
+	// Warmup is excluded from measurement. Duration is measured.
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+// FlowSpec is one flow in a Scenario.
+type FlowSpec struct {
+	Name  string
+	RTT   time.Duration
+	Start time.Duration
+	Alg   cc.Constructor
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Net   *netsim.Network
+	Flows []*netsim.Flow
+	Stats []netsim.FlowStats
+	Link  netsim.LinkStats
+}
+
+// Run builds the network, runs warmup then the measured window, and
+// snapshots statistics.
+func Run(t *testing.T, sc Scenario) Result {
+	t.Helper()
+	res, err := RunE(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// RunE is Run with explicit error handling, usable outside tests.
+func RunE(sc Scenario) (Result, error) {
+	buffer := sc.Buffer
+	if sc.BufferBDP > 0 {
+		if len(sc.Flows) == 0 {
+			return Result{}, fmt.Errorf("cctest: BufferBDP needs at least one flow")
+		}
+		buffer = units.BufferBytes(sc.Capacity, sc.Flows[0].RTT, sc.BufferBDP)
+	}
+	n, err := netsim.New(netsim.Config{Capacity: sc.Capacity, Buffer: buffer})
+	if err != nil {
+		return Result{}, err
+	}
+	var flows []*netsim.Flow
+	for i, fs := range sc.Flows {
+		name := fs.Name
+		if name == "" {
+			name = fmt.Sprintf("flow%d", i)
+		}
+		f, err := n.AddFlow(netsim.FlowConfig{Name: name, RTT: fs.RTT, Start: fs.Start, Algorithm: fs.Alg})
+		if err != nil {
+			return Result{}, err
+		}
+		flows = append(flows, f)
+	}
+	if sc.Warmup > 0 {
+		n.Run(sc.Warmup)
+	}
+	n.StartMeasurement()
+	n.Run(sc.Duration)
+	stats := make([]netsim.FlowStats, len(flows))
+	for i, f := range flows {
+		stats[i] = f.Stats()
+	}
+	return Result{Net: n, Flows: flows, Stats: stats, Link: n.Link()}, nil
+}
+
+// Throughputs returns the measured throughputs in flow order.
+func (r Result) Throughputs() []units.Rate {
+	out := make([]units.Rate, len(r.Stats))
+	for i, s := range r.Stats {
+		out[i] = s.Throughput
+	}
+	return out
+}
+
+// TotalThroughput sums all flows' throughputs.
+func (r Result) TotalThroughput() units.Rate {
+	var sum units.Rate
+	for _, s := range r.Stats {
+		sum += s.Throughput
+	}
+	return sum
+}
+
+// JainIndex computes Jain's fairness index over the flows' throughputs:
+// (Σx)² / (n·Σx²); 1.0 means perfectly equal shares.
+func (r Result) JainIndex() float64 {
+	var sum, sumsq float64
+	for _, s := range r.Stats {
+		x := float64(s.Throughput)
+		sum += x
+		sumsq += x * x
+	}
+	n := float64(len(r.Stats))
+	if n == 0 || sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (n * sumsq)
+}

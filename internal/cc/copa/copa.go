@@ -1,0 +1,260 @@
+// Package copa implements Copa congestion control (Arun & Balakrishnan,
+// NSDI 2018): a delay-based algorithm that steers its sending rate toward
+// the target 1/(δ·dq) packets per second, where dq is the estimated queueing
+// delay, with a velocity mechanism for fast convergence and a mode switch
+// that falls back to AIMD-like competitiveness when a buffer-filling
+// competitor is detected.
+//
+// In the paper's Figure 7, Copa is the one post-BBR algorithm that does
+// *not* claim a disproportionate bandwidth share against CUBIC, so no Nash
+// Equilibrium pressure toward it exists; this implementation reproduces
+// that macroscopic behaviour.
+package copa
+
+import (
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+// Constants from the Copa paper.
+const (
+	// DefaultDelta is δ in default mode: a target of 1/δ = 2 packets in
+	// the queue.
+	DefaultDelta = 0.5
+	// minDelta bounds competitive-mode aggressiveness (1/δ ≤ 32).
+	minDelta = 1.0 / 32
+	// nearlyEmptyFactor: the queue counts as "nearly empty" when the
+	// estimated queueing delay is below 10% of the recent peak.
+	nearlyEmptyFactor = 0.1
+)
+
+// Copa is a Copa congestion-control instance.
+type Copa struct {
+	mss  units.Bytes
+	cwnd units.Bytes
+
+	rttMin      time.Duration
+	srtt        time.Duration
+	standing    *cc.MinFilter // RTTstanding over a srtt/2 window
+	lastAckTime eventsim.Time
+
+	delta       float64
+	competitive bool
+
+	// Velocity state.
+	velocity      float64
+	direction     int // +1 increasing, -1 decreasing, 0 unset
+	sameDirCount  int
+	lastCwnd      units.Bytes
+	lastVelUpdate eventsim.Time
+
+	// Mode-switch state: when did we last see a nearly-empty queue, and
+	// the recent peak queueing delay.
+	lastNearlyEmpty eventsim.Time
+	maxDq           time.Duration
+
+	// Competitive-mode AIMD on 1/δ.
+	lastDeltaUpdate eventsim.Time
+
+	inRecovery bool
+	recoverSeq uint64
+	maxSeqSent uint64
+}
+
+// New constructs a Copa instance. It satisfies cc.Constructor.
+func New(p cc.Params) cc.Algorithm {
+	p = p.WithDefaults()
+	return &Copa{
+		mss:      p.MSS,
+		cwnd:     p.InitialCwnd,
+		standing: cc.NewMinFilter(eventsim.At(50 * time.Millisecond)),
+		delta:    DefaultDelta,
+		velocity: 1,
+	}
+}
+
+// Name implements cc.Algorithm.
+func (c *Copa) Name() string { return "copa" }
+
+// Delta returns the current δ (tests use it to observe mode switching).
+func (c *Copa) Delta() float64 { return c.delta }
+
+// Competitive reports whether the flow is in competitive mode.
+func (c *Copa) Competitive() bool { return c.competitive }
+
+// OnSent implements cc.Algorithm.
+func (c *Copa) OnSent(e cc.SendEvent) {
+	if e.Seq > c.maxSeqSent {
+		c.maxSeqSent = e.Seq
+	}
+}
+
+// OnLoss implements cc.Algorithm. Copa reacts to loss only in competitive
+// mode (AIMD on 1/δ); default mode relies on delay.
+func (c *Copa) OnLoss(e cc.LossEvent) {
+	if c.inRecovery && e.Seq <= c.recoverSeq {
+		return
+	}
+	c.inRecovery = true
+	c.recoverSeq = c.maxSeqSent
+	if c.competitive {
+		// Halve 1/δ: δ doubles, halving aggressiveness.
+		c.delta *= 2
+		if c.delta > DefaultDelta {
+			c.delta = DefaultDelta
+		}
+	}
+}
+
+// OnAck implements cc.Algorithm.
+func (c *Copa) OnAck(e cc.AckEvent) {
+	if c.inRecovery && e.Seq > c.recoverSeq {
+		c.inRecovery = false
+	}
+	c.lastAckTime = e.Now
+	c.updateRTT(e)
+	c.updateMode(e)
+	c.updateWindow(e)
+}
+
+func (c *Copa) updateRTT(e cc.AckEvent) {
+	if e.RTT <= 0 {
+		return
+	}
+	if c.rttMin == 0 || e.RTT < c.rttMin {
+		c.rttMin = e.RTT
+	}
+	if c.srtt == 0 {
+		c.srtt = e.RTT
+	} else {
+		c.srtt = (7*c.srtt + e.RTT) / 8
+	}
+	// RTTstanding: min RTT over the last srtt/2.
+	c.standing.SetWindow(eventsim.At(c.srtt / 2))
+	c.standing.Update(e.Now, float64(e.RTT))
+}
+
+func (c *Copa) rttStanding() time.Duration {
+	v, ok := c.standing.Get(c.lastAckTime)
+	if !ok {
+		return c.srtt
+	}
+	return time.Duration(v)
+}
+
+// updateMode implements Copa's competitive-mode detection: if the queue has
+// not been nearly empty within the last five RTTs, a buffer-filling
+// competitor is assumed.
+func (c *Copa) updateMode(e cc.AckEvent) {
+	dq := c.rttStanding() - c.rttMin
+	if dq > c.maxDq {
+		c.maxDq = dq
+	}
+	if float64(dq) < nearlyEmptyFactor*float64(c.maxDq) || dq < time.Millisecond {
+		c.lastNearlyEmpty = e.Now
+		c.maxDq = dq * 5 // decay the peak so the threshold adapts
+	}
+	wasCompetitive := c.competitive
+	c.competitive = e.Now.Sub(c.lastNearlyEmpty) > 5*c.srtt
+	if c.competitive && !wasCompetitive {
+		c.delta = DefaultDelta // start competitive mode from the default
+		c.lastDeltaUpdate = e.Now
+	}
+	if !c.competitive {
+		c.delta = DefaultDelta
+		return
+	}
+	// Competitive mode: additively grow 1/δ once per RTT (emulating AIMD
+	// aggressiveness growth), bounded below by minDelta.
+	if e.Now.Sub(c.lastDeltaUpdate) >= c.srtt {
+		c.lastDeltaUpdate = e.Now
+		inv := 1/c.delta + 1
+		c.delta = 1 / inv
+		if c.delta < minDelta {
+			c.delta = minDelta
+		}
+	}
+}
+
+func (c *Copa) updateWindow(e cc.AckEvent) {
+	standing := c.rttStanding()
+	dq := standing - c.rttMin
+
+	cwndPkts := float64(c.cwnd / c.mss)
+	var increase bool
+	if dq <= 0 {
+		increase = true
+	} else {
+		targetRate := float64(c.mss) / (c.delta * dq.Seconds()) // bytes/sec
+		curRate := float64(c.cwnd) / standing.Seconds()
+		increase = curRate <= targetRate
+	}
+
+	c.updateVelocity(e, increase)
+
+	change := units.Bytes(c.velocity / (c.delta * cwndPkts) * float64(c.mss))
+	if increase {
+		c.cwnd += change
+	} else {
+		c.cwnd -= change
+	}
+	if c.cwnd < 2*c.mss {
+		c.cwnd = 2 * c.mss
+	}
+}
+
+// updateVelocity doubles the velocity once per RTT while the window keeps
+// moving in one direction (after an initial hold of three RTTs), and resets
+// it on a direction flip, as specified in the Copa paper.
+func (c *Copa) updateVelocity(e cc.AckEvent, increase bool) {
+	dir := -1
+	if increase {
+		dir = 1
+	}
+	if dir != c.direction {
+		c.direction = dir
+		c.velocity = 1
+		c.sameDirCount = 0
+		c.lastVelUpdate = e.Now
+		c.lastCwnd = c.cwnd
+		return
+	}
+	if e.Now.Sub(c.lastVelUpdate) >= c.srtt && c.srtt > 0 {
+		c.lastVelUpdate = e.Now
+		// Direction must be reflected in the actual window movement.
+		moved := (dir > 0 && c.cwnd > c.lastCwnd) || (dir < 0 && c.cwnd < c.lastCwnd)
+		c.lastCwnd = c.cwnd
+		if moved {
+			c.sameDirCount++
+			// Double once per three consistent RTTs; doubling every RTT
+			// overshoots badly by the time the standing-RTT signal (half
+			// an RTT old, plus a full RTT of feedback delay) catches up.
+			if c.sameDirCount >= 3 {
+				c.sameDirCount = 0
+				c.velocity *= 2
+				if c.velocity > 1<<16 {
+					c.velocity = 1 << 16
+				}
+			}
+		} else {
+			c.sameDirCount = 0
+			c.velocity = 1
+		}
+	}
+}
+
+// CongestionWindow implements cc.Algorithm.
+func (c *Copa) CongestionWindow() units.Bytes { return c.cwnd }
+
+// PacingRate implements cc.Algorithm. Copa paces at 2·cwnd/RTTstanding to
+// spread transmissions across the RTT.
+func (c *Copa) PacingRate() units.Rate {
+	standing := c.rttStanding()
+	if standing <= 0 {
+		return 0
+	}
+	return units.Rate(2 * 8 * float64(c.cwnd) / standing.Seconds())
+}

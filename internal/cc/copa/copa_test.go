@@ -1,0 +1,115 @@
+package copa
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/cc/cctest"
+	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/units"
+)
+
+func TestSoloHighUtilizationLowDelay(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 4,
+		Flows:     []cctest.FlowSpec{{RTT: 40 * time.Millisecond, Alg: New}},
+		Warmup:    3 * time.Second,
+		Duration:  30 * time.Second,
+	})
+	if res.Link.Utilization < 0.9 {
+		t.Errorf("utilization = %v, want >= 0.9", res.Link.Utilization)
+	}
+	// Copa targets about 1/δ = 2 packets of queue.
+	if res.Link.MeanQueueDelay > 5*time.Millisecond {
+		t.Errorf("queue delay = %v, want < 5ms", res.Link.MeanQueueDelay)
+	}
+	if res.Stats[0].Lost > 0 {
+		t.Errorf("solo Copa lost %d packets; delay mode should avoid loss", res.Stats[0].Lost)
+	}
+}
+
+func TestPairFairness(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 4,
+		Flows: []cctest.FlowSpec{
+			{RTT: 40 * time.Millisecond, Alg: New},
+			{RTT: 40 * time.Millisecond, Alg: New},
+		},
+		Warmup:   5 * time.Second,
+		Duration: 40 * time.Second,
+	})
+	if idx := res.JainIndex(); idx < 0.95 {
+		t.Errorf("Jain index = %v, want >= 0.95", idx)
+	}
+}
+
+// Copa does not claim a disproportionate share against CUBIC — the Figure 7
+// property that rules out an equilibrium pressure toward Copa.
+func TestBelowFairShareAgainstCubic(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 2,
+		Flows: []cctest.FlowSpec{
+			{Name: "copa", RTT: 40 * time.Millisecond, Alg: New},
+			{Name: "c1", RTT: 40 * time.Millisecond, Alg: cubic.New},
+			{Name: "c2", RTT: 40 * time.Millisecond, Alg: cubic.New},
+		},
+		Duration: 60 * time.Second,
+	})
+	fair := float64(res.TotalThroughput()) / 3
+	if got := float64(res.Stats[0].Throughput); got >= fair {
+		t.Errorf("Copa got %v, at or above fair share %v; expected below", got, fair)
+	}
+	if got := float64(res.Stats[0].Throughput); got < 0.02*fair {
+		t.Errorf("Copa starved entirely (%v); competitive mode should prevent that", got)
+	}
+}
+
+func TestSwitchesToCompetitiveMode(t *testing.T) {
+	var inst *Copa
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = New(p).(*Copa)
+		return inst
+	}
+	cctest.Run(t, cctest.Scenario{
+		Capacity:  50 * units.Mbps,
+		BufferBDP: 3,
+		Flows: []cctest.FlowSpec{
+			{Name: "copa", RTT: 40 * time.Millisecond, Alg: ctor},
+			{Name: "cubic", RTT: 40 * time.Millisecond, Alg: cubic.New},
+		},
+		Duration: 30 * time.Second,
+	})
+	if !inst.Competitive() {
+		t.Error("Copa did not detect the buffer-filling competitor")
+	}
+	if inst.Delta() >= DefaultDelta {
+		t.Errorf("delta = %v; competitive mode should have lowered it below %v", inst.Delta(), DefaultDelta)
+	}
+}
+
+func TestStaysInDefaultModeAlone(t *testing.T) {
+	var inst *Copa
+	ctor := func(p cc.Params) cc.Algorithm {
+		inst = New(p).(*Copa)
+		return inst
+	}
+	cctest.Run(t, cctest.Scenario{
+		Capacity:  50 * units.Mbps,
+		BufferBDP: 4,
+		Flows:     []cctest.FlowSpec{{RTT: 40 * time.Millisecond, Alg: ctor}},
+		Duration:  30 * time.Second,
+	})
+	if inst.Competitive() {
+		t.Error("solo Copa ended in competitive mode")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(cc.Params{}).Name() != "copa" {
+		t.Error("wrong name")
+	}
+}

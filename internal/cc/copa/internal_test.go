@@ -1,0 +1,105 @@
+package copa
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+func ack(seq uint64, at time.Duration, rtt time.Duration) cc.AckEvent {
+	return cc.AckEvent{Now: eventsim.At(at), Seq: seq, Bytes: units.MSS, RTT: rtt}
+}
+
+func TestWindowGrowsWhenQueueEmpty(t *testing.T) {
+	c := New(cc.Params{}).(*Copa)
+	start := c.CongestionWindow()
+	// Flat RTT samples: dq = 0, so the target rate is unbounded and the
+	// window must grow.
+	for i := 0; i < 50; i++ {
+		c.OnAck(ack(uint64(i), time.Duration(i)*time.Millisecond, 20*time.Millisecond))
+	}
+	if c.CongestionWindow() <= start {
+		t.Errorf("cwnd %v did not grow from %v with an empty queue", c.CongestionWindow(), start)
+	}
+}
+
+func TestWindowShrinksUnderQueueing(t *testing.T) {
+	c := New(cc.Params{}).(*Copa)
+	c.cwnd = 200 * units.MSS
+	// Establish a low rtt_min, then feed heavily inflated samples: the
+	// estimated queueing delay makes the target rate tiny, so the window
+	// must come down.
+	c.OnAck(ack(0, 0, 20*time.Millisecond))
+	for i := 1; i < 80; i++ {
+		c.OnAck(ack(uint64(i), time.Duration(i)*2*time.Millisecond, 120*time.Millisecond))
+	}
+	if c.CongestionWindow() >= 200*units.MSS {
+		t.Errorf("cwnd %v did not shrink under 100ms of queueing", c.CongestionWindow())
+	}
+}
+
+func TestWindowFloor(t *testing.T) {
+	c := New(cc.Params{}).(*Copa)
+	c.cwnd = 2 * units.MSS
+	c.OnAck(ack(0, 0, 10*time.Millisecond))
+	for i := 1; i < 200; i++ {
+		c.OnAck(ack(uint64(i), time.Duration(i)*time.Millisecond, 500*time.Millisecond))
+	}
+	if c.CongestionWindow() < 2*units.MSS {
+		t.Errorf("cwnd %v fell below the 2-segment floor", c.CongestionWindow())
+	}
+}
+
+func TestPacingRateTracksWindow(t *testing.T) {
+	c := New(cc.Params{}).(*Copa)
+	c.OnAck(ack(0, 0, 40*time.Millisecond))
+	r1 := c.PacingRate()
+	c.cwnd *= 2
+	r2 := c.PacingRate()
+	if r2 <= r1 {
+		t.Errorf("pacing rate did not scale with cwnd: %v -> %v", r1, r2)
+	}
+	// Copa paces at 2·cwnd/RTTstanding.
+	want := 2 * 8 * float64(c.cwnd) / (40 * time.Millisecond).Seconds()
+	if got := float64(r2); got < 0.9*want || got > 1.1*want {
+		t.Errorf("pacing rate %v, want about %v", got, want)
+	}
+}
+
+func TestLossIgnoredInDefaultMode(t *testing.T) {
+	c := New(cc.Params{}).(*Copa)
+	c.cwnd = 100 * units.MSS
+	before := c.Delta()
+	c.OnSent(cc.SendEvent{Seq: 10})
+	c.OnLoss(cc.LossEvent{Seq: 1})
+	if c.Delta() != before {
+		t.Errorf("default-mode loss changed delta %v -> %v", before, c.Delta())
+	}
+}
+
+func TestCompetitiveModeLossBacksOffDelta(t *testing.T) {
+	c := New(cc.Params{}).(*Copa)
+	c.competitive = true
+	c.delta = 1.0 / 16
+	c.OnSent(cc.SendEvent{Seq: 10})
+	c.OnLoss(cc.LossEvent{Seq: 1})
+	if c.Delta() != 1.0/8 {
+		t.Errorf("delta after competitive loss = %v, want 1/8", c.Delta())
+	}
+	// Same-episode losses are ignored.
+	c.OnLoss(cc.LossEvent{Seq: 5})
+	if c.Delta() != 1.0/8 {
+		t.Errorf("same-episode loss changed delta again: %v", c.Delta())
+	}
+	// Delta never exceeds the default.
+	c.delta = DefaultDelta
+	c.OnAck(ack(11, time.Second, 20*time.Millisecond))
+	c.OnSent(cc.SendEvent{Seq: 20})
+	c.OnLoss(cc.LossEvent{Seq: 15})
+	if c.Delta() > DefaultDelta {
+		t.Errorf("delta %v exceeded the default %v", c.Delta(), DefaultDelta)
+	}
+}

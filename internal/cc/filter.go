@@ -1,0 +1,118 @@
+package cc
+
+import (
+	"bbrnash/internal/eventsim"
+)
+
+// MaxFilter tracks the running maximum of a signal over a sliding window.
+// It is the exact deque-based formulation: Get returns the true maximum of
+// all samples whose timestamps lie within the window. BBR uses one for its
+// bottleneck-bandwidth estimate (window measured in round trips, supplied by
+// the caller as synthetic timestamps) and a MinFilter for its RTprop
+// estimate (window in wall-clock time).
+type MaxFilter struct {
+	window  eventsim.Time // in the same units as the sample timestamps
+	entries []filterEntry
+}
+
+// MinFilter tracks the running minimum of a signal over a sliding window.
+type MinFilter struct {
+	window  eventsim.Time
+	entries []filterEntry
+}
+
+type filterEntry struct {
+	at eventsim.Time
+	v  float64
+}
+
+// NewMaxFilter returns a max filter with the given window width.
+func NewMaxFilter(window eventsim.Time) *MaxFilter { return &MaxFilter{window: window} }
+
+// NewMinFilter returns a min filter with the given window width.
+func NewMinFilter(window eventsim.Time) *MinFilter { return &MinFilter{window: window} }
+
+// Update inserts a sample at time now. Timestamps must be nondecreasing.
+func (f *MaxFilter) Update(now eventsim.Time, v float64) {
+	// Drop entries dominated by the new sample: they can never be the
+	// maximum again.
+	for n := len(f.entries); n > 0 && f.entries[n-1].v <= v; n = len(f.entries) {
+		f.entries = f.entries[:n-1]
+	}
+	f.entries = append(f.entries, filterEntry{at: now, v: v})
+	f.expire(now)
+}
+
+// Get returns the maximum over the window ending at now, and whether any
+// sample is present.
+func (f *MaxFilter) Get(now eventsim.Time) (float64, bool) {
+	f.expire(now)
+	if len(f.entries) == 0 {
+		return 0, false
+	}
+	return f.entries[0].v, true
+}
+
+// Reset discards all samples.
+func (f *MaxFilter) Reset() { f.entries = f.entries[:0] }
+
+// SetWindow changes the window width.
+func (f *MaxFilter) SetWindow(w eventsim.Time) { f.window = w }
+
+func (f *MaxFilter) expire(now eventsim.Time) {
+	cutoff := now - f.window
+	i := 0
+	for i < len(f.entries) && f.entries[i].at < cutoff {
+		i++
+	}
+	if i > 0 {
+		f.entries = f.entries[:copy(f.entries, f.entries[i:])]
+	}
+}
+
+// Update inserts a sample at time now. Timestamps must be nondecreasing.
+func (f *MinFilter) Update(now eventsim.Time, v float64) {
+	for n := len(f.entries); n > 0 && f.entries[n-1].v >= v; n = len(f.entries) {
+		f.entries = f.entries[:n-1]
+	}
+	f.entries = append(f.entries, filterEntry{at: now, v: v})
+	f.expire(now)
+}
+
+// Get returns the minimum over the window ending at now, and whether any
+// sample is present.
+func (f *MinFilter) Get(now eventsim.Time) (float64, bool) {
+	f.expire(now)
+	if len(f.entries) == 0 {
+		return 0, false
+	}
+	return f.entries[0].v, true
+}
+
+// Best returns the minimum over the window ending at now along with the
+// time that minimum was sampled. BBRv2 uses the sample age to decide when a
+// fresh ProbeRTT is due.
+func (f *MinFilter) Best(now eventsim.Time) (v float64, at eventsim.Time, ok bool) {
+	f.expire(now)
+	if len(f.entries) == 0 {
+		return 0, 0, false
+	}
+	return f.entries[0].v, f.entries[0].at, true
+}
+
+// Reset discards all samples.
+func (f *MinFilter) Reset() { f.entries = f.entries[:0] }
+
+// SetWindow changes the window width.
+func (f *MinFilter) SetWindow(w eventsim.Time) { f.window = w }
+
+func (f *MinFilter) expire(now eventsim.Time) {
+	cutoff := now - f.window
+	i := 0
+	for i < len(f.entries) && f.entries[i].at < cutoff {
+		i++
+	}
+	if i > 0 {
+		f.entries = f.entries[:copy(f.entries, f.entries[i:])]
+	}
+}

@@ -1,0 +1,144 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bbrnash/internal/eventsim"
+)
+
+func TestMaxFilterBasic(t *testing.T) {
+	f := NewMaxFilter(10)
+	if _, ok := f.Get(0); ok {
+		t.Error("empty filter reported a value")
+	}
+	f.Update(0, 5)
+	f.Update(1, 3)
+	f.Update(2, 7)
+	if v, ok := f.Get(2); !ok || v != 7 {
+		t.Errorf("max = %v,%v want 7,true", v, ok)
+	}
+}
+
+func TestMaxFilterExpiry(t *testing.T) {
+	f := NewMaxFilter(10)
+	f.Update(0, 100)
+	f.Update(5, 50)
+	if v, _ := f.Get(9); v != 100 {
+		t.Errorf("max at 9 = %v, want 100", v)
+	}
+	// At t=11 the window is [1, 11]; the 100 at t=0 has aged out.
+	if v, _ := f.Get(11); v != 50 {
+		t.Errorf("max at 11 = %v, want 50", v)
+	}
+	// At t=16 everything has aged out.
+	if _, ok := f.Get(16); ok {
+		t.Error("fully expired filter reported a value")
+	}
+}
+
+func TestMinFilterBasic(t *testing.T) {
+	f := NewMinFilter(10)
+	f.Update(0, 5)
+	f.Update(1, 8)
+	f.Update(2, 3)
+	if v, ok := f.Get(2); !ok || v != 3 {
+		t.Errorf("min = %v,%v want 3,true", v, ok)
+	}
+	// New minimum displaces the old immediately.
+	f.Update(3, 1)
+	if v, _ := f.Get(3); v != 1 {
+		t.Errorf("min = %v, want 1", v)
+	}
+}
+
+func TestMinFilterExpiry(t *testing.T) {
+	f := NewMinFilter(10)
+	f.Update(0, 1)
+	f.Update(5, 9)
+	if v, _ := f.Get(12); v != 9 {
+		t.Errorf("min at 12 = %v, want 9", v)
+	}
+}
+
+func TestFiltersMatchBruteForceProperty(t *testing.T) {
+	type sample struct {
+		Dt uint8
+		V  uint16
+	}
+	f := func(samples []sample) bool {
+		const window = 50
+		maxF := NewMaxFilter(window)
+		minF := NewMinFilter(window)
+		var hist []filterEntry
+		now := eventsim.Time(0)
+		for _, s := range samples {
+			now += eventsim.Time(s.Dt % 20)
+			v := float64(s.V % 1000)
+			maxF.Update(now, v)
+			minF.Update(now, v)
+			hist = append(hist, filterEntry{at: now, v: v})
+
+			// Brute-force expected values over the window [now-window, now].
+			bmax, bmin := -1.0, 1e18
+			for _, h := range hist {
+				if h.at >= now-window {
+					if h.v > bmax {
+						bmax = h.v
+					}
+					if h.v < bmin {
+						bmin = h.v
+					}
+				}
+			}
+			gmax, ok1 := maxF.Get(now)
+			gmin, ok2 := minF.Get(now)
+			if !ok1 || !ok2 || gmax != bmax || gmin != bmin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	f := NewMaxFilter(100)
+	f.Update(0, 42)
+	f.Reset()
+	if _, ok := f.Get(0); ok {
+		t.Error("reset filter reported a value")
+	}
+	g := NewMinFilter(100)
+	g.Update(0, 42)
+	g.Reset()
+	if _, ok := g.Get(0); ok {
+		t.Error("reset filter reported a value")
+	}
+}
+
+func TestFilterSetWindow(t *testing.T) {
+	f := NewMaxFilter(100)
+	f.Update(0, 10)
+	f.Update(50, 5)
+	f.SetWindow(10)
+	if v, _ := f.Get(55); v != 5 {
+		t.Errorf("after narrowing window, max = %v, want 5", v)
+	}
+}
+
+func TestParamsWithDefaults(t *testing.T) {
+	p := Params{}.WithDefaults()
+	if p.MSS != 1460 {
+		t.Errorf("default MSS = %v", p.MSS)
+	}
+	if p.InitialCwnd != 14600 {
+		t.Errorf("default InitialCwnd = %v", p.InitialCwnd)
+	}
+	q := Params{MSS: 100, InitialCwnd: 500}.WithDefaults()
+	if q.MSS != 100 || q.InitialCwnd != 500 {
+		t.Error("explicit params overwritten")
+	}
+}

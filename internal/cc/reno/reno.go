@@ -1,0 +1,86 @@
+// Package reno implements TCP New Reno congestion control (RFC 5681 slow
+// start and congestion avoidance with a multiplicative decrease of 1/2).
+//
+// New Reno is the algorithm CUBIC displaced (§1 and §5 of the paper discuss
+// that transition); it serves as a historical baseline in the ablation
+// benchmarks.
+package reno
+
+import (
+	"bbrnash/internal/cc"
+	"bbrnash/internal/units"
+)
+
+// Reno is a New Reno congestion-control instance.
+type Reno struct {
+	mss      units.Bytes
+	cwnd     units.Bytes
+	ssthresh units.Bytes
+	// acked accumulates bytes ACKed during congestion avoidance so the
+	// window grows one MSS per window per RTT regardless of ACK pattern.
+	acked units.Bytes
+	// recoverSeq marks the newest sequence sent when the current loss
+	// episode began; losses of older packets belong to the same episode.
+	recoverSeq uint64
+	inRecovery bool
+	maxSeqSent uint64
+}
+
+// New constructs a Reno instance. It satisfies cc.Constructor.
+func New(p cc.Params) cc.Algorithm {
+	p = p.WithDefaults()
+	return &Reno{
+		mss:      p.MSS,
+		cwnd:     p.InitialCwnd,
+		ssthresh: 1 << 40, // effectively unbounded until the first loss
+	}
+}
+
+// Name implements cc.Algorithm.
+func (r *Reno) Name() string { return "reno" }
+
+// OnSent implements cc.Algorithm.
+func (r *Reno) OnSent(e cc.SendEvent) {
+	if e.Seq > r.maxSeqSent {
+		r.maxSeqSent = e.Seq
+	}
+}
+
+// OnAck implements cc.Algorithm.
+func (r *Reno) OnAck(e cc.AckEvent) {
+	if r.inRecovery && e.Seq > r.recoverSeq {
+		r.inRecovery = false
+	}
+	if r.cwnd < r.ssthresh {
+		// Slow start: one MSS per ACKed MSS.
+		r.cwnd += e.Bytes
+		return
+	}
+	// Congestion avoidance: one MSS per cwnd of ACKed bytes.
+	r.acked += e.Bytes
+	if r.acked >= r.cwnd {
+		r.acked -= r.cwnd
+		r.cwnd += r.mss
+	}
+}
+
+// OnLoss implements cc.Algorithm.
+func (r *Reno) OnLoss(e cc.LossEvent) {
+	if r.inRecovery && e.Seq <= r.recoverSeq {
+		return // same loss episode
+	}
+	r.inRecovery = true
+	r.recoverSeq = r.maxSeqSent
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < 2*r.mss {
+		r.ssthresh = 2 * r.mss
+	}
+	r.cwnd = r.ssthresh
+	r.acked = 0
+}
+
+// CongestionWindow implements cc.Algorithm.
+func (r *Reno) CongestionWindow() units.Bytes { return r.cwnd }
+
+// PacingRate implements cc.Algorithm. Reno is purely ack-clocked.
+func (r *Reno) PacingRate() units.Rate { return 0 }

@@ -1,0 +1,122 @@
+package reno
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/cc/cctest"
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+func newReno() *Reno { return New(cc.Params{}).(*Reno) }
+
+func ack(seq uint64, at time.Duration) cc.AckEvent {
+	return cc.AckEvent{Now: eventsim.At(at), Seq: seq, Bytes: units.MSS, RTT: 10 * time.Millisecond}
+}
+
+func TestSlowStartDoublesPerWindow(t *testing.T) {
+	r := newReno()
+	start := r.CongestionWindow()
+	// ACK one full window: slow start adds one MSS per ACKed MSS.
+	n := start.WholePackets()
+	for i := 0; i < n; i++ {
+		r.OnAck(ack(uint64(i), time.Millisecond))
+	}
+	if got := r.CongestionWindow(); got != 2*start {
+		t.Errorf("cwnd after one window of ACKs = %v, want %v", got, 2*start)
+	}
+}
+
+func TestLossHalvesWindow(t *testing.T) {
+	r := newReno()
+	r.cwnd = 100 * units.MSS
+	r.OnSent(cc.SendEvent{Seq: 50})
+	r.OnLoss(cc.LossEvent{Seq: 10})
+	if got := r.CongestionWindow(); got != 50*units.MSS {
+		t.Errorf("cwnd after loss = %v, want %v", got, 50*units.MSS)
+	}
+}
+
+func TestLossEpisodeSingleBackoff(t *testing.T) {
+	r := newReno()
+	r.cwnd = 100 * units.MSS
+	r.OnSent(cc.SendEvent{Seq: 99})
+	r.OnLoss(cc.LossEvent{Seq: 10})
+	after := r.CongestionWindow()
+	// Further losses from the same window (seq <= 99) must not back off again.
+	r.OnLoss(cc.LossEvent{Seq: 20})
+	r.OnLoss(cc.LossEvent{Seq: 99})
+	if got := r.CongestionWindow(); got != after {
+		t.Errorf("same-episode loss changed cwnd: %v -> %v", after, got)
+	}
+	// An ACK beyond the recovery point ends the episode; a new loss backs off.
+	r.OnAck(ack(150, time.Millisecond))
+	r.OnSent(cc.SendEvent{Seq: 200})
+	r.OnLoss(cc.LossEvent{Seq: 160})
+	if got := r.CongestionWindow(); got >= after {
+		t.Errorf("new-episode loss did not back off: %v", got)
+	}
+}
+
+func TestCongestionAvoidanceLinearGrowth(t *testing.T) {
+	r := newReno()
+	r.cwnd = 10 * units.MSS
+	r.ssthresh = 10 * units.MSS // force CA
+	// One window of ACKs should add exactly one MSS.
+	for i := 0; i < 10; i++ {
+		r.OnAck(ack(uint64(i), time.Millisecond))
+	}
+	if got := r.CongestionWindow(); got != 11*units.MSS {
+		t.Errorf("cwnd after one CA window = %v, want 11 MSS", got)
+	}
+}
+
+func TestMinimumWindow(t *testing.T) {
+	r := newReno()
+	r.cwnd = 2 * units.MSS
+	r.OnSent(cc.SendEvent{Seq: 1})
+	r.OnLoss(cc.LossEvent{Seq: 0})
+	if got := r.CongestionWindow(); got < 2*units.MSS {
+		t.Errorf("cwnd fell below 2 MSS: %v", got)
+	}
+}
+
+func TestUnpaced(t *testing.T) {
+	if newReno().PacingRate() != 0 {
+		t.Error("Reno must not pace")
+	}
+	if newReno().Name() != "reno" {
+		t.Error("wrong name")
+	}
+}
+
+func TestSingleFlowUtilizesLink(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  20 * units.Mbps,
+		BufferBDP: 1,
+		Flows:     []cctest.FlowSpec{{RTT: 40 * time.Millisecond, Alg: New}},
+		Warmup:    5 * time.Second,
+		Duration:  30 * time.Second,
+	})
+	if res.Link.Utilization < 0.7 {
+		t.Errorf("utilization = %v, want >= 0.7 (Reno with 1 BDP buffer)", res.Link.Utilization)
+	}
+}
+
+func TestTwoFlowsFair(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  20 * units.Mbps,
+		BufferBDP: 1.5,
+		Flows: []cctest.FlowSpec{
+			{RTT: 40 * time.Millisecond, Alg: New},
+			{RTT: 40 * time.Millisecond, Start: 100 * time.Millisecond, Alg: New},
+		},
+		Warmup:   10 * time.Second,
+		Duration: 60 * time.Second,
+	})
+	if idx := res.JainIndex(); idx < 0.9 {
+		t.Errorf("Jain index = %v, want >= 0.9", idx)
+	}
+}

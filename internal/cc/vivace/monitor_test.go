@@ -1,0 +1,96 @@
+package vivace
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+// Drive the monitor-interval machinery directly with synthetic events.
+
+func TestMonitorIntervalsOpenOnSend(t *testing.T) {
+	v := New(cc.Params{}).(*Vivace)
+	v.OnSent(cc.SendEvent{Now: eventsim.At(0), Bytes: units.MSS})
+	if len(v.mis) != 1 {
+		t.Fatalf("expected 1 MI, got %d", len(v.mis))
+	}
+	// Sends within the interval accumulate in the same MI.
+	v.OnSent(cc.SendEvent{Now: eventsim.At(time.Millisecond), Bytes: units.MSS})
+	if len(v.mis) != 1 {
+		t.Fatalf("second send opened a new MI")
+	}
+	if v.mis[0].sent != 2*units.MSS {
+		t.Errorf("sent = %v", v.mis[0].sent)
+	}
+	// A send after the interval ends opens a new MI.
+	v.OnSent(cc.SendEvent{Now: eventsim.At(11 * time.Millisecond), Bytes: units.MSS})
+	if len(v.mis) != 2 {
+		t.Fatalf("expected 2 MIs, got %d", len(v.mis))
+	}
+}
+
+func TestFeedbackAttributedBySendTime(t *testing.T) {
+	v := New(cc.Params{}).(*Vivace)
+	v.OnSent(cc.SendEvent{Now: eventsim.At(0), Bytes: units.MSS})
+	v.OnSent(cc.SendEvent{Now: eventsim.At(11 * time.Millisecond), Bytes: units.MSS})
+	// A loss of the first MI's packet lands in the first MI even though it
+	// is reported much later.
+	v.OnLoss(cc.LossEvent{Now: eventsim.At(30 * time.Millisecond), SentAt: eventsim.At(time.Millisecond), Bytes: units.MSS})
+	// The loss triggers harvest of MI 0 (feedback for a later send time);
+	// since SentAt(1ms) < mis[0].end, the MI it belongs to is the first.
+	// Check via the decision side effects instead of internals: the first
+	// MI should have recorded the loss before being decided.
+	if len(v.mis) == 2 && v.mis[0].lost != units.MSS {
+		t.Errorf("loss not attributed to the sending MI: %+v", v.mis[0])
+	}
+}
+
+func TestHarvestWaitsForLaterFeedback(t *testing.T) {
+	v := New(cc.Params{}).(*Vivace)
+	v.OnSent(cc.SendEvent{Now: eventsim.At(0), Bytes: units.MSS})
+	v.OnSent(cc.SendEvent{Now: eventsim.At(11 * time.Millisecond), Bytes: units.MSS})
+	if len(v.mis) != 2 {
+		t.Fatalf("expected 2 MIs")
+	}
+	// Feedback for the first MI does not complete it (its own tail may be
+	// outstanding).
+	v.OnAck(cc.AckEvent{Now: eventsim.At(12 * time.Millisecond), SentAt: eventsim.At(0), Bytes: units.MSS, RTT: 12 * time.Millisecond})
+	if len(v.mis) != 2 {
+		t.Errorf("MI harvested too early")
+	}
+	// Feedback for the second MI proves the first is complete.
+	v.OnAck(cc.AckEvent{Now: eventsim.At(23 * time.Millisecond), SentAt: eventsim.At(11 * time.Millisecond), Bytes: units.MSS, RTT: 12 * time.Millisecond})
+	if len(v.mis) != 1 {
+		t.Errorf("MI not harvested after later feedback (have %d)", len(v.mis))
+	}
+}
+
+func TestStartingDoublesOnFirstCleanMI(t *testing.T) {
+	v := New(cc.Params{}).(*Vivace)
+	start := v.Rate()
+	// One clean (loss-free, flat-RTT) MI, completed by feedback for a
+	// later interval, must double the rate: the first utility sample
+	// always "improves".
+	v.OnSent(cc.SendEvent{Now: eventsim.At(0), Bytes: units.MSS})
+	v.OnAck(cc.AckEvent{Now: eventsim.At(5 * time.Millisecond), SentAt: eventsim.At(0), Bytes: units.MSS, RTT: 5 * time.Millisecond})
+	v.OnSent(cc.SendEvent{Now: eventsim.At(11 * time.Millisecond), Bytes: units.MSS})
+	v.OnAck(cc.AckEvent{Now: eventsim.At(16 * time.Millisecond), SentAt: eventsim.At(11 * time.Millisecond), Bytes: units.MSS, RTT: 5 * time.Millisecond})
+	if v.Rate() != 2*start {
+		t.Errorf("rate = %v after first clean MI, want doubled %v", v.Rate(), 2*start)
+	}
+}
+
+func TestPendingMIsBounded(t *testing.T) {
+	v := New(cc.Params{}).(*Vivace)
+	// Open many MIs without any feedback: the pending list must stay
+	// bounded.
+	for i := 0; i < 100; i++ {
+		v.OnSent(cc.SendEvent{Now: eventsim.At(time.Duration(i) * 11 * time.Millisecond), Bytes: units.MSS})
+	}
+	if len(v.mis) > maxPendingMIs {
+		t.Errorf("pending MIs = %d, want <= %d", len(v.mis), maxPendingMIs)
+	}
+}

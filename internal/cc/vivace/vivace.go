@@ -1,0 +1,334 @@
+// Package vivace implements PCC Vivace congestion control (Dong et al.,
+// NSDI 2018): an online-learning, rate-based scheme. The sender partitions
+// time into monitor intervals (MIs), measures a utility for each, and
+// performs gradient ascent on its sending rate.
+//
+// The utility function is Vivace's latency flavour:
+//
+//	u(x) = x^t − b·x·max(0, dRTT/dT) − c·x·L
+//
+// with t = 0.9, b = 900, c = 11.35, x the sending rate in Mbps, dRTT/dT the
+// RTT gradient over the interval, and L the loss rate. Rate updates probe
+// ±ε around the current rate in paired intervals and move in the winning
+// direction with a confidence-amplified, boundary-limited step, as in the
+// paper.
+//
+// As in real PCC, feedback is attributed to the monitor interval in which
+// the packet was *sent* (ACKs and losses arrive about one RTT later); an
+// interval's utility is evaluated once feedback for a later interval
+// appears. Vivace is rate-based with no congestion window of its own; the
+// in-flight cap is permissive and control comes entirely from pacing.
+package vivace
+
+import (
+	"math"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+// Utility constants from the PCC Vivace paper.
+const (
+	UtilityExponent    = 0.9
+	LatencyCoefficient = 900
+	LossCoefficient    = 11.35
+	// Epsilon is the probing fraction around the current rate.
+	Epsilon = 0.05
+	// LatencyGradTolerance: RTT-gradient samples below this are treated as
+	// measurement noise, as in the reference PCC implementation. Without
+	// it, the slow ambient queue growth caused by competing loss-based
+	// flows reads as a persistent latency penalty and starves the flow.
+	LatencyGradTolerance = 0.02
+)
+
+const (
+	minRate = 0.05 * 1e6 // 50 kbps floor
+	// Dynamic step boundary: per-decision rate change is limited to
+	// omegaBase + k·omegaDelta of the current rate, capped at omegaMax.
+	omegaBase  = 0.05
+	omegaDelta = 0.05
+	omegaMax   = 0.25
+	// maxPendingMIs bounds the feedback bookkeeping.
+	maxPendingMIs = 8
+)
+
+type phase int
+
+const (
+	phaseStarting phase = iota // slow-start: double while utility grows
+	phaseProbing               // paired ±ε trials
+	phaseMoving                // move in the chosen direction
+)
+
+// monitor is one monitor interval's accounting, keyed by send time.
+type monitor struct {
+	start, end eventsim.Time
+	rate       units.Rate
+	kind       phase
+	trial      int // for probing MIs: 0 = +ε, 1 = −ε
+
+	sent, lost, acked units.Bytes
+	firstRTT, lastRTT time.Duration
+	firstAckAt        eventsim.Time
+	lastAckAt         eventsim.Time
+	haveRTT           bool
+}
+
+// Vivace is a PCC Vivace congestion-control instance.
+type Vivace struct {
+	mss units.Bytes
+
+	rate  units.Rate // current base sending rate
+	srtt  time.Duration
+	state phase
+
+	mis []monitor // pending MIs, oldest first; last is current
+
+	// Starting state.
+	prevUtility float64
+	haveUtility bool
+
+	// Probing state. trialsCreated labels newly opened probing MIs
+	// (alternating +ε/−ε); trialsDone counts evaluated ones.
+	trialUtility  [2]float64
+	trialsDone    int
+	trialsCreated int
+
+	// Moving state.
+	direction  float64 // +1 or −1
+	confidence int
+}
+
+// New constructs a Vivace instance. It satisfies cc.Constructor.
+func New(p cc.Params) cc.Algorithm {
+	p = p.WithDefaults()
+	return &Vivace{
+		mss:   p.MSS,
+		rate:  2 * units.Mbps,
+		state: phaseStarting,
+	}
+}
+
+// Name implements cc.Algorithm.
+func (v *Vivace) Name() string { return "vivace" }
+
+// Rate returns the current base sending rate (for tests).
+func (v *Vivace) Rate() units.Rate { return v.rate }
+
+func (v *Vivace) miDuration() time.Duration {
+	if v.srtt > 10*time.Millisecond {
+		return v.srtt
+	}
+	return 10 * time.Millisecond
+}
+
+// current returns the MI covering now, opening a new one if the previous
+// has ended.
+func (v *Vivace) current(now eventsim.Time) *monitor {
+	if n := len(v.mis); n > 0 && now < v.mis[n-1].end {
+		return &v.mis[n-1]
+	}
+	m := monitor{
+		start: now,
+		end:   now.Add(v.miDuration()),
+		rate:  v.rate,
+		kind:  v.state,
+	}
+	if v.state == phaseProbing {
+		m.trial = v.trialsCreated % 2
+		v.trialsCreated++
+		if m.trial == 0 {
+			m.rate = units.Rate(float64(v.rate) * (1 + Epsilon))
+		} else {
+			m.rate = units.Rate(float64(v.rate) * (1 - Epsilon))
+		}
+	}
+	if len(v.mis) >= maxPendingMIs {
+		// Shouldn't happen with normal feedback; drop the oldest.
+		v.mis = v.mis[1:]
+	}
+	v.mis = append(v.mis, m)
+	return &v.mis[len(v.mis)-1]
+}
+
+// attribute finds the pending MI that covers sentAt.
+func (v *Vivace) attribute(sentAt eventsim.Time) *monitor {
+	for i := range v.mis {
+		if sentAt >= v.mis[i].start && sentAt < v.mis[i].end {
+			return &v.mis[i]
+		}
+	}
+	return nil
+}
+
+// OnSent implements cc.Algorithm.
+func (v *Vivace) OnSent(e cc.SendEvent) {
+	m := v.current(e.Now)
+	m.sent += e.Bytes
+}
+
+// OnLoss implements cc.Algorithm.
+func (v *Vivace) OnLoss(e cc.LossEvent) {
+	if m := v.attribute(e.SentAt); m != nil {
+		m.lost += e.Bytes
+	}
+	v.harvest(e.SentAt)
+}
+
+// OnAck implements cc.Algorithm.
+func (v *Vivace) OnAck(e cc.AckEvent) {
+	if e.RTT > 0 {
+		if v.srtt == 0 {
+			v.srtt = e.RTT
+		} else {
+			v.srtt = (7*v.srtt + e.RTT) / 8
+		}
+	}
+	if m := v.attribute(e.SentAt); m != nil {
+		m.acked += e.Bytes
+		if e.RTT > 0 {
+			if !m.haveRTT {
+				m.firstRTT, m.firstAckAt = e.RTT, e.Now
+				m.haveRTT = true
+			}
+			m.lastRTT, m.lastAckAt = e.RTT, e.Now
+		}
+	}
+	v.harvest(e.SentAt)
+}
+
+// harvest evaluates every pending MI that is certainly complete: feedback
+// has arrived for a packet sent after the MI ended, so all of the MI's own
+// feedback (delivered in send order) is in.
+func (v *Vivace) harvest(sentAt eventsim.Time) {
+	for len(v.mis) > 1 && sentAt >= v.mis[0].end {
+		m := v.mis[0]
+		v.mis = v.mis[1:]
+		v.decide(m)
+	}
+}
+
+// utility evaluates the Vivace-latency utility of a completed MI.
+func (v *Vivace) utility(m monitor) float64 {
+	x := float64(m.rate) / 1e6 // Mbps
+	if x <= 0 {
+		return 0
+	}
+	var lossRate float64
+	if total := m.sent; total > 0 {
+		lossRate = float64(m.lost / total)
+	}
+	var rttGrad float64
+	if m.haveRTT && m.lastAckAt > m.firstAckAt {
+		dt := m.lastAckAt.Sub(m.firstAckAt).Seconds()
+		rttGrad = (m.lastRTT - m.firstRTT).Seconds() / dt
+		if rttGrad < LatencyGradTolerance {
+			rttGrad = 0
+		}
+	}
+	return math.Pow(x, UtilityExponent) -
+		LatencyCoefficient*x*rttGrad -
+		LossCoefficient*x*lossRate
+}
+
+// decide runs the Vivace decision logic on one completed MI.
+func (v *Vivace) decide(m monitor) {
+	u := v.utility(m)
+	switch m.kind {
+	case phaseStarting:
+		if v.state != phaseStarting {
+			return // stale
+		}
+		if !v.haveUtility || u > v.prevUtility {
+			v.prevUtility = u
+			v.haveUtility = true
+			v.setRate(units.Rate(2 * float64(v.rate)))
+			return
+		}
+		// Utility dropped: halve back and begin probing.
+		v.setRate(units.Rate(float64(v.rate) / 2))
+		v.state = phaseProbing
+		v.trialsDone = 0
+		v.trialsCreated = 0
+	case phaseProbing:
+		if v.state != phaseProbing {
+			return
+		}
+		v.trialUtility[m.trial] = u
+		v.trialsDone++
+		if v.trialsDone < 2 {
+			return
+		}
+		v.trialsDone = 0
+		v.trialsCreated = 0
+		if v.trialUtility[0] > v.trialUtility[1] {
+			v.direction = 1
+		} else {
+			v.direction = -1
+		}
+		v.prevUtility = (v.trialUtility[0] + v.trialUtility[1]) / 2
+		v.confidence = 0
+		v.state = phaseMoving
+		v.applyMove()
+	case phaseMoving:
+		if v.state != phaseMoving {
+			return
+		}
+		if u < v.prevUtility {
+			// Utility regressed: stop moving and re-probe.
+			v.prevUtility = u
+			v.state = phaseProbing
+			v.trialsDone = 0
+			v.trialsCreated = 0
+			return
+		}
+		v.prevUtility = u
+		v.applyMove()
+	}
+}
+
+func (v *Vivace) applyMove() {
+	v.confidence++
+	omega := omegaBase + float64(v.confidence-1)*omegaDelta
+	if omega > omegaMax {
+		omega = omegaMax
+	}
+	v.setRate(units.Rate(float64(v.rate) * (1 + v.direction*omega)))
+}
+
+func (v *Vivace) setRate(r units.Rate) {
+	if float64(r) < minRate {
+		r = units.Rate(minRate)
+	}
+	v.rate = r
+}
+
+// CongestionWindow implements cc.Algorithm. Vivace has no window of its
+// own; the cap is permissive (20 × rate × srtt) so control stays with
+// pacing.
+func (v *Vivace) CongestionWindow() units.Bytes {
+	if v.srtt <= 0 {
+		return 1 << 20
+	}
+	w := units.Bytes(20 * v.currentRate().BytesPerSecond() * v.srtt.Seconds())
+	if w < 4*v.mss {
+		w = 4 * v.mss
+	}
+	return w
+}
+
+func (v *Vivace) currentRate() units.Rate {
+	if n := len(v.mis); n > 0 {
+		return v.mis[n-1].rate
+	}
+	return v.rate
+}
+
+// PacingRate implements cc.Algorithm.
+func (v *Vivace) PacingRate() units.Rate {
+	// The rate for the MI covering "now" is decided when the MI opens on
+	// the next send; between MIs the base rate applies.
+	return v.currentRate()
+}

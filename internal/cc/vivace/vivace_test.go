@@ -1,0 +1,116 @@
+package vivace
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/cc/cctest"
+	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/units"
+)
+
+func TestSoloConvergesNearCapacity(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 4,
+		Flows:     []cctest.FlowSpec{{RTT: 40 * time.Millisecond, Alg: New}},
+		Warmup:    5 * time.Second,
+		Duration:  30 * time.Second,
+	})
+	if res.Link.Utilization < 0.8 {
+		t.Errorf("utilization = %v, want >= 0.8", res.Link.Utilization)
+	}
+}
+
+// Vivace claims a disproportionately large share against CUBIC (the most
+// aggressive line in the paper's Figure 7).
+func TestAggressiveAgainstCubic(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 2,
+		Flows: []cctest.FlowSpec{
+			{Name: "vivace", RTT: 40 * time.Millisecond, Alg: New},
+			{Name: "c1", RTT: 40 * time.Millisecond, Alg: cubic.New},
+			{Name: "c2", RTT: 40 * time.Millisecond, Alg: cubic.New},
+			{Name: "c3", RTT: 40 * time.Millisecond, Alg: cubic.New},
+		},
+		Duration: 60 * time.Second,
+	})
+	fair := float64(res.TotalThroughput()) / 4
+	if got := float64(res.Stats[0].Throughput); got < 1.2*fair {
+		t.Errorf("Vivace got %v, want well above fair share %v", got, fair)
+	}
+}
+
+func TestRateFloor(t *testing.T) {
+	v := New(cc.Params{}).(*Vivace)
+	v.setRate(0)
+	if v.Rate() < units.Rate(minRate) {
+		t.Errorf("rate %v fell below the floor", v.Rate())
+	}
+}
+
+func TestUtilityShape(t *testing.T) {
+	v := New(cc.Params{}).(*Vivace)
+	base := monitor{rate: 50 * units.Mbps, sent: 100 * units.MSS}
+	clean := v.utility(base)
+
+	lossy := base
+	lossy.lost = 20 * units.MSS
+	if v.utility(lossy) >= clean {
+		t.Error("loss did not reduce utility")
+	}
+
+	latent := base
+	latent.haveRTT = true
+	latent.firstRTT = 40 * time.Millisecond
+	latent.lastRTT = 60 * time.Millisecond
+	latent.firstAckAt = 0
+	latent.lastAckAt = 40_000_000 // 40 ms later: gradient 0.5
+	if v.utility(latent) >= clean {
+		t.Error("latency inflation did not reduce utility")
+	}
+
+	// Gradients below the tolerance are noise and must not penalize.
+	slight := latent
+	slight.lastRTT = slight.firstRTT + 100*time.Microsecond // gradient 0.0025
+	if v.utility(slight) != clean {
+		t.Error("sub-tolerance latency gradient should not affect utility")
+	}
+}
+
+func TestHigherRateHigherCleanUtility(t *testing.T) {
+	v := New(cc.Params{}).(*Vivace)
+	lo := v.utility(monitor{rate: 10 * units.Mbps, sent: units.MSS})
+	hi := v.utility(monitor{rate: 50 * units.Mbps, sent: units.MSS})
+	if hi <= lo {
+		t.Error("clean utility must grow with rate")
+	}
+}
+
+func TestTwoVivaceShareReasonably(t *testing.T) {
+	res := cctest.Run(t, cctest.Scenario{
+		Capacity:  100 * units.Mbps,
+		BufferBDP: 4,
+		Flows: []cctest.FlowSpec{
+			{RTT: 40 * time.Millisecond, Alg: New},
+			{RTT: 40 * time.Millisecond, Alg: New},
+		},
+		Warmup:   10 * time.Second,
+		Duration: 60 * time.Second,
+	})
+	// PCC converges slowly; require no starvation rather than perfection.
+	if idx := res.JainIndex(); idx < 0.7 {
+		t.Errorf("Jain index = %v, want >= 0.7", idx)
+	}
+	if res.Link.Utilization < 0.8 {
+		t.Errorf("utilization = %v", res.Link.Utilization)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(cc.Params{}).Name() != "vivace" {
+		t.Error("wrong name")
+	}
+}

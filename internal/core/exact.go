@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bbrnash/internal/numeric"
+	"bbrnash/internal/units"
+)
+
+// PredictExact evaluates a variant of the model that does not make the
+// paper's final simplification b_b + b_c ≈ B (the step from Eq 17 to
+// Eq 18).
+//
+// Without that approximation, CUBIC's minimum occupancy must be related to
+// BBR's share through Eq 10 using CUBIC's *average* occupancy. Modeling the
+// CUBIC sawtooth's average as the midpoint of its minimum and maximum
+// occupancy, Eq 10 becomes
+//
+//	b_b + (b_cmin + (B − b_b))/2 = 2·b_cmin + C·RTT
+//	⇒ b_cmin = (b_b + B − 2·C·RTT) / 3
+//
+// which closes Eq 17 in the single unknown b_b, solved with Brent's method.
+// The ablation benchmarks compare this variant against the published
+// closed form; both track the simulator closely, which is why the paper's
+// simpler form is justified.
+func PredictExact(s Scenario, mode SyncMode) (Prediction, error) {
+	if err := s.validate(); err != nil {
+		return Prediction{}, err
+	}
+	if s.NumBBR == 0 || s.NumCubic == 0 {
+		// Degenerate mixes match the published model exactly.
+		return Predict(s, mode)
+	}
+	cBps := s.Capacity.BytesPerSecond()
+	bdp := float64(s.BDP())
+	b := float64(s.Buffer)
+	p := Prediction{Mode: mode, Regime: regimeFor(s)}
+
+	bcminOf := func(bb float64) float64 { return (bb + b - 2*bdp) / 3 }
+	if bcminOf(b) <= 0 {
+		// Too shallow for a residual CUBIC queue: boundary behaviour.
+		return Predict(s, mode)
+	}
+
+	f := mode.backoffFraction(s.NumCubic)
+	// Eq 17 with b_cmax = B − b_b and λ_cmax = (B−b_b)/B · C:
+	//   b_cmin + b_cmin/(b_cmin+b_b)·C·RTT − f·(B−b_b)(1 + C·RTT/B) = 0
+	g := func(bb float64) float64 {
+		bcmin := bcminOf(bb)
+		if bcmin <= 0 {
+			return -f * (b - bb) * (1 + bdp/b)
+		}
+		return bcmin + bcmin/(bcmin+bb)*bdp - f*(b-bb)*(1+bdp/b)
+	}
+	lo, hi, err := numeric.BracketRoot(g, 1, b, 60)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: bracketing exact-model root: %w", err)
+	}
+	bb, err := numeric.Brent(g, lo, hi, 1e-6)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: solving exact model: %w", err)
+	}
+	bb = numeric.Clamp(bb, 0, b)
+	bcmin := bcminOf(bb)
+
+	lambdaCBps := cBps * (2*bcmin + bdp - bb) / (bdp + 2*bcmin)
+	lambdaCBps = numeric.Clamp(lambdaCBps, 0, cBps)
+	aggCubic := 8 * lambdaCBps
+
+	p.BBRBuffer = fromFloat(bb)
+	p.CubicMinBuffer = fromFloat(bcmin)
+	p.AggCubic = fromRate(aggCubic)
+	p.AggBBR = s.Capacity - p.AggCubic
+	p.PerCubic = p.AggCubic / rateOf(s.NumCubic)
+	p.PerBBR = p.AggBBR / rateOf(s.NumBBR)
+	p.RTTPlus = s.RTT + durationOf(bcmin/cBps)
+	return p, nil
+}
+
+// Small conversion helpers shared by the exact variant.
+func fromFloat(v float64) units.Bytes { return units.Bytes(v) }
+func fromRate(v float64) units.Rate   { return units.Rate(v) }
+func rateOf(n int) units.Rate         { return units.Rate(n) }
+func durationOf(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}

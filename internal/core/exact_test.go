@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bbrnash/internal/units"
+)
+
+// The exact variant must stay close to the published closed form over the
+// validity domain — that closeness is what justifies the paper's
+// approximation.
+func TestExactNearPublishedModel(t *testing.T) {
+	s := baseScenario()
+	for _, bdp := range []float64{2, 3, 5, 10, 20, 40} {
+		s.Buffer = units.BufferBytes(s.Capacity, s.RTT, bdp)
+		pub, err := Predict(s, Synchronized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := PredictExact(s, Synchronized)
+		if err != nil {
+			t.Fatalf("exact at %v BDP: %v", bdp, err)
+		}
+		rel := math.Abs(float64(exact.AggBBR-pub.AggBBR)) / float64(s.Capacity)
+		if rel > 0.25 {
+			t.Errorf("at %v BDP exact %.1f vs published %.1f Mbps differ by %.0f%% of capacity",
+				bdp, exact.AggBBR.Mbit(), pub.AggBBR.Mbit(), 100*rel)
+		}
+	}
+}
+
+func TestExactSharesSumToCapacity(t *testing.T) {
+	s := baseScenario()
+	for _, bdp := range []float64{3, 10, 30} {
+		s.Buffer = units.BufferBytes(s.Capacity, s.RTT, bdp)
+		p, err := PredictExact(s, Synchronized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(p.AggBBR+p.AggCubic-s.Capacity)) > 1 {
+			t.Errorf("shares at %v BDP do not sum to capacity", bdp)
+		}
+		if p.AggBBR < 0 || p.AggCubic < 0 {
+			t.Errorf("negative share at %v BDP", bdp)
+		}
+	}
+}
+
+func TestExactDegenerateAndShallowDelegate(t *testing.T) {
+	s := baseScenario()
+	s.NumBBR = 0
+	s.NumCubic = 2
+	p, err := PredictExact(s, Synchronized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AggCubic != s.Capacity {
+		t.Error("degenerate all-CUBIC mix wrong")
+	}
+
+	s = baseScenario()
+	s.Buffer = units.BufferBytes(s.Capacity, s.RTT, 1)
+	p, err = PredictExact(s, Synchronized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AggBBR != s.Capacity {
+		t.Error("shallow boundary should give BBR the link")
+	}
+}
+
+func TestExactBloatsRTT(t *testing.T) {
+	s := baseScenario()
+	s.Buffer = units.BufferBytes(s.Capacity, s.RTT, 10)
+	p, err := PredictExact(s, Synchronized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RTTPlus <= s.RTT {
+		t.Errorf("RTTPlus = %v, want above base %v", p.RTTPlus, s.RTT)
+	}
+	if p.RTTPlus > s.RTT+10*time.Second {
+		t.Errorf("RTTPlus = %v is absurd", p.RTTPlus)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"bbrnash/internal/units"
+)
+
+// NashScenario describes a bottleneck whose N same-RTT flows each choose
+// CUBIC or BBR to maximize their own throughput (§4.1).
+type NashScenario struct {
+	Capacity units.Rate
+	Buffer   units.Bytes
+	RTT      time.Duration
+	// N is the total number of flows.
+	N int
+}
+
+// NashPoint is a predicted Nash Equilibrium distribution under one
+// synchronization assumption.
+type NashPoint struct {
+	Mode SyncMode
+	// BBRFlows is the (real-valued) N_b at which the aggregate BBR
+	// bandwidth crosses the fair-share line (Eq 25), clamped to [0, N].
+	BBRFlows float64
+	// CubicFlows is N − BBRFlows (the quantity Figure 9 plots).
+	CubicFlows float64
+	// AllBBR reports that BBR stays above fair share for every mixed
+	// distribution, so the only equilibrium is everyone running BBR
+	// (Case 1 of §4.1).
+	AllBBR bool
+}
+
+// NashRegion is the model's predicted NE interval: the band between the two
+// synchronization bounds (the shaded "Nash Region" of Figure 9).
+type NashRegion struct {
+	Sync   NashPoint
+	Desync NashPoint
+}
+
+// CubicLow and CubicHigh return the region's bounds on the number of CUBIC
+// flows at the NE, in ascending order.
+func (r NashRegion) CubicLow() float64 {
+	return math.Min(r.Sync.CubicFlows, r.Desync.CubicFlows)
+}
+
+// CubicHigh returns the upper bound on CUBIC flows at the NE.
+func (r NashRegion) CubicHigh() float64 {
+	return math.Max(r.Sync.CubicFlows, r.Desync.CubicFlows)
+}
+
+// Contains reports whether an observed NE with numCubic CUBIC flows falls
+// inside the region, widened by slack flows on both sides.
+func (r NashRegion) Contains(numCubic int, slack float64) bool {
+	n := float64(numCubic)
+	return n >= r.CubicLow()-slack && n <= r.CubicHigh()+slack
+}
+
+// PredictNash locates the model's Nash Equilibrium for one synchronization
+// mode by solving Eq 25: the N_b at which per-flow BBR bandwidth λ̄b/N_b
+// equals the fair share C/N.
+//
+// Per-flow BBR bandwidth decreases in N_b (§3.3) while the fair share is
+// constant, so the crossing is found by scanning the integer distributions
+// and interpolating; distributions above the crossing favour CUBIC, below
+// favour BBR.
+func PredictNash(ns NashScenario, mode SyncMode) (NashPoint, error) {
+	if ns.N < 2 {
+		return NashPoint{}, errors.New("core: NashScenario needs at least two flows")
+	}
+	fair := float64(ns.Capacity) / float64(ns.N)
+
+	// advantage(nb) = λ̄b/nb − C/N, positive when BBR flows beat fair share.
+	advantage := func(nb int) (float64, error) {
+		p, err := Predict(Scenario{
+			Capacity: ns.Capacity,
+			Buffer:   ns.Buffer,
+			RTT:      ns.RTT,
+			NumCubic: ns.N - nb,
+			NumBBR:   nb,
+		}, mode)
+		if err != nil {
+			return 0, err
+		}
+		return float64(p.PerBBR) - fair, nil
+	}
+
+	prev, err := advantage(1)
+	if err != nil {
+		return NashPoint{}, err
+	}
+	if prev <= 0 {
+		// Even a lone BBR flow does not beat fair share: the equilibrium
+		// sits at (or below) one BBR flow.
+		return NashPoint{Mode: mode, BBRFlows: 1, CubicFlows: float64(ns.N - 1)}, nil
+	}
+	// Scan only the mixed distributions: at nb = N the per-flow bandwidth
+	// equals fair share by definition, which is the all-BBR equilibrium,
+	// not a crossing.
+	for nb := 2; nb < ns.N; nb++ {
+		cur, err := advantage(nb)
+		if err != nil {
+			return NashPoint{}, err
+		}
+		if cur <= 0 {
+			// Crossing between nb−1 and nb; linear interpolation.
+			frac := prev / (prev - cur)
+			x := float64(nb-1) + frac
+			return NashPoint{Mode: mode, BBRFlows: x, CubicFlows: float64(ns.N) - x}, nil
+		}
+		prev = cur
+	}
+	// BBR stays above fair share everywhere: all-BBR is the equilibrium
+	// (at N_b = N the per-flow bandwidth equals fair share by definition).
+	return NashPoint{Mode: mode, BBRFlows: float64(ns.N), CubicFlows: 0, AllBBR: true}, nil
+}
+
+// PredictNashRegion evaluates both synchronization bounds.
+func PredictNashRegion(ns NashScenario) (NashRegion, error) {
+	sync, err := PredictNash(ns, Synchronized)
+	if err != nil {
+		return NashRegion{}, fmt.Errorf("core: sync bound: %w", err)
+	}
+	desync, err := PredictNash(ns, Desynchronized)
+	if err != nil {
+		return NashRegion{}, fmt.Errorf("core: desync bound: %w", err)
+	}
+	return NashRegion{Sync: sync, Desync: desync}, nil
+}

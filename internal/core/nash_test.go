@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bbrnash/internal/units"
+)
+
+func baseNash() NashScenario {
+	return NashScenario{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 40*time.Millisecond, 3),
+		RTT:      40 * time.Millisecond,
+		N:        50,
+	}
+}
+
+// Under the synchronized bound the aggregate BBR bandwidth is independent
+// of the flow counts (f is fixed at 0.7), so the NE sits exactly at
+// N_b* = N·λ̄b/C. At 3 BDP the hand-computed split is 25/25 Mbps, so the NE
+// is at N_b = 25 of 50 flows.
+func TestPredictNashHandComputed(t *testing.T) {
+	pt, err := PredictNash(baseNash(), Synchronized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pt.BBRFlows-25) > 0.5 {
+		t.Errorf("BBRFlows = %v, want 25", pt.BBRFlows)
+	}
+	if math.Abs(pt.CubicFlows-25) > 0.5 {
+		t.Errorf("CubicFlows = %v, want 25", pt.CubicFlows)
+	}
+	if pt.AllBBR {
+		t.Error("AllBBR should be false at 3 BDP")
+	}
+}
+
+// The de-synchronized bound gives BBR more bandwidth, so its NE has more
+// BBR flows (fewer CUBIC flows).
+func TestDesyncNEHasFewerCubic(t *testing.T) {
+	region, err := PredictNashRegion(baseNash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Desync.CubicFlows > region.Sync.CubicFlows {
+		t.Errorf("desync NE (%v cubic) above sync NE (%v cubic)",
+			region.Desync.CubicFlows, region.Sync.CubicFlows)
+	}
+	if region.CubicLow() > region.CubicHigh() {
+		t.Error("region bounds inverted")
+	}
+}
+
+// Deeper buffers favour CUBIC: the number of CUBIC flows at the NE must
+// not decrease with buffer size (the trend of Figure 9).
+func TestMoreCubicAtNEInDeeperBuffers(t *testing.T) {
+	ns := baseNash()
+	prev := -1.0
+	for _, bdp := range []float64{1.5, 3, 5, 10, 20, 40} {
+		ns.Buffer = units.BufferBytes(ns.Capacity, ns.RTT, bdp)
+		pt, err := PredictNash(ns, Synchronized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.CubicFlows < prev-0.5 {
+			t.Errorf("CUBIC flows at NE decreased at %v BDP: %v < %v", bdp, pt.CubicFlows, prev)
+		}
+		prev = pt.CubicFlows
+	}
+}
+
+// At 1 BDP the model has BBR taking the whole link for any mix, so the only
+// equilibrium is all-BBR.
+func TestAllBBRAtOneBDP(t *testing.T) {
+	ns := baseNash()
+	ns.Buffer = units.BufferBytes(ns.Capacity, ns.RTT, 1)
+	pt, err := PredictNash(ns, Synchronized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.AllBBR {
+		t.Errorf("expected AllBBR at 1 BDP, got N_b = %v", pt.BBRFlows)
+	}
+	if pt.CubicFlows != 0 {
+		t.Errorf("CubicFlows = %v, want 0", pt.CubicFlows)
+	}
+}
+
+// In BDP-normalized coordinates the NE region must be identical across link
+// speeds and RTTs (the invariance the paper highlights in §4.4).
+func TestNERegionInvariantInBDPUnits(t *testing.T) {
+	configs := []struct {
+		c   units.Rate
+		rtt time.Duration
+	}{
+		{50 * units.Mbps, 20 * time.Millisecond},
+		{50 * units.Mbps, 80 * time.Millisecond},
+		{100 * units.Mbps, 40 * time.Millisecond},
+	}
+	for _, bdp := range []float64{2, 5, 15, 40} {
+		var ref float64
+		for i, cfg := range configs {
+			ns := NashScenario{
+				Capacity: cfg.c,
+				Buffer:   units.BufferBytes(cfg.c, cfg.rtt, bdp),
+				RTT:      cfg.rtt,
+				N:        50,
+			}
+			pt, err := PredictNash(ns, Synchronized)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = pt.CubicFlows
+				continue
+			}
+			if math.Abs(pt.CubicFlows-ref) > 0.01 {
+				t.Errorf("NE at %v BDP differs across configs: %v vs %v (%v, %v)",
+					bdp, pt.CubicFlows, ref, cfg.c, cfg.rtt)
+			}
+		}
+	}
+}
+
+func TestNashValidation(t *testing.T) {
+	ns := baseNash()
+	ns.N = 1
+	if _, err := PredictNash(ns, Synchronized); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+func TestNashRegionContains(t *testing.T) {
+	region, err := PredictNashRegion(baseNash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := int((region.CubicLow() + region.CubicHigh()) / 2)
+	if !region.Contains(mid, 0.5) {
+		t.Errorf("region [%v, %v] does not contain midpoint %d",
+			region.CubicLow(), region.CubicHigh(), mid)
+	}
+	if region.Contains(int(region.CubicHigh())+10, 0.5) {
+		t.Error("region contains far point")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"bbrnash/internal/numeric"
+	"bbrnash/internal/units"
+)
+
+// WareScenario parameterizes the baseline model by Ware et al. ("Modeling
+// BBR's Interactions with Loss-Based Congestion Control", IMC 2019) as
+// restated in Equations (2)–(4) of the paper.
+type WareScenario struct {
+	// Capacity is the bottleneck link rate c.
+	Capacity units.Rate
+	// Buffer is the bottleneck buffer q in bytes.
+	Buffer units.Bytes
+	// RTT is the flows' base RTT l.
+	RTT time.Duration
+	// NumBBR is N, the number of competing BBR flows.
+	NumBBR int
+	// Duration is d, how long the flows compete (the paper's experiments
+	// use two minutes).
+	Duration time.Duration
+	// MSS converts the 4-packet ProbeRTT term to bytes; defaults to
+	// units.MSS.
+	MSS units.Bytes
+}
+
+// WarePrediction is the baseline model's output.
+type WarePrediction struct {
+	// CubicFraction is p, the competing CUBIC flows' aggregate fraction of
+	// the bottleneck bandwidth (Eq 3), clamped to [0, 1].
+	CubicFraction float64
+	// ProbeTime is the total time lost to ProbeRTT episodes over the
+	// duration (Eq 4).
+	ProbeTime time.Duration
+	// AggBBR is the predicted aggregate BBR bandwidth (Eq 2 times c).
+	AggBBR units.Rate
+	// AggCubic is the remainder.
+	AggCubic units.Rate
+}
+
+// PredictWare evaluates the Ware et al. model:
+//
+//	BBR_frac = (1 − p) · (d − Probe_time)/d                 (Eq 2)
+//	p        = 1/2 − 1/(2X) − 4N·MSS/q                      (Eq 3)
+//	Probe_time = (q/c + 0.2 + l) · (d/10)                   (Eq 4)
+//
+// with X the buffer size in BDP and q the buffer size in bytes. The model
+// assumes the buffer is always full; the paper (§2.2) demonstrates that this
+// assumption makes it inaccurate in shallow-to-moderate buffers.
+func PredictWare(ws WareScenario) (WarePrediction, error) {
+	if ws.Capacity <= 0 || ws.Buffer <= 0 || ws.RTT <= 0 {
+		return WarePrediction{}, errors.New("core: WareScenario needs positive Capacity, Buffer, RTT")
+	}
+	if ws.NumBBR < 1 {
+		return WarePrediction{}, errors.New("core: WareScenario needs at least one BBR flow")
+	}
+	if ws.Duration <= 0 {
+		ws.Duration = 2 * time.Minute
+	}
+	if ws.MSS <= 0 {
+		ws.MSS = units.MSS
+	}
+
+	x := units.InBDP(ws.Buffer, ws.Capacity, ws.RTT)
+	q := float64(ws.Buffer)
+	p := 0.5 - 1/(2*x) - 4*float64(ws.NumBBR)*float64(ws.MSS)/q
+	p = numeric.Clamp(p, 0, 1)
+
+	d := ws.Duration.Seconds()
+	drain := q / ws.Capacity.BytesPerSecond()
+	probe := (drain + 0.2 + ws.RTT.Seconds()) * (d / 10)
+	if probe > d {
+		probe = d
+	}
+
+	frac := (1 - p) * (d - probe) / d
+	agg := units.Rate(frac * float64(ws.Capacity))
+	return WarePrediction{
+		CubicFraction: p,
+		ProbeTime:     time.Duration(probe * float64(time.Second)),
+		AggBBR:        agg,
+		AggCubic:      ws.Capacity - agg,
+	}, nil
+}

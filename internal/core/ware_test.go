@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bbrnash/internal/units"
+)
+
+func baseWare() WareScenario {
+	return WareScenario{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 40*time.Millisecond, 10),
+		RTT:      40 * time.Millisecond,
+		NumBBR:   1,
+		Duration: 2 * time.Minute,
+	}
+}
+
+// Hand-computed: X = 10, q = 2.5 MB, N = 1, MSS = 1460.
+// p = 0.5 − 0.05 − 5840/2.5e6 = 0.447664
+// Probe = (0.4 + 0.2 + 0.04)·12 = 7.68 s
+// frac = 0.552336 · 112.32/120 = 0.5169865
+func TestWareHandComputed(t *testing.T) {
+	p, err := PredictWare(baseWare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.CubicFraction-0.447664) > 1e-6 {
+		t.Errorf("p = %v, want 0.447664", p.CubicFraction)
+	}
+	if math.Abs(p.ProbeTime.Seconds()-7.68) > 1e-9 {
+		t.Errorf("ProbeTime = %v, want 7.68s", p.ProbeTime)
+	}
+	want := 0.5169865 * 50.0
+	if math.Abs(p.AggBBR.Mbit()-want) > 0.001 {
+		t.Errorf("AggBBR = %v Mbps, want %v", p.AggBBR.Mbit(), want)
+	}
+	if math.Abs(float64(p.AggBBR+p.AggCubic-50*units.Mbps)) > 1 {
+		t.Error("shares do not sum to capacity")
+	}
+}
+
+func TestWareClampsNegativeP(t *testing.T) {
+	ws := baseWare()
+	ws.Buffer = units.BufferBytes(ws.Capacity, ws.RTT, 1) // X=1 makes p negative
+	p, err := PredictWare(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CubicFraction != 0 {
+		t.Errorf("p = %v, want clamped to 0", p.CubicFraction)
+	}
+}
+
+func TestWareDefaults(t *testing.T) {
+	ws := baseWare()
+	ws.Duration = 0
+	ws.MSS = 0
+	p, err := PredictWare(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ProbeTime <= 0 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestWareValidation(t *testing.T) {
+	bad := []WareScenario{
+		{Capacity: 0, Buffer: 1, RTT: time.Millisecond, NumBBR: 1},
+		{Capacity: 1, Buffer: 0, RTT: time.Millisecond, NumBBR: 1},
+		{Capacity: 1, Buffer: 1, RTT: 0, NumBBR: 1},
+		{Capacity: 1, Buffer: 1, RTT: time.Millisecond, NumBBR: 0},
+	}
+	for i, ws := range bad {
+		if _, err := PredictWare(ws); err == nil {
+			t.Errorf("scenario %d accepted", i)
+		}
+	}
+}
+
+// Ware's model predicts a near-constant BBR share (around half capacity),
+// while our model tracks the declining share — the contrast of Figure 1.
+func TestWareNearlyFlatOursDeclines(t *testing.T) {
+	ws := baseWare()
+	s := baseScenario()
+	var wareSpread, oursSpread []float64
+	for _, bdp := range []float64{2, 10, 30} {
+		ws.Buffer = units.BufferBytes(ws.Capacity, ws.RTT, bdp)
+		s.Buffer = ws.Buffer
+		wp, err := PredictWare(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := Predict(s, Synchronized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wareSpread = append(wareSpread, wp.AggBBR.Mbit())
+		oursSpread = append(oursSpread, op.AggBBR.Mbit())
+	}
+	wareDrop := wareSpread[0] - wareSpread[2]
+	oursDrop := oursSpread[0] - oursSpread[2]
+	if oursDrop <= wareDrop {
+		t.Errorf("our model should decline faster than Ware's: ours %v, ware %v", oursDrop, wareDrop)
+	}
+}

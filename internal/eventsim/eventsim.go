@@ -1,0 +1,187 @@
+// Package eventsim implements a deterministic discrete-event simulation
+// engine: a virtual clock and a time-ordered event queue.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO
+// tie-break by sequence number), which makes simulations reproducible
+// independent of map iteration or scheduler behaviour.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute simulation timestamp in nanoseconds since the start of
+// the run.
+type Time int64
+
+// Common timestamps.
+const (
+	Start Time = 0
+	// Never sorts after every reachable timestamp; it marks "not scheduled".
+	Never Time = 1<<63 - 1
+)
+
+// At converts a duration-from-start to an absolute timestamp.
+func At(d time.Duration) Time { return Time(d) }
+
+// Add offsets a timestamp by a duration.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration returns the time elapsed since the start of the simulation.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the timestamp in seconds since the start of the run.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return t.Duration().String()
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Loop is a discrete-event simulation loop. The zero value is ready to use.
+// It is not safe for concurrent use; a simulation is single-threaded by
+// design and parallelism belongs at the whole-simulation level.
+type Loop struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	count  uint64
+}
+
+// Now returns the current simulation time.
+func (l *Loop) Now() Time { return l.now }
+
+// Processed reports how many events have been executed so far.
+func (l *Loop) Processed() uint64 { return l.count }
+
+// Pending reports how many events are waiting in the queue.
+func (l *Loop) Pending() int { return len(l.events) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
+// always a logic error in the caller, and silently reordering time would
+// corrupt a simulation.
+func (l *Loop) Schedule(at Time, fn func()) {
+	if at < l.now {
+		panic(fmt.Sprintf("eventsim: scheduling event at %v before now %v", at, l.now))
+	}
+	l.seq++
+	heap.Push(&l.events, event{at: at, seq: l.seq, fn: fn})
+}
+
+// After runs fn after delay d from the current time. Negative delays are
+// treated as zero.
+func (l *Loop) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	l.Schedule(l.now.Add(d), fn)
+}
+
+// Run executes events in timestamp order until the queue empties or the
+// clock would pass until. It returns the number of events executed. The
+// clock is left at the later of its current value and until when the queue
+// drains early, so successive Run calls observe monotonic time.
+func (l *Loop) Run(until Time) uint64 {
+	var n uint64
+	for {
+		next, ok := l.events.peek()
+		if !ok || next.at > until {
+			break
+		}
+		heap.Pop(&l.events)
+		l.now = next.at
+		next.fn()
+		n++
+		l.count++
+	}
+	if l.now < until {
+		l.now = until
+	}
+	return n
+}
+
+// RunFor executes events for duration d of simulated time from now.
+func (l *Loop) RunFor(d time.Duration) uint64 { return l.Run(l.now.Add(d)) }
+
+// Drain executes all remaining events regardless of timestamp. Useful in
+// tests; simulations should normally bound time with Run.
+func (l *Loop) Drain() uint64 { return l.Run(Never) }
+
+// Timer is a cancellable, re-armable scheduled callback. A Timer may be
+// re-armed from within its own callback. The zero value is invalid; use
+// NewTimer.
+type Timer struct {
+	loop *Loop
+	fn   func()
+	at   Time
+	gen  uint64 // arming generation; stale events no-op
+}
+
+// NewTimer creates a timer on l that runs fn when it fires.
+func NewTimer(l *Loop, fn func()) *Timer {
+	return &Timer{loop: l, fn: fn, at: Never}
+}
+
+// Arm sets the timer to fire at absolute time at, replacing any prior
+// deadline.
+func (t *Timer) Arm(at Time) {
+	t.gen++
+	t.at = at
+	gen := t.gen
+	t.loop.Schedule(at, func() {
+		if t.gen != gen {
+			return // re-armed or stopped since
+		}
+		t.at = Never
+		t.fn()
+	})
+}
+
+// ArmAfter sets the timer to fire after d from now.
+func (t *Timer) ArmAfter(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.Arm(t.loop.Now().Add(d))
+}
+
+// Stop cancels any pending firing.
+func (t *Timer) Stop() {
+	t.gen++
+	t.at = Never
+}
+
+// Armed reports whether the timer has a pending deadline, and the deadline.
+func (t *Timer) Armed() (Time, bool) { return t.at, t.at != Never }

@@ -1,0 +1,340 @@
+// Package exp is the experiment harness: it assembles simulator runs into
+// the measurements the paper reports, and exposes one generator per figure
+// (internal/exp/figures.go) that regenerates the corresponding table or
+// chart at a configurable scale.
+//
+// The paper's protocol is: all flows start (nearly) simultaneously, send
+// for two minutes, and the average throughput over the whole run is
+// reported. Trials differ through small start-time jitter, which plays the
+// role the testbed's kernel/timing noise played.
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/cc/bbr"
+	"bbrnash/internal/cc/bbrv2"
+	"bbrnash/internal/cc/copa"
+	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/cc/reno"
+	"bbrnash/internal/cc/vivace"
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/rng"
+	"bbrnash/internal/units"
+)
+
+// Scale selects experiment fidelity. The paper's protocol is Full; Quick
+// trades precision for wall-clock time (used by benchmarks); Smoke is for
+// unit tests.
+type Scale struct {
+	// Name identifies the scale in output.
+	Name string
+	// FlowDuration is how long flows send (paper: 2 minutes).
+	FlowDuration time.Duration
+	// Trials is how many jittered repetitions to run where the paper runs
+	// ten.
+	Trials int
+	// SweepPoints bounds the number of x-axis points in parameter sweeps
+	// (buffer sizes, flow counts). Zero means the paper's full grid.
+	SweepPoints int
+	// Exhaustive selects full n+1 distribution scans for empirical NE
+	// searches; when false, the incentive-following walk is used.
+	Exhaustive bool
+}
+
+// Predefined scales. All three use the paper's two-minute flows: BBR's
+// bandwidth share converges over multiples of its ten-second ProbeRTT
+// cycle, so shorter flows systematically understate BBR at every buffer
+// depth. The scales differ in trial counts, sweep density and NE search
+// strategy instead.
+var (
+	Full  = Scale{Name: "full", FlowDuration: 2 * time.Minute, Trials: 10, Exhaustive: true}
+	Quick = Scale{Name: "quick", FlowDuration: 2 * time.Minute, Trials: 2, SweepPoints: 6}
+	Smoke = Scale{Name: "smoke", FlowDuration: 2 * time.Minute, Trials: 1, SweepPoints: 3}
+)
+
+// ScaleByName resolves a scale name from the command line.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "full":
+		return Full, nil
+	case "quick":
+		return Quick, nil
+	case "smoke":
+		return Smoke, nil
+	default:
+		return Scale{}, fmt.Errorf("exp: unknown scale %q (want full, quick or smoke)", name)
+	}
+}
+
+// thin reduces a sweep grid to at most s.SweepPoints values, always keeping
+// the first and last.
+func (s Scale) thin(xs []float64) []float64 {
+	if s.SweepPoints <= 0 || len(xs) <= s.SweepPoints {
+		return xs
+	}
+	out := make([]float64, 0, s.SweepPoints)
+	n := len(xs)
+	for i := 0; i < s.SweepPoints; i++ {
+		idx := i * (n - 1) / (s.SweepPoints - 1)
+		out = append(out, xs[idx])
+	}
+	return out
+}
+
+// Algorithms returns the registry of constructors by name.
+func Algorithms() map[string]cc.Constructor {
+	return map[string]cc.Constructor{
+		"cubic":  cubic.New,
+		"reno":   reno.New,
+		"bbr":    bbr.New,
+		"bbrv2":  bbrv2.New,
+		"copa":   copa.New,
+		"vivace": vivace.New,
+	}
+}
+
+// AlgorithmByName resolves a constructor.
+func AlgorithmByName(name string) (cc.Constructor, error) {
+	if ctor, ok := Algorithms()[name]; ok {
+		return ctor, nil
+	}
+	return nil, fmt.Errorf("exp: unknown algorithm %q", name)
+}
+
+// startJitter is the maximum flow start offset; it supplies the
+// trial-to-trial stochasticity of the testbed.
+const startJitter = 10 * time.Millisecond
+
+// ackJitter is the per-packet ACK path delay variation used by all
+// experiment runs. A perfectly deterministic drop-tail simulation exhibits
+// traffic phase effects — a flow's ack-clocked arrivals can lock onto the
+// queue's free slots and systematically win or lose at overflow instants —
+// that real paths' delay variation washes out. A millisecond (a few packet
+// service times at the experiment link speeds) is enough to break the
+// lockout without perturbing RTTs meaningfully.
+const ackJitter = time.Millisecond
+
+// MixConfig describes one same-RTT mixed-distribution run: NumX flows of
+// algorithm X against NumCubic flows of CUBIC.
+type MixConfig struct {
+	Capacity units.Rate
+	Buffer   units.Bytes
+	RTT      time.Duration
+	Duration time.Duration
+	// Seed controls start jitter; the same seed reproduces the run.
+	Seed uint64
+	// X is the non-CUBIC algorithm (defaults to BBR).
+	X        cc.Constructor
+	NumX     int
+	NumCubic int
+}
+
+// MixResult aggregates a run.
+type MixResult struct {
+	// PerFlowX and PerFlowCubic are class averages (0 if the class is
+	// empty).
+	PerFlowX     units.Rate
+	PerFlowCubic units.Rate
+	AggX         units.Rate
+	AggCubic     units.Rate
+	// Utilization is total delivered rate over capacity.
+	Utilization float64
+	// MeanQueueDelay is the average bottleneck queueing delay.
+	MeanQueueDelay time.Duration
+	// XStats and CubicStats are the raw per-flow statistics.
+	XStats     []netsim.FlowStats
+	CubicStats []netsim.FlowStats
+}
+
+// RunMix executes one mixed-distribution simulation.
+func RunMix(cfg MixConfig) (MixResult, error) {
+	if cfg.NumX+cfg.NumCubic == 0 {
+		return MixResult{}, errors.New("exp: no flows")
+	}
+	if cfg.Duration <= 0 {
+		return MixResult{}, errors.New("exp: non-positive duration")
+	}
+	x := cfg.X
+	if x == nil {
+		x = bbr.New
+	}
+	n, err := netsim.New(netsim.Config{
+		Capacity: cfg.Capacity, Buffer: cfg.Buffer,
+		AckJitter: ackJitter, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return MixResult{}, err
+	}
+	r := rng.New(cfg.Seed)
+	var xFlows, cFlows []*netsim.Flow
+	for i := 0; i < cfg.NumX; i++ {
+		f, err := n.AddFlow(netsim.FlowConfig{
+			Name:      fmt.Sprintf("x%d", i),
+			RTT:       cfg.RTT,
+			Start:     r.Duration(startJitter),
+			Algorithm: x,
+		})
+		if err != nil {
+			return MixResult{}, err
+		}
+		xFlows = append(xFlows, f)
+	}
+	for i := 0; i < cfg.NumCubic; i++ {
+		f, err := n.AddFlow(netsim.FlowConfig{
+			Name:      fmt.Sprintf("cubic%d", i),
+			RTT:       cfg.RTT,
+			Start:     r.Duration(startJitter),
+			Algorithm: cubic.New,
+		})
+		if err != nil {
+			return MixResult{}, err
+		}
+		cFlows = append(cFlows, f)
+	}
+	n.Run(cfg.Duration)
+
+	var res MixResult
+	for _, f := range xFlows {
+		st := f.Stats()
+		res.XStats = append(res.XStats, st)
+		res.AggX += st.Throughput
+	}
+	for _, f := range cFlows {
+		st := f.Stats()
+		res.CubicStats = append(res.CubicStats, st)
+		res.AggCubic += st.Throughput
+	}
+	if cfg.NumX > 0 {
+		res.PerFlowX = res.AggX / units.Rate(cfg.NumX)
+	}
+	if cfg.NumCubic > 0 {
+		res.PerFlowCubic = res.AggCubic / units.Rate(cfg.NumCubic)
+	}
+	link := n.Link()
+	res.Utilization = link.Utilization
+	res.MeanQueueDelay = link.MeanQueueDelay
+	return res, nil
+}
+
+// RunMixTrials averages RunMix over the scale's trial count, deriving
+// per-trial seeds from seed.
+func RunMixTrials(cfg MixConfig, trials int, seed uint64) (MixResult, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	var acc MixResult
+	for t := 0; t < trials; t++ {
+		cfg.Seed = seed + uint64(t)*1e9
+		r, err := RunMix(cfg)
+		if err != nil {
+			return MixResult{}, err
+		}
+		acc.PerFlowX += r.PerFlowX
+		acc.PerFlowCubic += r.PerFlowCubic
+		acc.AggX += r.AggX
+		acc.AggCubic += r.AggCubic
+		acc.Utilization += r.Utilization
+		acc.MeanQueueDelay += r.MeanQueueDelay
+	}
+	f := units.Rate(trials)
+	acc.PerFlowX /= f
+	acc.PerFlowCubic /= f
+	acc.AggX /= f
+	acc.AggCubic /= f
+	acc.Utilization /= float64(trials)
+	acc.MeanQueueDelay /= time.Duration(trials)
+	return acc, nil
+}
+
+// GroupConfig describes a multi-RTT run: flows come in same-RTT groups and
+// each group has a number of X flows (the rest run CUBIC).
+type GroupConfig struct {
+	Capacity units.Rate
+	Buffer   units.Bytes
+	Duration time.Duration
+	Seed     uint64
+	X        cc.Constructor
+	// RTTs and Sizes describe the groups; NumX[i] of Sizes[i] flows in
+	// group i run X.
+	RTTs  []time.Duration
+	Sizes []int
+	NumX  []int
+}
+
+// GroupResult carries per-group class averages.
+type GroupResult struct {
+	// PerFlowX[i] and PerFlowCubic[i] are group i's class averages.
+	PerFlowX     []units.Rate
+	PerFlowCubic []units.Rate
+}
+
+// RunGroups executes one multi-RTT simulation.
+func RunGroups(cfg GroupConfig) (GroupResult, error) {
+	if len(cfg.RTTs) == 0 || len(cfg.RTTs) != len(cfg.Sizes) || len(cfg.RTTs) != len(cfg.NumX) {
+		return GroupResult{}, errors.New("exp: RTTs, Sizes and NumX must be equal-length and non-empty")
+	}
+	x := cfg.X
+	if x == nil {
+		x = bbr.New
+	}
+	n, err := netsim.New(netsim.Config{
+		Capacity: cfg.Capacity, Buffer: cfg.Buffer,
+		AckJitter: ackJitter, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return GroupResult{}, err
+	}
+	r := rng.New(cfg.Seed)
+	xFlows := make([][]*netsim.Flow, len(cfg.RTTs))
+	cFlows := make([][]*netsim.Flow, len(cfg.RTTs))
+	for g := range cfg.RTTs {
+		if cfg.NumX[g] < 0 || cfg.NumX[g] > cfg.Sizes[g] {
+			return GroupResult{}, fmt.Errorf("exp: group %d has NumX %d of %d", g, cfg.NumX[g], cfg.Sizes[g])
+		}
+		for i := 0; i < cfg.Sizes[g]; i++ {
+			ctor := cubic.New
+			if i < cfg.NumX[g] {
+				ctor = x
+			}
+			f, err := n.AddFlow(netsim.FlowConfig{
+				Name:      fmt.Sprintf("g%df%d", g, i),
+				RTT:       cfg.RTTs[g],
+				Start:     r.Duration(startJitter),
+				Algorithm: ctor,
+			})
+			if err != nil {
+				return GroupResult{}, err
+			}
+			if i < cfg.NumX[g] {
+				xFlows[g] = append(xFlows[g], f)
+			} else {
+				cFlows[g] = append(cFlows[g], f)
+			}
+		}
+	}
+	n.Run(cfg.Duration)
+
+	res := GroupResult{
+		PerFlowX:     make([]units.Rate, len(cfg.RTTs)),
+		PerFlowCubic: make([]units.Rate, len(cfg.RTTs)),
+	}
+	for g := range cfg.RTTs {
+		for _, f := range xFlows[g] {
+			res.PerFlowX[g] += f.Stats().Throughput
+		}
+		if len(xFlows[g]) > 0 {
+			res.PerFlowX[g] /= units.Rate(len(xFlows[g]))
+		}
+		for _, f := range cFlows[g] {
+			res.PerFlowCubic[g] += f.Stats().Throughput
+		}
+		if len(cFlows[g]) > 0 {
+			res.PerFlowCubic[g] /= units.Rate(len(cFlows[g]))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,316 @@
+package exp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bbrnash/internal/units"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"full", "quick", "smoke"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ScaleByName(%q) = %v, %v", name, s.Name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestThin(t *testing.T) {
+	s := Scale{SweepPoints: 3}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7}
+	got := s.thin(xs)
+	if len(got) != 3 || got[0] != 1 || got[2] != 7 {
+		t.Errorf("thin = %v", got)
+	}
+	if got := (Scale{}).thin(xs); len(got) != len(xs) {
+		t.Errorf("unbounded thin changed length: %v", got)
+	}
+	if got := (Scale{SweepPoints: 10}).thin(xs); len(got) != len(xs) {
+		t.Errorf("oversized thin changed length: %v", got)
+	}
+}
+
+func TestAlgorithmRegistry(t *testing.T) {
+	for _, name := range []string{"cubic", "reno", "bbr", "bbrv2", "copa", "vivace"} {
+		ctor, err := AlgorithmByName(name)
+		if err != nil || ctor == nil {
+			t.Errorf("AlgorithmByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := AlgorithmByName("quic-magic"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func smokeMix() MixConfig {
+	return MixConfig{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 40*time.Millisecond, 3),
+		RTT:      40 * time.Millisecond,
+		Duration: 8 * time.Second,
+		NumX:     1,
+		NumCubic: 1,
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	res, err := RunMix(smokeMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.8 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+	if res.AggX <= 0 || res.AggCubic <= 0 {
+		t.Errorf("agg = %v / %v", res.AggX, res.AggCubic)
+	}
+	if len(res.XStats) != 1 || len(res.CubicStats) != 1 {
+		t.Error("missing per-flow stats")
+	}
+	if res.PerFlowX != res.AggX {
+		t.Error("single-flow per-flow != aggregate")
+	}
+}
+
+func TestRunMixValidation(t *testing.T) {
+	cfg := smokeMix()
+	cfg.NumX, cfg.NumCubic = 0, 0
+	if _, err := RunMix(cfg); err == nil {
+		t.Error("no flows accepted")
+	}
+	cfg = smokeMix()
+	cfg.Duration = 0
+	if _, err := RunMix(cfg); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunMixDeterministic(t *testing.T) {
+	cfg := smokeMix()
+	cfg.Seed = 42
+	a, err := RunMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AggX != b.AggX || a.AggCubic != b.AggCubic {
+		t.Errorf("same seed gave different results: %v/%v vs %v/%v", a.AggX, a.AggCubic, b.AggX, b.AggCubic)
+	}
+}
+
+func TestRunMixTrialsAverages(t *testing.T) {
+	cfg := smokeMix()
+	res, err := RunMixTrials(cfg, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggX <= 0 {
+		t.Error("trial average empty")
+	}
+	// trials < 1 clamps to 1
+	if _, err := RunMixTrials(cfg, 0, 7); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunGroups(t *testing.T) {
+	res, err := RunGroups(GroupConfig{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 10*time.Millisecond, 10),
+		Duration: 8 * time.Second,
+		RTTs:     []time.Duration{10 * time.Millisecond, 50 * time.Millisecond},
+		Sizes:    []int{2, 2},
+		NumX:     []int{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		if res.PerFlowX[g] <= 0 || res.PerFlowCubic[g] <= 0 {
+			t.Errorf("group %d has empty payoffs: %+v", g, res)
+		}
+	}
+}
+
+func TestRunGroupsValidation(t *testing.T) {
+	if _, err := RunGroups(GroupConfig{}); err == nil {
+		t.Error("empty group config accepted")
+	}
+	if _, err := RunGroups(GroupConfig{
+		Capacity: 50 * units.Mbps, Buffer: 1e6, Duration: time.Second,
+		RTTs:  []time.Duration{time.Millisecond},
+		Sizes: []int{2},
+		NumX:  []int{3}, // more X than flows
+	}); err == nil {
+		t.Error("NumX > Size accepted")
+	}
+}
+
+func TestFindNESmoke(t *testing.T) {
+	cfg := NESearchConfig{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 40*time.Millisecond, 3),
+		RTT:      40 * time.Millisecond,
+		N:        6,
+		Duration: 8 * time.Second,
+		Seed:     1,
+	}
+	res, err := FindNE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EquilibriaX) == 0 {
+		t.Error("walk search found no equilibrium")
+	}
+	if res.Simulations == 0 {
+		t.Error("no simulations recorded")
+	}
+	for _, k := range res.EquilibriaX {
+		if k < 0 || k > cfg.N {
+			t.Errorf("equilibrium out of range: %d", k)
+		}
+	}
+}
+
+func TestFindNEExhaustiveCoversWalk(t *testing.T) {
+	cfg := NESearchConfig{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 40*time.Millisecond, 3),
+		RTT:      40 * time.Millisecond,
+		N:        5,
+		Duration: 8 * time.Second,
+		Seed:     2,
+	}
+	walk, err := FindNE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exhaustive = true
+	full, err := FindNE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.EquilibriaX) == 0 {
+		t.Fatal("exhaustive search found no equilibrium")
+	}
+	// Every walk-found equilibrium must also be in the exhaustive set
+	// (identical seeds make payoffs identical).
+	inFull := map[int]bool{}
+	for _, k := range full.EquilibriaX {
+		inFull[k] = true
+	}
+	for _, k := range walk.EquilibriaX {
+		if !inFull[k] {
+			t.Errorf("walk NE %d missing from exhaustive set %v", k, full.EquilibriaX)
+		}
+	}
+	if full.Simulations != cfg.N+1 {
+		t.Errorf("exhaustive used %d sims, want %d", full.Simulations, cfg.N+1)
+	}
+}
+
+func TestFindGroupNESmoke(t *testing.T) {
+	res, err := FindGroupNE(GroupNEConfig{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 10*time.Millisecond, 10),
+		RTTs:     []time.Duration{10 * time.Millisecond, 50 * time.Millisecond},
+		Sizes:    []int{3, 3},
+		Duration: 8 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simulations == 0 {
+		t.Error("no simulations recorded")
+	}
+	for _, k := range res.Equilibria {
+		if len(k) != 2 {
+			t.Errorf("bad profile %v", k)
+		}
+	}
+}
+
+func TestFiguresRegistry(t *testing.T) {
+	figs := Figures()
+	want := []string{"1", "3a", "3b", "3c", "3d", "4a", "4b", "5a", "5b", "5c", "5d",
+		"6", "7", "8", "9a", "9b", "9c", "9d", "9e", "9f", "10", "11a", "11b", "12"}
+	if len(figs) != len(want) {
+		t.Fatalf("registry has %d figures, want %d", len(figs), len(want))
+	}
+	for i, id := range want {
+		if figs[i].ID != id {
+			t.Errorf("figure %d = %q, want %q", i, figs[i].ID, id)
+		}
+		if figs[i].Generate == nil || figs[i].Title == "" {
+			t.Errorf("figure %q incomplete", id)
+		}
+	}
+	if _, err := FigureByID("3c"); err != nil {
+		t.Error(err)
+	}
+	if _, err := FigureByID("99"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+// Fig6 is model-only and must run instantly at any scale.
+func TestFig6(t *testing.T) {
+	res, err := Fig6(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Charts) != 1 || len(res.Charts[0].Series) != 2 {
+		t.Fatalf("unexpected chart shape")
+	}
+	if len(res.Notes) == 0 {
+		t.Error("missing notes")
+	}
+}
+
+// One simulation-backed figure end-to-end at smoke scale.
+func TestFig1Smoke(t *testing.T) {
+	res, err := Fig1(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Charts) != 1 {
+		t.Fatal("missing chart")
+	}
+	series := res.Charts[0].Series
+	if len(series) != 2 {
+		t.Fatalf("want ware+actual series, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != Smoke.SweepPoints {
+			t.Errorf("series %q has %d points, want %d", s.Name, len(s.X), Smoke.SweepPoints)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 55 {
+				t.Errorf("series %q value %v outside [0, 55] Mbps", s.Name, y)
+			}
+		}
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	xs := []float64{0, 10}
+	ys := []float64{0, 100}
+	tests := []struct{ x, want float64 }{{-5, 0}, {0, 0}, {5, 50}, {10, 100}, {15, 100}}
+	for _, tt := range tests {
+		if got := regionAt(xs, ys, tt.x); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("regionAt(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if regionAt(nil, nil, 1) != 0 {
+		t.Error("empty regionAt should be 0")
+	}
+}

@@ -1,0 +1,300 @@
+package exp
+
+import (
+	"sort"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/core"
+	"bbrnash/internal/game"
+	"bbrnash/internal/units"
+)
+
+// NESearchConfig describes one empirical Nash-Equilibrium search (§4.4
+// methodology): N same-RTT flows each running CUBIC or X, a payoff table
+// built from simulations, and equilibrium enumeration over the N+1
+// distributions.
+type NESearchConfig struct {
+	Capacity units.Rate
+	Buffer   units.Bytes
+	RTT      time.Duration
+	N        int
+	Duration time.Duration
+	Seed     uint64
+	// X is the non-CUBIC algorithm (defaults to BBR).
+	X cc.Constructor
+	// EpsFraction widens the equilibrium condition: a switch only counts
+	// as an incentive if it gains more than EpsFraction of the fair share
+	// (defaults to 5%). The paper observes that near the NE the gains are
+	// marginal, which is exactly why multiple NE appear across trials.
+	EpsFraction float64
+	// Exhaustive scans all N+1 distributions; otherwise the search walks
+	// switching incentives from a model-predicted starting distribution
+	// and then checks that point's neighbourhood. The walk evaluates far
+	// fewer distributions (each evaluation is one simulation).
+	Exhaustive bool
+}
+
+// NESearchResult is the outcome of one trial's search.
+type NESearchResult struct {
+	// EquilibriaX lists equilibrium distributions as numbers of X flows.
+	EquilibriaX []int
+	// Simulations counts simulator runs spent.
+	Simulations int
+}
+
+// FindNE runs the empirical search for one trial (one jitter seed).
+func FindNE(cfg NESearchConfig) (NESearchResult, error) {
+	if cfg.EpsFraction == 0 {
+		cfg.EpsFraction = 0.05
+	}
+	sims := 0
+	dur := nePayoffDuration(cfg.Duration)
+	payoff := func(numX int) (x, c units.Rate) {
+		res, err := RunMix(MixConfig{
+			Capacity: cfg.Capacity,
+			Buffer:   cfg.Buffer,
+			RTT:      cfg.RTT,
+			Duration: dur,
+			Seed:     cfg.Seed + uint64(numX)*7919,
+			X:        cfg.X,
+			NumX:     numX,
+			NumCubic: cfg.N - numX,
+		})
+		if err != nil {
+			return 0, 0
+		}
+		sims++
+		return res.PerFlowX, res.PerFlowCubic
+	}
+	// Each distribution is one simulation that yields both classes'
+	// payoffs; cache jointly.
+	type pair struct{ x, c units.Rate }
+	cache := map[int]pair{}
+	eval := func(numX int) pair {
+		if p, ok := cache[numX]; ok {
+			return p
+		}
+		x, c := payoff(numX)
+		p := pair{x, c}
+		cache[numX] = p
+		return p
+	}
+	g := &game.SymmetricBinary{
+		N:           cfg.N,
+		PayoffX:     func(k int) float64 { return float64(eval(k).x) },
+		PayoffCubic: func(k int) float64 { return float64(eval(k).c) },
+	}
+	eps := game.Epsilon(float64(cfg.Capacity), cfg.N, cfg.EpsFraction)
+
+	if cfg.Exhaustive {
+		ks, err := g.Equilibria(eps)
+		if err != nil {
+			return NESearchResult{}, err
+		}
+		return NESearchResult{EquilibriaX: ks, Simulations: sims}, nil
+	}
+
+	// Walk from the model's predicted equilibrium, then report every
+	// equilibrium in the landing zone's neighbourhood.
+	start := cfg.N / 2
+	if pt, err := core.PredictNash(core.NashScenario{
+		Capacity: cfg.Capacity, Buffer: cfg.Buffer, RTT: cfg.RTT, N: cfg.N,
+	}, core.Synchronized); err == nil {
+		start = int(pt.BBRFlows + 0.5)
+	}
+	k, _ := g.FirstEquilibrium(start, eps, 3*cfg.N)
+	var ks []int
+	for cand := k - 2; cand <= k+2; cand++ {
+		if cand < 0 || cand > cfg.N {
+			continue
+		}
+		if g.IsEquilibrium(cand, eps) {
+			ks = append(ks, cand)
+		}
+	}
+	return NESearchResult{EquilibriaX: ks, Simulations: sims}, nil
+}
+
+// nePayoffDuration enforces the paper's two-minute protocol on equilibrium
+// payoff measurements. Equilibrium positions are set by BBR's converged
+// share, and BBR's RTT+ mechanism converges over multiples of its ten-second
+// ProbeRTT cycle, so shorter runs systematically understate BBR and push the
+// observed equilibrium toward CUBIC at every buffer depth.
+func nePayoffDuration(base time.Duration) time.Duration {
+	if base > 2*time.Minute {
+		return base
+	}
+	return 2 * time.Minute
+}
+
+// GroupNEConfig describes the §4.5 multi-RTT equilibrium search.
+type GroupNEConfig struct {
+	Capacity units.Rate
+	Buffer   units.Bytes
+	RTTs     []time.Duration
+	Sizes    []int
+	Duration time.Duration
+	Seed     uint64
+	X        cc.Constructor
+	// EpsFraction as in NESearchConfig.
+	EpsFraction float64
+	// Exhaustive enumerates the whole Π(Size+1) profile space; otherwise
+	// a greedy incentive walk is used.
+	Exhaustive bool
+}
+
+// GroupNEResult is the outcome of a multi-RTT search.
+type GroupNEResult struct {
+	// Equilibria are profiles: Equilibria[j][i] X flows in group i.
+	Equilibria [][]int
+	// Simulations counts simulator runs spent.
+	Simulations int
+}
+
+// FindGroupNE runs the multi-RTT equilibrium search for one trial.
+func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
+	if cfg.EpsFraction == 0 {
+		cfg.EpsFraction = 0.05
+	}
+	sims := 0
+	type pair struct {
+		x, c []units.Rate
+	}
+	cache := map[string]pair{}
+	keyOf := func(k []int) string {
+		b := make([]byte, len(k))
+		for i, v := range k {
+			b[i] = byte(v)
+		}
+		return string(b)
+	}
+	eval := func(k []int) pair {
+		key := keyOf(k)
+		if p, ok := cache[key]; ok {
+			return p
+		}
+		res, err := RunGroups(GroupConfig{
+			Capacity: cfg.Capacity,
+			Buffer:   cfg.Buffer,
+			Duration: nePayoffDuration(cfg.Duration),
+			Seed:     cfg.Seed + uint64(len(cache))*104729,
+			X:        cfg.X,
+			RTTs:     cfg.RTTs,
+			Sizes:    cfg.Sizes,
+			NumX:     append([]int(nil), k...),
+		})
+		p := pair{}
+		if err == nil {
+			p = pair{x: res.PerFlowX, c: res.PerFlowCubic}
+			sims++
+		} else {
+			p = pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}
+		}
+		cache[key] = p
+		return p
+	}
+	groups := make([]game.GroupSpec, len(cfg.Sizes))
+	total := 0
+	for i, sz := range cfg.Sizes {
+		groups[i] = game.GroupSpec{Size: sz}
+		total += sz
+	}
+	g := &game.GroupSymmetric{
+		Groups:      groups,
+		PayoffX:     func(i int, k []int) float64 { return float64(eval(k).x[i]) },
+		PayoffCubic: func(i int, k []int) float64 { return float64(eval(k).c[i]) },
+	}
+	eps := game.Epsilon(float64(cfg.Capacity), total, cfg.EpsFraction)
+
+	if cfg.Exhaustive {
+		ks, err := g.Equilibria(eps)
+		if err != nil {
+			return GroupNEResult{}, err
+		}
+		return GroupNEResult{Equilibria: ks, Simulations: sims}, nil
+	}
+
+	// Incentive walk with first-improvement moves: start from a
+	// model-informed profile, and at each step take the first unilateral
+	// switch that gains more than eps. First-improvement costs far fewer
+	// payoff evaluations (simulations) than best-improvement, and the
+	// landing profile is an equilibrium either way.
+	k := groupWalkStart(cfg)
+	maxSteps := 3 * total
+	for step := 0; step < maxSteps; step++ {
+		moved := false
+		for i, sz := range cfg.Sizes {
+			if k[i] < sz {
+				k[i]++
+				gain := float64(eval(k).x[i])
+				k[i]--
+				if gain > float64(eval(k).c[i])+eps {
+					k[i]++
+					moved = true
+					break
+				}
+			}
+			if k[i] > 0 {
+				k[i]--
+				gain := float64(eval(k).c[i])
+				k[i]++
+				if gain > float64(eval(k).x[i])+eps {
+					k[i]--
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	var out [][]int
+	if g.IsEquilibrium(k, eps) {
+		out = append(out, append([]int(nil), k...))
+	}
+	return GroupNEResult{Equilibria: out, Simulations: sims}, nil
+}
+
+// groupWalkStart picks the walk's starting profile: the single-RTT model's
+// equilibrium BBR count at the mean RTT, assigned to groups from the
+// longest RTT down — the composition the paper observed at multi-RTT
+// equilibria (§4.5: long-RTT flows choose BBR, short-RTT flows CUBIC).
+func groupWalkStart(cfg GroupNEConfig) []int {
+	total := 0
+	var meanRTT time.Duration
+	for i, sz := range cfg.Sizes {
+		total += sz
+		meanRTT += cfg.RTTs[i] * time.Duration(sz)
+	}
+	k := make([]int, len(cfg.Sizes))
+	if total == 0 {
+		return k
+	}
+	meanRTT /= time.Duration(total)
+	want := total / 2
+	if pt, err := core.PredictNash(core.NashScenario{
+		Capacity: cfg.Capacity, Buffer: cfg.Buffer, RTT: meanRTT, N: total,
+	}, core.Synchronized); err == nil {
+		want = int(pt.BBRFlows + 0.5)
+	}
+	// Order groups by RTT descending and fill X slots from the top.
+	order := make([]int, len(cfg.Sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cfg.RTTs[order[a]] > cfg.RTTs[order[b]] })
+	for _, i := range order {
+		if want <= 0 {
+			break
+		}
+		take := cfg.Sizes[i]
+		if take > want {
+			take = want
+		}
+		k[i] = take
+		want -= take
+	}
+	return k
+}

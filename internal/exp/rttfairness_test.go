@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/units"
+)
+
+// §4.5's mechanism, CUBIC side: among CUBIC flows sharing a bottleneck,
+// the short-RTT flow gets more bandwidth (quicker feedback, faster
+// probing).
+func TestCubicFavorsShortRTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2-minute simulation")
+	}
+	// A shallow buffer keeps queueing delay small relative to the base
+	// RTT spread; in very deep buffers the shared queue dominates both
+	// flows' effective RTTs and the asymmetry washes out.
+	res, err := RunGroups(GroupConfig{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 10*time.Millisecond, 2),
+		Duration: 2 * time.Minute,
+		RTTs:     []time.Duration{10 * time.Millisecond, 50 * time.Millisecond},
+		Sizes:    []int{2, 2},
+		NumX:     []int{0, 0}, // all CUBIC
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, long := float64(res.PerFlowCubic[0]), float64(res.PerFlowCubic[1])
+	if short <= long {
+		t.Errorf("short-RTT CUBIC (%.2e) did not beat long-RTT CUBIC (%.2e)", short, long)
+	}
+}
+
+// §4.5's mechanism, BBR side: among BBR flows, the long-RTT flow keeps a
+// buffer share proportional to its RTT and so gets more bandwidth.
+func TestBBRFavorsLongRTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2-minute simulation")
+	}
+	res, err := RunGroups(GroupConfig{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 10*time.Millisecond, 20),
+		Duration: 2 * time.Minute,
+		RTTs:     []time.Duration{10 * time.Millisecond, 50 * time.Millisecond},
+		Sizes:    []int{2, 2},
+		NumX:     []int{2, 2}, // all BBR
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, long := float64(res.PerFlowX[0]), float64(res.PerFlowX[1])
+	if long <= short {
+		t.Errorf("long-RTT BBR (%.2e) did not beat short-RTT BBR (%.2e)", long, short)
+	}
+}

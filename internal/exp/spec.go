@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bbrnash/internal/cc"
+)
+
+// FlowSpec is one parsed element of a command-line flow specification.
+type FlowSpec struct {
+	// Name is the algorithm name as registered.
+	Name string
+	// Count is how many flows run it.
+	Count int
+	// Ctor is the resolved constructor.
+	Ctor cc.Constructor
+}
+
+// ParseFlowSpec parses a comma-separated list of name[:count] pairs, e.g.
+// "bbr:2,cubic:3" or "bbr,cubic". Counts default to 1 and must be
+// positive; names must exist in the algorithm registry.
+func ParseFlowSpec(spec string) ([]FlowSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("exp: empty flow spec")
+	}
+	var out []FlowSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("exp: empty element in flow spec %q", spec)
+		}
+		name, countStr, hasCount := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		count := 1
+		if hasCount {
+			var err error
+			count, err = strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil || count < 1 {
+				return nil, fmt.Errorf("exp: bad flow count in %q", part)
+			}
+		}
+		ctor, err := AlgorithmByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FlowSpec{Name: name, Count: count, Ctor: ctor})
+	}
+	return out, nil
+}
+
+// TotalFlows sums the counts in a parsed spec.
+func TotalFlows(specs []FlowSpec) int {
+	total := 0
+	for _, s := range specs {
+		total += s.Count
+	}
+	return total
+}

@@ -1,0 +1,50 @@
+package exp
+
+import "testing"
+
+func TestParseFlowSpec(t *testing.T) {
+	specs, err := ParseFlowSpec("bbr:2, cubic:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if specs[0].Name != "bbr" || specs[0].Count != 2 || specs[0].Ctor == nil {
+		t.Errorf("spec[0] = %+v", specs[0])
+	}
+	if specs[1].Name != "cubic" || specs[1].Count != 3 {
+		t.Errorf("spec[1] = %+v", specs[1])
+	}
+	if TotalFlows(specs) != 5 {
+		t.Errorf("TotalFlows = %d", TotalFlows(specs))
+	}
+}
+
+func TestParseFlowSpecDefaultsCountToOne(t *testing.T) {
+	specs, err := ParseFlowSpec("vivace,copa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Count != 1 || specs[1].Count != 1 {
+		t.Errorf("default counts wrong: %+v", specs)
+	}
+}
+
+func TestParseFlowSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"  ",
+		"bbr:",
+		"bbr:0",
+		"bbr:-1",
+		"bbr:x",
+		"unknownalg:2",
+		"bbr:2,,cubic:1",
+	}
+	for _, spec := range bad {
+		if _, err := ParseFlowSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"time"
+
+	"bbrnash/internal/game"
+	"bbrnash/internal/units"
+)
+
+// UtilityFunc scores one flow's outcome: its average throughput and the
+// bottleneck's average queueing delay (shared by every flow regardless of
+// algorithm — the asymmetry §4.3 builds its argument on).
+type UtilityFunc func(throughput units.Rate, queueDelay time.Duration) float64
+
+// ThroughputUtility is the paper's default: utility is throughput alone.
+func ThroughputUtility(throughput units.Rate, _ time.Duration) float64 {
+	return float64(throughput)
+}
+
+// LinearUtility builds the §4.3 family: α·throughput − γ·delay, with
+// throughput in Mbps and delay in milliseconds.
+func LinearUtility(alpha, gamma float64) UtilityFunc {
+	return func(throughput units.Rate, queueDelay time.Duration) float64 {
+		return alpha*throughput.Mbit() - gamma*float64(queueDelay.Milliseconds())
+	}
+}
+
+// FindNEUtility is FindNE with an arbitrary utility function: the §4.3
+// extension. A flow switches algorithm when doing so raises its utility by
+// more than eps (EpsFraction of the fair-share utility scale).
+//
+// Because queueing delay is shared between CUBIC and X flows at the same
+// bottleneck, delay terms shift both strategies' utilities almost equally;
+// the paper conjectures — and this search confirms for linear utilities —
+// that equilibria stay near the throughput-only positions until the delay
+// weight dominates.
+func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, error) {
+	if utility == nil {
+		utility = ThroughputUtility
+	}
+	if cfg.EpsFraction == 0 {
+		cfg.EpsFraction = 0.05
+	}
+	sims := 0
+	dur := nePayoffDuration(cfg.Duration)
+	type pair struct{ x, c float64 }
+	cache := map[int]pair{}
+	eval := func(numX int) pair {
+		if p, ok := cache[numX]; ok {
+			return p
+		}
+		res, err := RunMix(MixConfig{
+			Capacity: cfg.Capacity,
+			Buffer:   cfg.Buffer,
+			RTT:      cfg.RTT,
+			Duration: dur,
+			Seed:     cfg.Seed + uint64(numX)*7919,
+			X:        cfg.X,
+			NumX:     numX,
+			NumCubic: cfg.N - numX,
+		})
+		p := pair{}
+		if err == nil {
+			sims++
+			p = pair{
+				x: utility(res.PerFlowX, res.MeanQueueDelay),
+				c: utility(res.PerFlowCubic, res.MeanQueueDelay),
+			}
+		}
+		cache[numX] = p
+		return p
+	}
+	g := &game.SymmetricBinary{
+		N:           cfg.N,
+		PayoffX:     func(k int) float64 { return eval(k).x },
+		PayoffCubic: func(k int) float64 { return eval(k).c },
+	}
+	// Scale eps to the utility of a fair share so EpsFraction keeps its
+	// "fraction of what is at stake" meaning.
+	fairUtil := utility(cfg.Capacity/units.Rate(cfg.N), 0)
+	if fairUtil < 0 {
+		fairUtil = -fairUtil
+	}
+	eps := cfg.EpsFraction * fairUtil
+
+	if cfg.Exhaustive {
+		ks, err := g.Equilibria(eps)
+		if err != nil {
+			return NESearchResult{}, err
+		}
+		return NESearchResult{EquilibriaX: ks, Simulations: sims}, nil
+	}
+	k, _ := g.FirstEquilibrium(cfg.N/2, eps, 3*cfg.N)
+	var ks []int
+	for cand := k - 2; cand <= k+2; cand++ {
+		if cand < 0 || cand > cfg.N {
+			continue
+		}
+		if g.IsEquilibrium(cand, eps) {
+			ks = append(ks, cand)
+		}
+	}
+	return NESearchResult{EquilibriaX: ks, Simulations: sims}, nil
+}

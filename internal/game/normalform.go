@@ -1,0 +1,93 @@
+// Package game provides the game-theoretic machinery of §4 of the paper:
+// generic normal-form games with pure-strategy Nash Equilibrium enumeration,
+// plus the two specializations the experiments use — the symmetric binary
+// congestion-control choice game (every flow picks CUBIC or X) and its
+// group-symmetric extension for flows with different RTTs.
+//
+// Payoffs are supplied by the caller: the analytical model (internal/core)
+// for predictions, or measured simulator throughput for empirical
+// equilibria. Because measured payoffs are noisy, equilibrium checks accept
+// a tolerance: a deviation only counts as an incentive when it improves the
+// payoff by more than epsilon.
+package game
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NormalForm is a finite normal-form game. Strategy profiles are slices
+// with one strategy index per player.
+type NormalForm struct {
+	// NumStrategies[i] is the number of strategies available to player i.
+	NumStrategies []int
+	// Payoff returns each player's utility for a profile. The slice it
+	// returns must have one entry per player.
+	Payoff func(profile []int) []float64
+}
+
+// Validate checks the game definition.
+func (g *NormalForm) Validate() error {
+	if len(g.NumStrategies) == 0 {
+		return errors.New("game: no players")
+	}
+	for i, n := range g.NumStrategies {
+		if n < 1 {
+			return fmt.Errorf("game: player %d has no strategies", i)
+		}
+	}
+	if g.Payoff == nil {
+		return errors.New("game: nil payoff function")
+	}
+	return nil
+}
+
+// PureNash enumerates all pure-strategy Nash Equilibria with tolerance eps:
+// a profile is an equilibrium if no unilateral deviation improves the
+// deviating player's payoff by more than eps.
+//
+// Enumeration is exhaustive over the product strategy space, so this is
+// intended for small games; the symmetric specializations below scale to
+// the paper's 50-flow experiments.
+func (g *NormalForm) PureNash(eps float64) ([][]int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.NumStrategies)
+	profile := make([]int, n)
+	var equilibria [][]int
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			if g.isNash(profile, eps) {
+				equilibria = append(equilibria, append([]int(nil), profile...))
+			}
+			return
+		}
+		for s := 0; s < g.NumStrategies[i]; s++ {
+			profile[i] = s
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return equilibria, nil
+}
+
+func (g *NormalForm) isNash(profile []int, eps float64) bool {
+	base := g.Payoff(profile)
+	for i := range profile {
+		orig := profile[i]
+		for s := 0; s < g.NumStrategies[i]; s++ {
+			if s == orig {
+				continue
+			}
+			profile[i] = s
+			if g.Payoff(profile)[i] > base[i]+eps {
+				profile[i] = orig
+				return false
+			}
+		}
+		profile[i] = orig
+	}
+	return true
+}

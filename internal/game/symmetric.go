@@ -1,0 +1,252 @@
+package game
+
+import (
+	"errors"
+	"math"
+)
+
+// SymmetricBinary is the congestion-control choice game of §4.1: N
+// indistinguishable players each run either CUBIC or an alternative
+// algorithm X (BBR in the paper's main experiments). Because players are
+// symmetric, a strategy profile is fully described by k, the number of
+// players choosing X, so there are only N+1 distinct distributions.
+//
+// PayoffX(k) is the per-flow utility of an X player when k players run X
+// (1 ≤ k ≤ N); PayoffCubic(k) is the per-flow utility of a CUBIC player
+// when k players run X (0 ≤ k ≤ N−1). Payoffs are memoized: empirical
+// payoff evaluation costs a simulation each.
+type SymmetricBinary struct {
+	N           int
+	PayoffX     func(k int) float64
+	PayoffCubic func(k int) float64
+
+	memoX map[int]float64
+	memoC map[int]float64
+}
+
+func (g *SymmetricBinary) payoffX(k int) float64 {
+	if g.memoX == nil {
+		g.memoX = make(map[int]float64)
+	}
+	if v, ok := g.memoX[k]; ok {
+		return v
+	}
+	v := g.PayoffX(k)
+	g.memoX[k] = v
+	return v
+}
+
+func (g *SymmetricBinary) payoffC(k int) float64 {
+	if g.memoC == nil {
+		g.memoC = make(map[int]float64)
+	}
+	if v, ok := g.memoC[k]; ok {
+		return v
+	}
+	v := g.PayoffCubic(k)
+	g.memoC[k] = v
+	return v
+}
+
+// IsEquilibrium reports whether the distribution with k X-players is a Nash
+// Equilibrium with tolerance eps: no CUBIC player gains more than eps by
+// switching to X, and no X player gains more than eps by switching to
+// CUBIC.
+func (g *SymmetricBinary) IsEquilibrium(k int, eps float64) bool {
+	if k > 0 {
+		// An X player switching to CUBIC lands in distribution k−1.
+		if g.payoffC(k-1) > g.payoffX(k)+eps {
+			return false
+		}
+	}
+	if k < g.N {
+		// A CUBIC player switching to X lands in distribution k+1.
+		if g.payoffX(k+1) > g.payoffC(k)+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Equilibria enumerates every equilibrium distribution, returned as counts
+// of X players in ascending order. Noisy payoffs commonly produce several
+// adjacent equilibria, as the paper observes in §4.4.
+func (g *SymmetricBinary) Equilibria(eps float64) ([]int, error) {
+	if g.N < 1 {
+		return nil, errors.New("game: SymmetricBinary needs N >= 1")
+	}
+	if g.PayoffX == nil || g.PayoffCubic == nil {
+		return nil, errors.New("game: SymmetricBinary needs both payoff functions")
+	}
+	var out []int
+	for k := 0; k <= g.N; k++ {
+		if g.IsEquilibrium(k, eps) {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// FirstEquilibrium performs the §4.1 line-walk: starting from k X-players,
+// follow unilateral switching incentives until a distribution with no
+// incentive remains, mirroring how a population would evolve. It is faster
+// than Equilibria when payoff evaluations are expensive because it only
+// explores the walked path. maxSteps bounds the walk (N suffices when
+// payoffs are monotone; noisy payoffs may cycle, in which case the last
+// visited distribution is returned with ok == false).
+func (g *SymmetricBinary) FirstEquilibrium(start int, eps float64, maxSteps int) (k int, ok bool) {
+	k = start
+	if k < 0 {
+		k = 0
+	}
+	if k > g.N {
+		k = g.N
+	}
+	for step := 0; step < maxSteps; step++ {
+		switch {
+		case k < g.N && g.payoffX(k+1) > g.payoffC(k)+eps:
+			k++
+		case k > 0 && g.payoffC(k-1) > g.payoffX(k)+eps:
+			k--
+		default:
+			return k, true
+		}
+	}
+	return k, false
+}
+
+// GroupSpec is one same-RTT group in the group-symmetric game.
+type GroupSpec struct {
+	// Size is the number of flows in the group.
+	Size int
+}
+
+// GroupSymmetric generalizes SymmetricBinary to m groups of symmetric
+// players (the §4.5 multi-RTT experiments: 3 groups of 10 flows). A profile
+// is a vector k with k[i] X-players in group i; the state space is
+// Π(Size_i + 1) instead of 2^N.
+//
+// PayoffX(i, k) is an X player's utility in group i under profile k;
+// PayoffCubic(i, k) likewise for a CUBIC player. Implementations may assume
+// k is not retained after the call returns.
+type GroupSymmetric struct {
+	Groups      []GroupSpec
+	PayoffX     func(group int, k []int) float64
+	PayoffCubic func(group int, k []int) float64
+
+	memoX map[string]float64
+	memoC map[string]float64
+}
+
+func keyOf(group int, k []int) string {
+	b := make([]byte, 0, 2+2*len(k))
+	b = append(b, byte(group), ':')
+	for _, v := range k {
+		b = append(b, byte(v), ',')
+	}
+	return string(b)
+}
+
+func (g *GroupSymmetric) payoffX(group int, k []int) float64 {
+	if g.memoX == nil {
+		g.memoX = make(map[string]float64)
+	}
+	key := keyOf(group, k)
+	if v, ok := g.memoX[key]; ok {
+		return v
+	}
+	v := g.PayoffX(group, k)
+	g.memoX[key] = v
+	return v
+}
+
+func (g *GroupSymmetric) payoffC(group int, k []int) float64 {
+	if g.memoC == nil {
+		g.memoC = make(map[string]float64)
+	}
+	key := keyOf(group, k)
+	if v, ok := g.memoC[key]; ok {
+		return v
+	}
+	v := g.PayoffCubic(group, k)
+	g.memoC[key] = v
+	return v
+}
+
+// IsEquilibrium reports whether profile k is a Nash Equilibrium with
+// tolerance eps.
+func (g *GroupSymmetric) IsEquilibrium(k []int, eps float64) bool {
+	for i, spec := range g.Groups {
+		if k[i] > 0 {
+			// An X player in group i switches to CUBIC.
+			k[i]--
+			gain := g.payoffC(i, k)
+			k[i]++
+			if gain > g.payoffX(i, k)+eps {
+				return false
+			}
+		}
+		if k[i] < spec.Size {
+			// A CUBIC player in group i switches to X.
+			k[i]++
+			gain := g.payoffX(i, k)
+			k[i]--
+			if gain > g.payoffC(i, k)+eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equilibria enumerates all equilibrium profiles.
+func (g *GroupSymmetric) Equilibria(eps float64) ([][]int, error) {
+	if len(g.Groups) == 0 {
+		return nil, errors.New("game: GroupSymmetric needs at least one group")
+	}
+	for _, spec := range g.Groups {
+		if spec.Size < 0 || spec.Size > 250 {
+			return nil, errors.New("game: group size out of range")
+		}
+	}
+	if g.PayoffX == nil || g.PayoffCubic == nil {
+		return nil, errors.New("game: GroupSymmetric needs both payoff functions")
+	}
+	k := make([]int, len(g.Groups))
+	var out [][]int
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(g.Groups) {
+			if g.IsEquilibrium(k, eps) {
+				out = append(out, append([]int(nil), k...))
+			}
+			return
+		}
+		for v := 0; v <= g.Groups[i].Size; v++ {
+			k[i] = v
+			walk(i + 1)
+		}
+		k[i] = 0
+	}
+	walk(0)
+	return out, nil
+}
+
+// TotalX sums the X players in a profile.
+func TotalX(k []int) int {
+	t := 0
+	for _, v := range k {
+		t += v
+	}
+	return t
+}
+
+// Epsilon suggests an equilibrium tolerance for throughput payoffs: frac of
+// the fair share. The paper notes that gains around the NE are marginal,
+// which is why multiple neighbouring NE distributions appear across trials.
+func Epsilon(capacity float64, n int, frac float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Abs(frac) * capacity / float64(n)
+}

@@ -1,0 +1,182 @@
+// Package metrics provides the measurement accumulators used by the network
+// simulator and the experiment harness: time-weighted averages for queue
+// occupancy, interval counters for throughput, and streaming min/max/mean
+// trackers.
+//
+// All accumulators support a measurement window that starts part-way through
+// a run, so experiments can exclude (or, like the paper, include) slow-start
+// transients explicitly.
+package metrics
+
+import (
+	"math"
+	"time"
+
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+// TimeWeighted accumulates the time-weighted average of a piecewise-constant
+// signal, e.g. queue occupancy in bytes.
+type TimeWeighted struct {
+	started bool
+	start   eventsim.Time
+	last    eventsim.Time
+	value   float64
+	area    float64
+	min     float64
+	max     float64
+}
+
+// Set records that the signal takes value v from time now onward.
+// Timestamps must be nondecreasing.
+func (w *TimeWeighted) Set(now eventsim.Time, v float64) {
+	if !w.started {
+		w.started = true
+		w.start, w.last = now, now
+		w.value = v
+		w.min, w.max = v, v
+		return
+	}
+	w.area += w.value * float64(now-w.last)
+	w.last = now
+	w.value = v
+	if v < w.min {
+		w.min = v
+	}
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Add adjusts the current value by delta at time now.
+func (w *TimeWeighted) Add(now eventsim.Time, delta float64) {
+	w.Set(now, w.value+delta)
+}
+
+// Value returns the current value of the signal.
+func (w *TimeWeighted) Value() float64 { return w.value }
+
+// Average returns the time-weighted mean over [start, now]. It returns the
+// current value when no time has elapsed.
+func (w *TimeWeighted) Average(now eventsim.Time) float64 {
+	if !w.started || now <= w.start {
+		return w.value
+	}
+	area := w.area + w.value*float64(now-w.last)
+	return area / float64(now-w.start)
+}
+
+// Min returns the smallest value observed since the accumulator started.
+func (w *TimeWeighted) Min() float64 { return w.min }
+
+// Max returns the largest value observed since the accumulator started.
+func (w *TimeWeighted) Max() float64 { return w.max }
+
+// Reset restarts accumulation at time now, keeping the current value. Use it
+// at the start of a measurement window so transients before now are
+// discarded.
+func (w *TimeWeighted) Reset(now eventsim.Time) {
+	w.start, w.last = now, now
+	w.area = 0
+	w.min, w.max = w.value, w.value
+	w.started = true
+}
+
+// Counter counts a quantity (bytes, packets) over a measurement window.
+type Counter struct {
+	total  float64
+	window float64
+	since  eventsim.Time
+}
+
+// Add increments the counter.
+func (c *Counter) Add(v float64) {
+	c.total += v
+	c.window += v
+}
+
+// Total returns the all-time sum.
+func (c *Counter) Total() float64 { return c.total }
+
+// Windowed returns the sum since the last Reset.
+func (c *Counter) Windowed() float64 { return c.window }
+
+// Reset starts a new measurement window at time now.
+func (c *Counter) Reset(now eventsim.Time) {
+	c.window = 0
+	c.since = now
+}
+
+// RateSince returns the windowed sum expressed as a per-second rate of bits,
+// interpreting the counted quantity as bytes.
+func (c *Counter) RateSince(now eventsim.Time) units.Rate {
+	d := now.Sub(c.since)
+	if d <= 0 {
+		return 0
+	}
+	return units.RateOver(units.Bytes(c.window), d)
+}
+
+// Summary tracks streaming count/mean/min/max of a sampled quantity, e.g.
+// per-packet queueing delay.
+type Summary struct {
+	n    int
+	sum  float64
+	min  float64
+	max  float64
+	sumq float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	s.sum += v
+	s.sumq += v * v
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return s.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 { return s.max }
+
+// Stddev returns the population standard deviation of the samples.
+func (s *Summary) Stddev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Reset discards all samples.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// MeanDuration returns the mean interpreted as a duration in nanoseconds.
+func (s *Summary) MeanDuration() time.Duration { return time.Duration(s.Mean()) }

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+func at(d time.Duration) eventsim.Time { return eventsim.At(d) }
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var w TimeWeighted
+	w.Set(at(0), 10)
+	w.Set(at(time.Second), 20)            // 10 held for 1s
+	w.Set(at(3*time.Second), 0)           // 20 held for 2s
+	got := w.Average(at(4 * time.Second)) // 0 held for 1s
+	want := (10.0*1 + 20*2 + 0*1) / 4
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Average = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWeightedMinMaxValue(t *testing.T) {
+	var w TimeWeighted
+	w.Set(at(0), 5)
+	w.Add(at(time.Second), 10)
+	w.Add(at(2*time.Second), -12)
+	if w.Value() != 3 {
+		t.Errorf("Value = %v, want 3", w.Value())
+	}
+	if w.Min() != 3 || w.Max() != 15 {
+		t.Errorf("Min,Max = %v,%v want 3,15", w.Min(), w.Max())
+	}
+}
+
+func TestTimeWeightedAverageNoElapsed(t *testing.T) {
+	var w TimeWeighted
+	w.Set(at(time.Second), 7)
+	if got := w.Average(at(time.Second)); got != 7 {
+		t.Errorf("Average with no elapsed time = %v, want 7", got)
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var w TimeWeighted
+	w.Set(at(0), 100)
+	w.Set(at(time.Second), 2)
+	w.Reset(at(time.Second))
+	// After the reset only the value 2 is visible.
+	if got := w.Average(at(2 * time.Second)); got != 2 {
+		t.Errorf("Average after reset = %v, want 2", got)
+	}
+	if w.Min() != 2 || w.Max() != 2 {
+		t.Errorf("Min,Max after reset = %v,%v want 2,2", w.Min(), w.Max())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Reset(at(0))
+	c.Add(50)
+	c.Add(25)
+	if c.Total() != 175 {
+		t.Errorf("Total = %v, want 175", c.Total())
+	}
+	if c.Windowed() != 75 {
+		t.Errorf("Windowed = %v, want 75", c.Windowed())
+	}
+}
+
+func TestCounterRateSince(t *testing.T) {
+	var c Counter
+	c.Reset(at(0))
+	c.Add(1.25e6) // 1.25 MB in one second = 10 Mbps
+	got := c.RateSince(at(time.Second))
+	if got != 10*units.Mbps {
+		t.Errorf("RateSince = %v, want 10Mbps", got)
+	}
+	if c.RateSince(at(0)) != 0 {
+		t.Error("RateSince with no elapsed time should be 0")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min,Max = %v,%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Stddev()-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", s.Stddev())
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestSummaryMeanDuration(t *testing.T) {
+	var s Summary
+	s.Observe(float64(time.Millisecond))
+	s.Observe(float64(3 * time.Millisecond))
+	if got := s.MeanDuration(); got != 2*time.Millisecond {
+		t.Errorf("MeanDuration = %v, want 2ms", got)
+	}
+}

@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc/bbr"
+	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/units"
+)
+
+func TestFiniteFlowStopsAfterTransfer(t *testing.T) {
+	cfg := Config{Capacity: 10 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, holder := fixedCtor(50*units.MSS, 0)
+	size := 200 * units.MSS
+	f, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor, TransferBytes: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(30 * time.Second)
+	fw := *holder
+	if got := units.Bytes(fw.sent) * units.MSS; got != size {
+		t.Errorf("sent %v, want exactly the transfer size %v", got, size)
+	}
+	if f.Transfers() != 1 {
+		t.Errorf("Transfers = %d, want 1", f.Transfers())
+	}
+	if f.Inflight() != 0 {
+		t.Errorf("inflight = %v after completed transfer", f.Inflight())
+	}
+}
+
+func TestOnOffFlowRestarts(t *testing.T) {
+	cfg := Config{Capacity: 10 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(50*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{
+		RTT: 20 * time.Millisecond, Algorithm: ctor,
+		TransferBytes: 100 * units.MSS, RestartAfter: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(20 * time.Second)
+	// Each transfer of 100 packets at 10 Mbps takes ~120 ms plus the
+	// 500 ms off period: expect dozens of completed transfers.
+	if f.Transfers() < 10 {
+		t.Errorf("Transfers = %d, want at least 10", f.Transfers())
+	}
+}
+
+func TestInfiniteFlowUnaffected(t *testing.T) {
+	cfg := Config{Capacity: 10 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(50*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(10 * time.Second)
+	if f.Transfers() != 0 {
+		t.Errorf("infinite flow reported %d transfers", f.Transfers())
+	}
+	if f.Stats().Throughput <= 0 {
+		t.Error("infinite flow idle")
+	}
+}
+
+// A bulk BBR vs CUBIC contest should be robust to background on/off
+// short-flow traffic: both still share the remaining capacity, and the
+// short flows complete (the §5 "more diverse workloads" probe).
+func TestBulkContestWithShortFlowBackground(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	capacity := 50 * units.Mbps
+	cfg := Config{Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, 3), AckJitter: time.Millisecond, Seed: 5}
+	n := mustNetwork(t, cfg)
+	fb, err := n.AddFlow(FlowConfig{Name: "bbr", RTT: rtt, Algorithm: bbr.New})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := n.AddFlow(FlowConfig{Name: "cubic", RTT: rtt, Algorithm: cubic.New})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shorts []*Flow
+	for i := 0; i < 4; i++ {
+		f, err := n.AddFlow(FlowConfig{
+			RTT: rtt, Algorithm: cubic.New,
+			TransferBytes: 500 * units.MSS, // ~730 kB objects
+			RestartAfter:  2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shorts = append(shorts, f)
+	}
+	n.Run(60 * time.Second)
+	for i, f := range shorts {
+		if f.Transfers() < 5 {
+			t.Errorf("short flow %d completed only %d transfers", i, f.Transfers())
+		}
+	}
+	bbrT, cubicT := float64(fb.Stats().Throughput), float64(fc.Stats().Throughput)
+	if bbrT <= 0 || cubicT <= 0 {
+		t.Fatalf("bulk flows starved: bbr %v cubic %v", bbrT, cubicT)
+	}
+	// The two bulk flows should still consume the majority of the link.
+	if share := (bbrT + cubicT) / float64(capacity); share < 0.5 {
+		t.Errorf("bulk flows hold only %.0f%% of the link", 100*share)
+	}
+}

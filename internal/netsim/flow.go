@@ -1,0 +1,274 @@
+package netsim
+
+import (
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/metrics"
+	"bbrnash/internal/units"
+)
+
+// Flow is one bulk sender/receiver pair. The sender has infinite backlog and
+// transmits whenever its congestion window (and pacing rate, if any) allows.
+type Flow struct {
+	net  *Network
+	id   int
+	name string
+	rtt  time.Duration
+	alg  cc.Algorithm
+
+	started  bool
+	nextSeq  uint64
+	inflight units.Bytes
+
+	// Finite-transfer state (zero transferSize means infinite backlog).
+	transferSize units.Bytes
+	restartAfter time.Duration
+	sentInXfer   units.Bytes
+	transfers    int
+
+	// Pacing state.
+	pacer    *eventsim.Timer
+	nextSend eventsim.Time
+
+	// Delivery-rate estimator connection state (see the BBR delivery-rate
+	// estimation draft): total delivered bytes and the timestamps needed to
+	// form per-ACK rate samples.
+	delivered     units.Bytes
+	deliveredTime eventsim.Time
+	firstSent     eventsim.Time
+
+	// Measurement.
+	arrived  metrics.Counter // bytes that crossed the bottleneck
+	sent     metrics.Counter
+	lost     metrics.Counter
+	rttStats metrics.Summary
+	queued   metrics.TimeWeighted // this flow's waiting bytes at the bottleneck
+	minRTT   time.Duration
+}
+
+func (f *Flow) start() {
+	f.started = true
+	now := f.net.loop.Now()
+	f.nextSend = now
+	f.deliveredTime = now
+	f.firstSent = now
+	f.queued.Set(now, 0)
+	f.trySend()
+}
+
+// trySend transmits as many packets as the window and pacing allow, arming
+// the pacing timer when rate-limited.
+func (f *Flow) trySend() {
+	if !f.started {
+		return
+	}
+	mss := f.net.cfg.MSS
+	for f.inflight+mss <= f.alg.CongestionWindow() {
+		if f.transferSize > 0 && f.sentInXfer >= f.transferSize {
+			f.finishTransfer()
+			return
+		}
+		now := f.net.loop.Now()
+		if rate := f.alg.PacingRate(); rate > 0 {
+			if f.nextSend > now {
+				f.pacer.Arm(f.nextSend)
+				return
+			}
+			if f.nextSend < now {
+				// Idle or newly paced: restart the pacing clock.
+				f.nextSend = now
+			}
+			f.nextSend = f.nextSend.Add(rate.TimeToSend(mss))
+		}
+		f.sendPacket(now, mss)
+	}
+}
+
+func (f *Flow) sendPacket(now eventsim.Time, size units.Bytes) {
+	if f.inflight == 0 {
+		// Restarting from idle: reset the rate-estimator epoch.
+		f.firstSent = now
+		f.deliveredTime = now
+	}
+	p := f.net.newPacket()
+	p.flow = f
+	p.seq = f.nextSeq
+	p.size = size
+	p.sentAt = now
+	p.delivered = f.delivered
+	p.deliveredTime = f.deliveredTime
+	p.firstSent = f.firstSent
+	f.nextSeq++
+	f.firstSent = now
+	f.inflight += size
+	f.sentInXfer += size
+	f.sent.Add(float64(size))
+	f.alg.OnSent(cc.SendEvent{Now: now, Seq: p.seq, Bytes: size, Inflight: f.inflight})
+	f.net.link.enqueue(p)
+}
+
+// packetDeparted is called when the packet crosses the bottleneck; the
+// receiver will see it one forward propagation later. Throughput is counted
+// here.
+func (f *Flow) packetDeparted(p *packet) {
+	f.arrived.Add(float64(p.size))
+}
+
+// ackArrived processes the acknowledgement for p at the sender.
+func (f *Flow) ackArrived(p *packet) {
+	now := f.net.loop.Now()
+	f.inflight -= p.size
+	f.delivered += p.size
+	f.deliveredTime = now
+
+	rtt := now.Sub(p.sentAt)
+	f.rttStats.Observe(float64(rtt))
+	if f.minRTT == 0 || rtt < f.minRTT {
+		f.minRTT = rtt
+	}
+
+	// Delivery-rate sample: bytes delivered between this packet's send and
+	// its ACK, over the longer of the ACK interval and the send interval
+	// (the max suppresses aliasing from ACK compression).
+	ackElapsed := now.Sub(p.deliveredTime)
+	sendElapsed := p.sentAt.Sub(p.firstSent)
+	interval := ackElapsed
+	if sendElapsed > interval {
+		interval = sendElapsed
+	}
+	var rate units.Rate
+	if interval > 0 {
+		rate = units.RateOver(f.delivered-p.delivered, interval)
+	}
+
+	f.alg.OnAck(cc.AckEvent{
+		Now:       now,
+		Seq:       p.seq,
+		Bytes:     p.size,
+		SentAt:    p.sentAt,
+		RTT:       rtt,
+		Inflight:  f.inflight,
+		Delivered: f.delivered,
+		Rate:      rate,
+	})
+	f.net.freePacket(p)
+	f.trySend()
+}
+
+// packetDropped is called (at drop time) when the bottleneck discards p.
+// The sender detects the loss roughly when duplicate ACKs triggered by
+// later packets would arrive: one queue drain plus one base RTT later.
+func (f *Flow) packetDropped(p *packet, queueDelay time.Duration) {
+	f.net.loop.After(queueDelay+f.rtt, func() { f.lossDetected(p) })
+}
+
+func (f *Flow) lossDetected(p *packet) {
+	now := f.net.loop.Now()
+	f.inflight -= p.size
+	f.lost.Add(1)
+	f.alg.OnLoss(cc.LossEvent{
+		Now:      now,
+		Seq:      p.seq,
+		Bytes:    p.size,
+		SentAt:   p.sentAt,
+		Inflight: f.inflight,
+	})
+	f.net.freePacket(p)
+	f.trySend()
+}
+
+// finishTransfer pauses a finite flow at the end of its transfer and, if
+// configured, schedules the next one. The congestion-control instance keeps
+// its state across restarts, like a persistent connection reused for
+// successive objects.
+func (f *Flow) finishTransfer() {
+	f.started = false
+	f.transfers++
+	if f.restartAfter <= 0 {
+		return
+	}
+	f.net.loop.After(f.restartAfter, func() {
+		f.sentInXfer = 0
+		f.started = true
+		now := f.net.loop.Now()
+		if f.nextSend < now {
+			f.nextSend = now
+		}
+		f.trySend()
+	})
+}
+
+func (f *Flow) resetMeasurement(now eventsim.Time) {
+	f.arrived.Reset(now)
+	f.sent.Reset(now)
+	f.lost.Reset(now)
+	f.rttStats.Reset()
+	f.queued.Reset(now)
+}
+
+// Name returns the flow's label.
+func (f *Flow) Name() string { return f.name }
+
+// AlgorithmName returns the congestion-control algorithm's name.
+func (f *Flow) AlgorithmName() string { return f.alg.Name() }
+
+// Algorithm exposes the underlying congestion-control instance (useful for
+// white-box tests).
+func (f *Flow) Algorithm() cc.Algorithm { return f.alg }
+
+// BaseRTT returns the flow's configured round-trip propagation delay.
+func (f *Flow) BaseRTT() time.Duration { return f.rtt }
+
+// Inflight returns the bytes currently outstanding.
+func (f *Flow) Inflight() units.Bytes { return f.inflight }
+
+// Transfers reports how many finite transfers the flow has completed (0
+// for infinite bulk flows).
+func (f *Flow) Transfers() int { return f.transfers }
+
+// Stats snapshots the flow's statistics over the current measurement window.
+func (f *Flow) Stats() FlowStats {
+	now := f.net.loop.Now()
+	return FlowStats{
+		Name:               f.name,
+		Algorithm:          f.alg.Name(),
+		Throughput:         f.arrived.RateSince(now),
+		Delivered:          units.Bytes(f.arrived.Windowed()),
+		SentBytes:          units.Bytes(f.sent.Windowed()),
+		Lost:               int(f.lost.Windowed()),
+		MeanRTT:            f.rttStats.MeanDuration(),
+		MinRTT:             f.minRTT,
+		MeanQueueOccupancy: units.Bytes(f.queued.Average(now)),
+		MinQueueOccupancy:  units.Bytes(f.queued.Min()),
+		MaxQueueOccupancy:  units.Bytes(f.queued.Max()),
+	}
+}
+
+// FlowStats is a snapshot of per-flow statistics over the current
+// measurement window.
+type FlowStats struct {
+	Name      string
+	Algorithm string
+	// Throughput is the rate at which this flow's bytes crossed the
+	// bottleneck during the measurement window.
+	Throughput units.Rate
+	// Delivered is the byte count behind Throughput.
+	Delivered units.Bytes
+	// SentBytes counts transmissions (including bytes later lost).
+	SentBytes units.Bytes
+	// Lost counts packets dropped at the bottleneck.
+	Lost int
+	// MeanRTT is the mean round-trip sample.
+	MeanRTT time.Duration
+	// MinRTT is the smallest round-trip sample ever observed.
+	MinRTT time.Duration
+	// MeanQueueOccupancy is the time-weighted average of this flow's bytes
+	// waiting in the bottleneck buffer.
+	MeanQueueOccupancy units.Bytes
+	// MinQueueOccupancy and MaxQueueOccupancy bound the flow's waiting
+	// bytes over the window.
+	MinQueueOccupancy units.Bytes
+	MaxQueueOccupancy units.Bytes
+}

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"time"
+
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/metrics"
+	"bbrnash/internal/units"
+)
+
+// link is the bottleneck: a drop-tail FIFO of waiting packets plus a single
+// transmitter serving them at the link rate. The buffer capacity bounds
+// waiting bytes only; the packet being transmitted has left the queue, which
+// mirrors how a router's output queue feeds its transmitter.
+type link struct {
+	net      *Network
+	capacity units.Rate
+	buffer   units.Bytes
+
+	waiting      []*packet // FIFO; head at index `head`
+	head         int
+	waitingBytes units.Bytes
+	busy         bool
+
+	occupancy metrics.TimeWeighted
+	delay     metrics.Summary
+	drops     metrics.Counter
+	departed  metrics.Counter
+}
+
+func newLink(n *Network, capacity units.Rate, buffer units.Bytes) *link {
+	return &link{net: n, capacity: capacity, buffer: buffer}
+}
+
+// queueDelay is the time a packet arriving now would wait before its own
+// transmission begins.
+func (l *link) queueDelay() time.Duration {
+	return l.capacity.TimeToSend(l.waitingBytes)
+}
+
+// enqueue accepts or drops an arriving packet.
+func (l *link) enqueue(p *packet) {
+	now := l.net.loop.Now()
+	if l.waitingBytes+p.size > l.buffer {
+		// Drop-tail.
+		l.drops.Add(1)
+		p.flow.packetDropped(p, l.queueDelay())
+		return
+	}
+	p.enqueuedAt = now
+	l.waiting = append(l.waiting, p)
+	l.waitingBytes += p.size
+	l.occupancy.Set(now, float64(l.waitingBytes))
+	p.flow.queued.Add(now, float64(p.size))
+	if !l.busy {
+		l.startService()
+	}
+}
+
+// startService begins transmitting the head-of-line packet.
+func (l *link) startService() {
+	now := l.net.loop.Now()
+	p := l.waiting[l.head]
+	l.waiting[l.head] = nil
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.waiting) {
+		l.waiting = append(l.waiting[:0], l.waiting[l.head:]...)
+		l.head = 0
+	}
+	l.waitingBytes -= p.size
+	l.occupancy.Set(now, float64(l.waitingBytes))
+	p.flow.queued.Add(now, -float64(p.size))
+	l.busy = true
+	l.net.loop.After(l.capacity.TimeToSend(p.size), func() { l.serviceDone(p) })
+}
+
+// serviceDone fires when a packet finishes transmission: it departs the
+// bottleneck, crosses the propagation path, and its ACK returns to the
+// sender one base RTT later.
+func (l *link) serviceDone(p *packet) {
+	now := l.net.loop.Now()
+	l.busy = false
+	l.departed.Add(float64(p.size))
+	l.delay.Observe(float64(now.Sub(p.enqueuedAt)))
+	p.flow.packetDeparted(p)
+	ackDelay := p.flow.rtt
+	if j := l.net.cfg.AckJitter; j > 0 {
+		ackDelay += l.net.rng.Duration(j)
+	}
+	l.net.loop.After(ackDelay, func() { p.flow.ackArrived(p) })
+	if l.head < len(l.waiting) {
+		l.startService()
+	} else if l.head > 0 {
+		l.waiting = l.waiting[:0]
+		l.head = 0
+	}
+}
+
+func (l *link) resetMeasurement(now eventsim.Time) {
+	l.occupancy.Reset(now)
+	l.delay.Reset()
+	l.drops.Reset(now)
+	l.departed.Reset(now)
+}

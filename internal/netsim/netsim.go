@@ -1,0 +1,244 @@
+// Package netsim is a deterministic, packet-level, discrete-event simulator
+// of the paper's experimental topology: N bulk TCP senders sharing a single
+// drop-tail FIFO bottleneck, with per-flow round-trip propagation delays.
+//
+// It substitutes for the paper's Linux testbed. The abstractions match what
+// the paper's model depends on:
+//
+//   - a drop-tail queue of configurable byte capacity served at link rate C,
+//   - per-packet ACK clocking with one-RTT feedback delay,
+//   - loss only by queue overflow, detected by the sender about one RTT
+//     after the drop (as duplicate ACKs would reveal it),
+//   - per-packet delivery-rate samples computed with the estimator BBR
+//     specifies, so rate-based algorithms behave faithfully.
+//
+// Senders have infinite backlog: a "retransmission" is indistinguishable
+// from new data, so goodput equals delivered bytes. Simulations are
+// single-threaded and fully deterministic given the configuration and seed.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/rng"
+	"bbrnash/internal/units"
+)
+
+// Config describes the shared bottleneck.
+type Config struct {
+	// Capacity is the bottleneck link rate.
+	Capacity units.Rate
+	// Buffer is the drop-tail queue capacity in bytes (waiting room).
+	Buffer units.Bytes
+	// MSS is the segment size used by all flows; defaults to units.MSS.
+	MSS units.Bytes
+	// AckJitter adds a uniform random delay in [0, AckJitter) to every
+	// ACK's return path. Deterministic drop-tail simulations exhibit
+	// phase effects (Floyd & Jacobson's "traffic phase effects"): one
+	// flow's ack-clocked arrivals can lock onto the queue's free slots
+	// and systematically win or lose at overflow instants. A jitter of a
+	// fraction of the RTT models real paths' delay variation and breaks
+	// the lockout. Zero (the default) keeps the simulator fully
+	// deterministic given flow start times.
+	AckJitter time.Duration
+	// Seed drives AckJitter randomness; runs are reproducible for a
+	// given seed.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = units.MSS
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	c = c.withDefaults()
+	if c.Capacity <= 0 {
+		return errors.New("netsim: Capacity must be positive")
+	}
+	if c.Buffer < c.MSS {
+		return fmt.Errorf("netsim: Buffer (%v) must hold at least one segment (%v)", c.Buffer, c.MSS)
+	}
+	return nil
+}
+
+// FlowConfig describes one sender.
+type FlowConfig struct {
+	// Name labels the flow in statistics.
+	Name string
+	// RTT is the flow's base round-trip propagation delay (no queueing).
+	RTT time.Duration
+	// Start is when the flow begins sending.
+	Start time.Duration
+	// Algorithm constructs the congestion-control instance for this flow.
+	Algorithm cc.Constructor
+	// TransferBytes, when positive, makes the flow finite: it stops after
+	// sending this much data. The default (zero) is an infinite bulk flow,
+	// the paper's workload.
+	TransferBytes units.Bytes
+	// RestartAfter, with TransferBytes set, restarts the transfer this
+	// long after it completes — an on/off source modeling the chunky
+	// short-flow traffic the paper's §5 discussion raises. Zero means the
+	// flow stays stopped after one transfer.
+	RestartAfter time.Duration
+}
+
+// Network is one simulation instance. Create with New, add flows, then Run.
+// A Network is not safe for concurrent use; run independent simulations in
+// separate Networks.
+type Network struct {
+	cfg   Config
+	loop  eventsim.Loop
+	link  *link
+	flows []*Flow
+	free  []*packet
+	rng   *rng.Source
+}
+
+// New creates a network with the given bottleneck configuration.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := &Network{cfg: cfg, rng: rng.New(cfg.Seed)}
+	n.link = newLink(n, cfg.Capacity, cfg.Buffer)
+	return n, nil
+}
+
+// AddFlow attaches a sender to the bottleneck. All flows must be added
+// before Run is first called.
+func (n *Network) AddFlow(fc FlowConfig) (*Flow, error) {
+	if fc.RTT <= 0 {
+		return nil, errors.New("netsim: flow RTT must be positive")
+	}
+	if fc.Algorithm == nil {
+		return nil, errors.New("netsim: flow needs an Algorithm constructor")
+	}
+	if fc.Start < 0 {
+		return nil, errors.New("netsim: flow Start must be non-negative")
+	}
+	if fc.Name == "" {
+		fc.Name = fmt.Sprintf("flow%d", len(n.flows))
+	}
+	alg := fc.Algorithm(cc.Params{MSS: n.cfg.MSS}.WithDefaults())
+	f := &Flow{
+		net:          n,
+		id:           len(n.flows),
+		name:         fc.Name,
+		rtt:          fc.RTT,
+		alg:          alg,
+		transferSize: fc.TransferBytes,
+		restartAfter: fc.RestartAfter,
+	}
+	f.pacer = eventsim.NewTimer(&n.loop, f.trySend)
+	n.flows = append(n.flows, f)
+	n.loop.Schedule(eventsim.At(fc.Start), f.start)
+	return f, nil
+}
+
+// Run advances the simulation by d of simulated time.
+func (n *Network) Run(d time.Duration) { n.loop.RunFor(d) }
+
+// Now returns the current simulation time.
+func (n *Network) Now() eventsim.Time { return n.loop.Now() }
+
+// Events reports how many events have been processed (for benchmarks).
+func (n *Network) Events() uint64 { return n.loop.Processed() }
+
+// StartMeasurement resets all measurement windows (flow throughput, queue
+// statistics) at the current instant. Call it after a warm-up period; the
+// paper's experiments measure from flow start, which corresponds to calling
+// it at time zero (or never).
+func (n *Network) StartMeasurement() {
+	now := n.loop.Now()
+	for _, f := range n.flows {
+		f.resetMeasurement(now)
+	}
+	n.link.resetMeasurement(now)
+}
+
+// Flows returns the attached flows in creation order.
+func (n *Network) Flows() []*Flow { return n.flows }
+
+// Capacity returns the bottleneck rate.
+func (n *Network) Capacity() units.Rate { return n.cfg.Capacity }
+
+// Buffer returns the bottleneck queue capacity in bytes.
+func (n *Network) Buffer() units.Bytes { return n.cfg.Buffer }
+
+// MSS returns the segment size in use.
+func (n *Network) MSS() units.Bytes { return n.cfg.MSS }
+
+// Link returns statistics for the bottleneck.
+func (n *Network) Link() LinkStats {
+	now := n.loop.Now()
+	l := n.link
+	util := 0.0
+	if r := l.departed.RateSince(now); n.cfg.Capacity > 0 {
+		util = float64(r / n.cfg.Capacity)
+	}
+	return LinkStats{
+		Utilization:        util,
+		MeanQueueOccupancy: units.Bytes(l.occupancy.Average(now)),
+		MaxQueueOccupancy:  units.Bytes(l.occupancy.Max()),
+		MeanQueueDelay:     l.delay.MeanDuration(),
+		MaxQueueDelay:      time.Duration(l.delay.Max()),
+		Drops:              int(l.drops.Windowed()),
+	}
+}
+
+// LinkStats is a snapshot of bottleneck-level statistics over the current
+// measurement window.
+type LinkStats struct {
+	// Utilization is delivered rate divided by capacity (0..1).
+	Utilization float64
+	// MeanQueueOccupancy is the time-weighted average of waiting bytes.
+	MeanQueueOccupancy units.Bytes
+	// MaxQueueOccupancy is the peak of waiting bytes.
+	MaxQueueOccupancy units.Bytes
+	// MeanQueueDelay is the mean per-packet queueing delay (wait plus
+	// transmission time).
+	MeanQueueDelay time.Duration
+	// MaxQueueDelay is the largest per-packet queueing delay.
+	MaxQueueDelay time.Duration
+	// Drops counts packets lost to buffer overflow.
+	Drops int
+}
+
+// packet is an in-flight segment. Packets are pooled per network.
+type packet struct {
+	flow *Flow
+	seq  uint64
+	size units.Bytes
+
+	sentAt     eventsim.Time
+	enqueuedAt eventsim.Time
+
+	// Delivery-rate estimator state captured at send time (per the BBR
+	// delivery-rate-estimation algorithm).
+	delivered     units.Bytes
+	deliveredTime eventsim.Time
+	firstSent     eventsim.Time
+}
+
+func (n *Network) newPacket() *packet {
+	if len(n.free) == 0 {
+		return &packet{}
+	}
+	p := n.free[len(n.free)-1]
+	n.free = n.free[:len(n.free)-1]
+	*p = packet{}
+	return p
+}
+
+func (n *Network) freePacket(p *packet) {
+	p.flow = nil
+	n.free = append(n.free, p)
+}

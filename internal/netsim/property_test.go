@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bbrnash/internal/units"
+)
+
+// Property: for any sane configuration and any mix of fixed windows, every
+// byte sent is delivered, dropped, or still in flight, the buffer bound is
+// respected, and utilization never exceeds 1.
+func TestInvariantsUnderRandomConfigs(t *testing.T) {
+	type tc struct {
+		CapMbps  uint8
+		BufKB    uint16
+		RTTms    uint8
+		Windows  [3]uint8
+		Paced    [3]bool
+		Duration uint8
+	}
+	f := func(c tc) bool {
+		capacity := units.Rate(c.CapMbps%90+10) * units.Mbps
+		buffer := units.Bytes(c.BufKB%2000)*units.KB + 10*units.MSS
+		rtt := time.Duration(c.RTTms%90+5) * time.Millisecond
+		n, err := New(Config{Capacity: capacity, Buffer: buffer})
+		if err != nil {
+			return false
+		}
+		type probe struct {
+			flow *Flow
+			alg  **fixedWindow
+		}
+		var probes []probe
+		for i, w := range c.Windows {
+			cwnd := units.Bytes(int(w)%400+2) * units.MSS
+			var pace units.Rate
+			if c.Paced[i] {
+				pace = capacity / 2
+			}
+			ctor, holder := fixedCtor(cwnd, pace)
+			fl, err := n.AddFlow(FlowConfig{RTT: rtt, Algorithm: ctor})
+			if err != nil {
+				return false
+			}
+			probes = append(probes, probe{flow: fl, alg: holder})
+		}
+		n.Run(time.Duration(c.Duration%5+1) * time.Second)
+
+		for _, p := range probes {
+			fw := *p.alg
+			sent := float64(fw.sent) * float64(units.MSS)
+			acked := float64(fw.acks) * float64(units.MSS)
+			lost := float64(fw.losses) * float64(units.MSS)
+			inflight := float64(p.flow.Inflight())
+			if math.Abs(sent-(acked+lost+inflight)) > 1 {
+				return false
+			}
+			if inflight < 0 {
+				return false
+			}
+		}
+		link := n.Link()
+		if float64(link.MaxQueueOccupancy) > float64(buffer) {
+			return false
+		}
+		if link.Utilization > 1.001 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: simulations are deterministic — identical configurations give
+// bit-identical statistics.
+func TestDeterminismProperty(t *testing.T) {
+	run := func(cwnd units.Bytes) (units.Bytes, int) {
+		n := mustNetwork(t, Config{Capacity: 30 * units.Mbps, Buffer: 300e3})
+		ctor, _ := fixedCtor(cwnd, 0)
+		fl, err := n.AddFlow(FlowConfig{RTT: 25 * time.Millisecond, Algorithm: ctor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(4 * time.Second)
+		st := fl.Stats()
+		return st.Delivered, st.Lost
+	}
+	f := func(w uint8) bool {
+		cwnd := units.Bytes(int(w)%300+2) * units.MSS
+		d1, l1 := run(cwnd)
+		d2, l2 := run(cwnd)
+		return d1 == d2 && l1 == l2
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total throughput never exceeds capacity, and with an aggregate
+// window above BDP+buffer the link saturates.
+func TestThroughputBoundsProperty(t *testing.T) {
+	f := func(w1, w2 uint8) bool {
+		capacity := 40 * units.Mbps
+		rtt := 30 * time.Millisecond
+		buffer := units.BufferBytes(capacity, rtt, 2)
+		n, err := New(Config{Capacity: capacity, Buffer: buffer})
+		if err != nil {
+			return false
+		}
+		ctorA, _ := fixedCtor(units.Bytes(int(w1)%500+2)*units.MSS, 0)
+		ctorB, _ := fixedCtor(units.Bytes(int(w2)%500+2)*units.MSS, 0)
+		fa, _ := n.AddFlow(FlowConfig{RTT: rtt, Algorithm: ctorA})
+		fb, _ := n.AddFlow(FlowConfig{RTT: rtt, Algorithm: ctorB})
+		n.Run(2 * time.Second)
+		n.StartMeasurement()
+		n.Run(6 * time.Second)
+		total := float64(fa.Stats().Throughput + fb.Stats().Throughput)
+		if total > float64(capacity)*1.001 {
+			return false
+		}
+		aggWindow := float64((units.Bytes(int(w1)%500+2) + units.Bytes(int(w2)%500+2)) * units.MSS)
+		if aggWindow > float64(units.BDP(capacity, rtt))+float64(buffer) {
+			// Saturating windows must keep the link busy.
+			return total > float64(capacity)*0.95
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"time"
+
+	"bbrnash/internal/eventsim"
+	"bbrnash/internal/units"
+)
+
+// Sample is one periodic observation of a flow.
+type Sample struct {
+	// At is the simulation time of the observation.
+	At eventsim.Time
+	// Throughput is the delivery rate over the sampling interval.
+	Throughput units.Rate
+	// Inflight is the flow's outstanding bytes at sampling time.
+	Inflight units.Bytes
+	// QueueBytes is the flow's share of the bottleneck buffer.
+	QueueBytes units.Bytes
+}
+
+// Sampler records a periodic time series for one flow: interval throughput,
+// in-flight data and buffer share. Attach with NewSampler before running
+// the simulation; the series is available from Samples afterwards.
+//
+// The experiment harness reports run-wide averages; samplers exist for
+// inspecting dynamics (e.g. BBR's ProbeRTT dips or CUBIC's sawtooth) in
+// tests, examples and debugging sessions.
+type Sampler struct {
+	flow     *Flow
+	interval time.Duration
+	lastSeen float64
+	samples  []Sample
+}
+
+// NewSampler attaches a sampler to f with the given interval. The first
+// sample is taken one interval after the current simulation time.
+func NewSampler(f *Flow, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	s := &Sampler{flow: f, interval: interval, lastSeen: f.arrived.Total()}
+	var tick func()
+	tick = func() {
+		s.take()
+		f.net.loop.After(interval, tick)
+	}
+	f.net.loop.After(interval, tick)
+	return s
+}
+
+func (s *Sampler) take() {
+	now := s.flow.net.loop.Now()
+	total := s.flow.arrived.Total()
+	delta := units.Bytes(total - s.lastSeen)
+	s.lastSeen = total
+	s.samples = append(s.samples, Sample{
+		At:         now,
+		Throughput: units.RateOver(delta, s.interval),
+		Inflight:   s.flow.inflight,
+		QueueBytes: units.Bytes(s.flow.queued.Value()),
+	})
+}
+
+// Samples returns the recorded series.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// MinThroughput returns the smallest interval throughput recorded after
+// skipping the first skip samples (useful for ignoring slow start).
+func (s *Sampler) MinThroughput(skip int) units.Rate {
+	min := units.Rate(-1)
+	for i, smp := range s.samples {
+		if i < skip {
+			continue
+		}
+		if min < 0 || smp.Throughput < min {
+			min = smp.Throughput
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// MaxInflight returns the largest in-flight observation.
+func (s *Sampler) MaxInflight() units.Bytes {
+	var max units.Bytes
+	for _, smp := range s.samples {
+		if smp.Inflight > max {
+			max = smp.Inflight
+		}
+	}
+	return max
+}

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc/bbr"
+	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/units"
+)
+
+func TestSamplerRecordsSeries(t *testing.T) {
+	cfg := Config{Capacity: 10 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(100*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(f, 100*time.Millisecond)
+	n.Run(5 * time.Second)
+	samples := s.Samples()
+	if len(samples) != 50 {
+		t.Fatalf("got %d samples, want 50", len(samples))
+	}
+	// Steady state: a saturating flow's interval throughput matches link
+	// capacity.
+	last := samples[len(samples)-1]
+	if relErr(float64(last.Throughput), float64(cfg.Capacity)) > 0.05 {
+		t.Errorf("steady-state sample throughput %v, want about %v", last.Throughput, cfg.Capacity)
+	}
+	if last.Inflight <= 0 {
+		t.Error("inflight sample missing")
+	}
+	if last.QueueBytes <= 0 {
+		t.Error("queue-share sample missing (window exceeds BDP, queue should stand)")
+	}
+}
+
+func TestSamplerThroughputSumsToDelivered(t *testing.T) {
+	cfg := Config{Capacity: 20 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(50*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(f, 50*time.Millisecond)
+	n.Run(3 * time.Second)
+	var sum units.Bytes
+	for _, smp := range s.Samples() {
+		sum += smp.Throughput.BytesIn(50 * time.Millisecond)
+	}
+	delivered := units.Bytes(f.arrived.Total())
+	if relErr(float64(sum), float64(delivered)) > 0.01 {
+		t.Errorf("sample integral %v != delivered %v", sum, delivered)
+	}
+}
+
+func TestSamplerHelpers(t *testing.T) {
+	cfg := Config{Capacity: 10 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(100*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(f, 100*time.Millisecond)
+	n.Run(2 * time.Second)
+	if s.MinThroughput(5) <= 0 {
+		t.Error("MinThroughput after skip should be positive for a saturating flow")
+	}
+	if s.MaxInflight() <= 0 {
+		t.Error("MaxInflight should be positive")
+	}
+	empty := &Sampler{}
+	if empty.MinThroughput(0) != 0 || empty.MaxInflight() != 0 {
+		t.Error("empty sampler helpers should return zero")
+	}
+}
+
+// BBR's ProbeRTT dips must be visible in a sampled inflight series when
+// competing traffic keeps the estimate stale: inflight periodically drops
+// to a handful of packets.
+func TestSamplerShowsProbeRTTDips(t *testing.T) {
+	cfg := Config{Capacity: 50 * units.Mbps, Buffer: units.BufferBytes(50*units.Mbps, 40*time.Millisecond, 5)}
+	n := mustNetwork(t, cfg)
+	fb, err := n.AddFlow(FlowConfig{Name: "bbr", RTT: 40 * time.Millisecond, Algorithm: bbr.New})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddFlow(FlowConfig{Name: "cubic", RTT: 40 * time.Millisecond, Algorithm: cubic.New}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(fb, 50*time.Millisecond)
+	n.Run(45 * time.Second)
+	var min units.Bytes = 1 << 50
+	for i, smp := range s.Samples() {
+		if i < 100 {
+			continue // skip the first 5 seconds
+		}
+		if smp.Inflight < min {
+			min = smp.Inflight
+		}
+	}
+	if min > 8*units.MSS {
+		t.Errorf("min inflight %v packets; expected ProbeRTT dips near 4 segments", min.Packets())
+	}
+}

@@ -1,0 +1,288 @@
+// Package numeric implements the root-finding and elementary numerical
+// routines the analytical model needs: bisection, Brent's method, Newton's
+// method, stable quadratic solving, and fixed-point iteration.
+//
+// Go's ecosystem is thin on numerical code and this module is offline-only,
+// so these are written from scratch against the standard references
+// (Brent 1973; Press et al., Numerical Recipes §9).
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors reported by the solvers.
+var (
+	// ErrNoBracket is returned when the supplied interval does not bracket
+	// a sign change.
+	ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+	// ErrNoConverge is returned when an iterative method fails to reach the
+	// requested tolerance within its iteration budget.
+	ErrNoConverge = errors.New("numeric: failed to converge")
+)
+
+// DefaultTol is the default absolute tolerance on the root location.
+const DefaultTol = 1e-10
+
+const maxIterations = 200
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs (or one endpoint must already be a root). The returned
+// value is within tol of a true root.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < 2000; i++ {
+		mid := a + (b-a)/2
+		if b-a < 0 {
+			mid = b + (a-b)/2
+		}
+		fm := f(mid)
+		if fm == 0 || math.Abs(b-a) < tol {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = mid, fm
+		} else {
+			b = mid
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must have opposite
+// signs. It converges superlinearly on smooth functions while retaining
+// bisection's guarantees.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	// Ensure |f(b)| <= |f(a)|: b is the best estimate.
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < maxIterations; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = a + (b-a)/2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// Newton finds a root of f starting from x0 using Newton's method with the
+// derivative df. It falls back on returning ErrNoConverge if the iteration
+// does not settle within its budget or the derivative vanishes.
+func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	x := x0
+	for i := 0; i < maxIterations; i++ {
+		fx := f(x)
+		if math.Abs(fx) == 0 {
+			return x, nil
+		}
+		dfx := df(x)
+		if dfx == 0 || math.IsNaN(dfx) || math.IsInf(dfx, 0) {
+			return x, fmt.Errorf("%w: zero or invalid derivative at x=%g", ErrNoConverge, x)
+		}
+		next := x - fx/dfx
+		if math.Abs(next-x) < tol {
+			return next, nil
+		}
+		x = next
+	}
+	return x, ErrNoConverge
+}
+
+// Quadratic solves a*x^2 + b*x + c = 0, returning real roots in ascending
+// order. It uses the numerically stable formulation that avoids catastrophic
+// cancellation. A degenerate (a == 0) equation is solved linearly; if no
+// real root exists, roots is empty.
+func Quadratic(a, b, c float64) (roots []float64) {
+	if a == 0 {
+		if b == 0 {
+			return nil
+		}
+		return []float64{-c / b}
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	if disc == 0 {
+		return []float64{-b / (2 * a)}
+	}
+	sq := math.Sqrt(disc)
+	// q = -(b + sign(b)*sqrt(disc)) / 2 avoids subtracting nearly equal
+	// magnitudes.
+	var q float64
+	if b >= 0 {
+		q = -(b + sq) / 2
+	} else {
+		q = -(b - sq) / 2
+	}
+	r1, r2 := q/a, c/q
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return []float64{r1, r2}
+}
+
+// FixedPoint iterates x <- g(x) from x0 until successive iterates differ by
+// less than tol, with damping factor damp in (0, 1] applied as
+// x <- (1-damp)*x + damp*g(x) to stabilize oscillating maps.
+func FixedPoint(g func(float64) float64, x0, tol, damp float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if damp <= 0 || damp > 1 {
+		damp = 1
+	}
+	x := x0
+	for i := 0; i < 10000; i++ {
+		next := (1-damp)*x + damp*g(x)
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return x, fmt.Errorf("%w: iterate diverged at step %d", ErrNoConverge, i)
+		}
+		if math.Abs(next-x) < tol {
+			return next, nil
+		}
+		x = next
+	}
+	return x, ErrNoConverge
+}
+
+// BracketRoot expands an initial guess interval [a, b] geometrically until it
+// brackets a sign change of f, up to maxExpand doublings. It is useful when
+// only a rough location of the root is known.
+func BracketRoot(f func(float64) float64, a, b float64, maxExpand int) (lo, hi float64, err error) {
+	if a == b {
+		b = a + 1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxExpand; i++ {
+		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 {
+			return a, b, nil
+		}
+		w := b - a
+		if math.Abs(fa) < math.Abs(fb) {
+			a -= w
+			fa = f(a)
+		} else {
+			b += w
+			fb = f(b)
+		}
+	}
+	if math.Signbit(fa) != math.Signbit(fb) {
+		return a, b, nil
+	}
+	return 0, 0, ErrNoBracket
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("numeric: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Arange returns values lo, lo+step, ... up to and including hi (within half
+// a step of floating error). step must be positive and lo <= hi.
+func Arange(lo, hi, step float64) []float64 {
+	if step <= 0 {
+		panic("numeric: Arange needs positive step")
+	}
+	var out []float64
+	for x := lo; x <= hi+step/2; x += step {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimple(t *testing.T) {
+	// x^2 - 2 = 0 on [0, 2] -> sqrt(2).
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, 0); err != nil || r != 0 {
+		t.Errorf("Bisect with root at a: r=%v err=%v", r, err)
+	}
+	if r, err := Bisect(f, -1, 0, 0); err != nil || r != 0 {
+		t.Errorf("Bisect with root at b: r=%v err=%v", r, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 0)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentMatchesKnownRoots(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cbrt5", func(x float64) float64 { return x*x*x - 5 }, 0, 5, math.Cbrt(5)},
+		{"cos", math.Cos, 0, 3, math.Pi / 2},
+		{"expm1", func(x float64) float64 { return math.Exp(x) - 1 }, -1, 1, 0},
+		{"rational", func(x float64) float64 { return 1/(x+1) - 0.25 }, 0, 10, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			root, err := Brent(tt.f, tt.a, tt.b, 1e-13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(root-tt.want) > 1e-9 {
+				t.Errorf("root = %v, want %v", root, tt.want)
+			}
+		})
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	_, err := Brent(func(x float64) float64 { return 1 + x*x }, -3, 3, 0)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentRandomQuadraticsProperty(t *testing.T) {
+	// For random monotone-bracketed quadratics (x-r1)(x-r2) with r1 < r2,
+	// Brent on [r1-1, (r1+r2)/2] finds r1.
+	f := func(a, b int8) bool {
+		r1 := float64(a%50) / 3
+		r2 := r1 + 1 + float64(b%50+50)/17
+		g := func(x float64) float64 { return (x - r1) * (x - r2) }
+		root, err := Brent(g, r1-1, (r1+r2)/2, 1e-12)
+		return err == nil && math.Abs(root-r1) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewton(t *testing.T) {
+	root, err := Newton(
+		func(x float64) float64 { return x*x*x - 8 },
+		func(x float64) float64 { return 3 * x * x },
+		3, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-2) > 1e-10 {
+		t.Errorf("root = %v, want 2", root)
+	}
+}
+
+func TestNewtonZeroDerivative(t *testing.T) {
+	_, err := Newton(
+		func(x float64) float64 { return x*x + 1 },
+		func(x float64) float64 { return 0 },
+		5, 0)
+	if !errors.Is(err, ErrNoConverge) {
+		t.Errorf("err = %v, want ErrNoConverge", err)
+	}
+}
+
+func TestQuadratic(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, c float64
+		want    []float64
+	}{
+		{"two roots", 1, -3, 2, []float64{1, 2}},
+		{"double root", 1, -2, 1, []float64{1}},
+		{"no real roots", 1, 0, 1, nil},
+		{"linear", 0, 2, -4, []float64{2}},
+		{"degenerate", 0, 0, 1, nil},
+		{"negative leading", -1, 0, 4, []float64{-2, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Quadratic(tt.a, tt.b, tt.c)
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if math.Abs(got[i]-tt.want[i]) > 1e-10 {
+					t.Errorf("root[%d] = %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestQuadraticStability(t *testing.T) {
+	// x^2 - 1e8 x + 1 = 0 has roots ~1e8 and ~1e-8; the naive formula
+	// loses the small one to cancellation.
+	roots := Quadratic(1, -1e8, 1)
+	if len(roots) != 2 {
+		t.Fatalf("expected 2 roots, got %v", roots)
+	}
+	if RelErr(roots[0], 1e-8) > 1e-6 {
+		t.Errorf("small root = %v, want 1e-8", roots[0])
+	}
+}
+
+func TestQuadraticVsBrentProperty(t *testing.T) {
+	f := func(p, q int8) bool {
+		r1 := float64(p) / 4
+		r2 := r1 + float64(q%40+41)/10
+		// expand (x-r1)(x-r2)
+		b, c := -(r1 + r2), r1*r2
+		roots := Quadratic(1, b, c)
+		if len(roots) != 2 {
+			return false
+		}
+		return math.Abs(roots[0]-r1) < 1e-8 && math.Abs(roots[1]-r2) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedPoint(t *testing.T) {
+	// x = cos(x) has the Dottie number as its fixed point.
+	x, err := FixedPoint(math.Cos, 1, 1e-12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.7390851332151607) > 1e-9 {
+		t.Errorf("fixed point = %v", x)
+	}
+}
+
+func TestFixedPointDamped(t *testing.T) {
+	// x = 4 - x oscillates undamped but converges to 2 with damping.
+	x, err := FixedPoint(func(x float64) float64 { return 4 - x }, 0, 1e-12, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-2) > 1e-9 {
+		t.Errorf("fixed point = %v, want 2", x)
+	}
+}
+
+func TestFixedPointDiverges(t *testing.T) {
+	_, err := FixedPoint(func(x float64) float64 { return x*x + 1e30 }, 1, 0, 1)
+	if !errors.Is(err, ErrNoConverge) {
+		t.Errorf("err = %v, want ErrNoConverge", err)
+	}
+}
+
+func TestBracketRoot(t *testing.T) {
+	f := func(x float64) float64 { return x - 100 }
+	lo, hi, err := BracketRoot(f, 0, 1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= 100 && 100 <= hi) {
+		t.Errorf("bracket [%v, %v] does not contain 100", lo, hi)
+	}
+	if _, _, err := BracketRoot(func(x float64) float64 { return 1 }, 0, 1, 10); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestArange(t *testing.T) {
+	xs := Arange(1, 3, 0.5)
+	if len(xs) != 5 || xs[0] != 1 || xs[4] != 3 {
+		t.Errorf("Arange = %v", xs)
+	}
+}
+
+func TestArangeFloatAccumulation(t *testing.T) {
+	xs := Arange(0.5, 50, 0.5)
+	if len(xs) != 100 {
+		t.Errorf("Arange(0.5,50,0.5) has %d points, want 100", len(xs))
+	}
+}

@@ -1,0 +1,70 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestVarianceStddev(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of singleton != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if v := Variance(xs); math.Abs(v-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if s := Stddev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", s)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median wrong")
+	}
+	// Median must not reorder its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {12.5, 15}, {-1, 10}, {101, 50},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(105, 100) != 0.05 {
+		t.Error("RelErr wrong")
+	}
+	if RelErr(3, 0) != 3 {
+		t.Error("RelErr with zero want should return |got|")
+	}
+}

@@ -1,0 +1,185 @@
+// Package plot renders experiment results as CSV files and quick ASCII
+// charts, standing in for the paper's gnuplot figures. Every figure
+// generator emits one CSV (machine-readable, for external plotting) and an
+// ASCII chart (for eyeballing shapes directly in a terminal).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a set of series sharing axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a series.
+func (c *Chart) Add(name string, x, y []float64) {
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+// WriteCSV emits the chart as CSV: one x column per series' sample grid is
+// impractical, so rows are (series, x, y) triples — trivially pivotable.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "series,%s,%s\n", csvEscape(c.XLabel), csvEscape(c.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// markers assigns one rune per series, in order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws the chart into a width×height character grid with
+// axes and a legend. Series overdraw in order, later series on top.
+func (c *Chart) RenderASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if ymin > 0 {
+		ymin = 0 // anchor throughput-style charts at zero
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	place := func(x, y float64, m rune) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		row = height - 1 - row
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = m
+		}
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		// Connect consecutive points with linear interpolation so sparse
+		// series still read as lines.
+		type pt struct{ x, y float64 }
+		pts := make([]pt, len(s.X))
+		for i := range s.X {
+			pts[i] = pt{s.X[i], s.Y[i]}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		for i := range pts {
+			place(pts[i].x, pts[i].y, m)
+			if i > 0 {
+				steps := 2 * width
+				for t := 1; t < steps; t++ {
+					f := float64(t) / float64(steps)
+					place(pts[i-1].x+f*(pts[i].x-pts[i-1].x), pts[i-1].y+f*(pts[i].y-pts[i-1].y), m)
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%10.4g ┤\n", ymax)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.4g └%s\n", ymin, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  %-10.4g%*s%10.4g\n", "", xmin, width-20, "", xmax)
+	fmt.Fprintf(&b, "%10s  x: %s, y: %s\n", "", c.XLabel, c.YLabel)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Table renders aligned columns for printing benchmark rows.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with padded columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var parts []string
+		for i, c := range cells {
+			if i < len(widths) {
+				parts = append(parts, fmt.Sprintf("%-*s", widths[i], c))
+			} else {
+				parts = append(parts, c)
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

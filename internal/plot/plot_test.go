@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	c := &Chart{Title: "t", XLabel: "x", YLabel: "y"}
+	c.Add("a", []float64{0, 1, 2}, []float64{0, 1, 4})
+	c.Add("b", []float64{0, 1, 2}, []float64{4, 1, 0})
+	return c
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleChart().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.HasPrefix(got, "series,x,y\n") {
+		t.Errorf("missing header: %q", got)
+	}
+	if !strings.Contains(got, "a,1,1\n") || !strings.Contains(got, "b,0,4\n") {
+		t.Errorf("missing rows: %q", got)
+	}
+	if lines := strings.Count(got, "\n"); lines != 7 {
+		t.Errorf("expected 7 lines, got %d", lines)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	c := &Chart{XLabel: `x,label`, YLabel: `y"label`}
+	c.Add("s", []float64{1}, []float64{2})
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"x,label"`) || !strings.Contains(b.String(), `"y""label"`) {
+		t.Errorf("escaping wrong: %q", b.String())
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := sampleChart().RenderASCII(40, 10)
+	if !strings.Contains(out, "t\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+	if !strings.Contains(out, "x: x, y: y") {
+		t.Error("missing axis labels")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Error("missing legend")
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if out := c.RenderASCII(40, 10); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderASCIIDegenerateRanges(t *testing.T) {
+	c := &Chart{}
+	c.Add("flat", []float64{1, 1}, []float64{5, 5})
+	out := c.RenderASCII(10, 3) // also exercises minimum-size clamping
+	if out == "" {
+		t.Error("no output for degenerate chart")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "22")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "name   value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "alpha  1" {
+		t.Errorf("row = %q", lines[1])
+	}
+}

@@ -1,0 +1,178 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d identical values", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want about 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(11)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		seen := make(map[int]bool)
+		for i := 0; i < 200*n; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != n {
+			t.Errorf("Intn(%d) did not cover all values (saw %d)", n, len(seen))
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(-5, 5)
+		if v < -5 || v >= 5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+	if v := s.Range(3, 3); v != 3 {
+		t.Errorf("degenerate Range = %v, want 3", v)
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Range(1,0) did not panic")
+		}
+	}()
+	New(1).Range(1, 0)
+}
+
+func TestDuration(t *testing.T) {
+	s := New(17)
+	d := 10 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		v := s.Duration(d)
+		if v < 0 || v >= d {
+			t.Fatalf("Duration out of bounds: %v", v)
+		}
+	}
+	if v := s.Duration(0); v != 0 {
+		t.Errorf("Duration(0) = %v, want 0", v)
+	}
+	if v := s.Duration(-time.Second); v != 0 {
+		t.Errorf("Duration(-1s) = %v, want 0", v)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(19)
+	const n = 100000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want about 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(23)
+	f := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := s.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(31)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split children produced %d identical values", same)
+	}
+}
