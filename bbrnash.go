@@ -41,6 +41,7 @@ import (
 	"bbrnash/internal/exp"
 	"bbrnash/internal/game"
 	"bbrnash/internal/netsim"
+	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
 
@@ -234,4 +235,25 @@ var (
 	Figures = exp.Figures
 	// FigureByID finds one figure.
 	FigureByID = exp.FigureByID
+)
+
+// Parallel runner and result cache (internal/runner). Attach a pool and a
+// cache to an ExperimentScale (or an NE search config) to fan independent
+// simulations across cores and memoize their results; neither changes any
+// result — see DESIGN.md, "Parallel execution & determinism".
+type (
+	// WorkerPool bounds how many simulations run concurrently.
+	WorkerPool = runner.Pool
+	// ResultCache memoizes simulation results by canonical scenario key.
+	ResultCache = runner.Cache
+)
+
+var (
+	// NewWorkerPool creates a pool of the given size (<= 0 means
+	// GOMAXPROCS).
+	NewWorkerPool = runner.NewPool
+	// NewResultCache creates an empty in-memory cache.
+	NewResultCache = runner.NewCache
+	// OpenResultCache loads (or creates) an on-disk JSON cache.
+	OpenResultCache = runner.OpenCache
 )

@@ -27,6 +27,7 @@ import (
 	"bbrnash/internal/exp"
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/numeric"
+	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
 
@@ -362,6 +363,75 @@ func abs(v float64) float64 {
 		return -v
 	}
 	return v
+}
+
+// Runner benchmarks: the same sweep through the parallel fan-out at one
+// worker and at GOMAXPROCS workers, so BENCH_*.json captures the speedup
+// trajectory. Each op runs the sweep twice against a fresh cache — the
+// second pass is served from memory — so "cache-hit-rate" reports the
+// memoization half of the optimization (0.5 = every rerun scenario hit).
+
+// runnerSweep is the benchmark workload: a 4-point buffer sweep, two
+// jittered trials per point, short flows.
+func runnerSweep(b *testing.B, s exp.Scale) {
+	_, err := s.SweepMix(21, 4, func(i int) exp.MixConfig {
+		return exp.MixConfig{
+			Capacity: 50 * units.Mbps,
+			Buffer:   units.BufferBytes(50*units.Mbps, 40*time.Millisecond, float64(2*i+1)),
+			RTT:      40 * time.Millisecond,
+			Duration: 4 * time.Second,
+			NumX:     1, NumCubic: 1,
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// runnerScale builds the workload's scale at the given worker count with a
+// fresh cache.
+func runnerScale(workers int) exp.Scale {
+	return exp.Scale{
+		Trials: 2,
+		Pool:   runner.NewPool(workers),
+		Cache:  runner.NewCache(),
+	}
+}
+
+func BenchmarkRunnerSerial(b *testing.B) {
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		s := runnerScale(1)
+		runnerSweep(b, s)
+		runnerSweep(b, s)
+		hitRate = s.Cache.HitRate()
+	}
+	b.ReportMetric(hitRate, "cache-hit-rate")
+}
+
+func BenchmarkRunnerParallel(b *testing.B) {
+	// Serial baseline for the speedup metric, measured outside the timer.
+	start := time.Now()
+	serial := runnerScale(1)
+	runnerSweep(b, serial)
+	runnerSweep(b, serial)
+	baseline := time.Since(start)
+
+	var hitRate float64
+	b.ResetTimer()
+	start = time.Now()
+	for i := 0; i < b.N; i++ {
+		s := runnerScale(0) // GOMAXPROCS workers
+		runnerSweep(b, s)
+		runnerSweep(b, s)
+		hitRate = s.Cache.HitRate()
+	}
+	perOp := time.Since(start) / time.Duration(b.N)
+	b.StopTimer()
+	b.ReportMetric(hitRate, "cache-hit-rate")
+	if perOp > 0 {
+		b.ReportMetric(float64(baseline)/float64(perOp), "speedup")
+	}
 }
 
 // BenchmarkScalingLargeN probes §5's open question — do the predictions

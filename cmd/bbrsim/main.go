@@ -4,11 +4,14 @@
 // Usage:
 //
 //	bbrsim -capacity 100 -rtt 40 -buffer 3 -flows bbr:2,cubic:3 -duration 60s
+//	bbrsim -flows bbr:5,cubic:5 -runs 8 -workers 4 -cache results.json
 //
 // The -flows specification is a comma-separated list of name:count pairs;
 // names come from the algorithm registry (cubic, reno, bbr, bbrv2, copa,
 // vivace). -buffer is in multiples of the BDP computed from -capacity and
-// -rtt.
+// -rtt. With -runs > 1, replicates with distinct start-jitter seeds
+// (pre-derived from -seed) fan out across -workers cores and are reported
+// in run order; -cache memoizes each replicate's statistics on disk.
 package main
 
 import (
@@ -22,18 +25,31 @@ import (
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/plot"
 	"bbrnash/internal/rng"
+	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
 
+// runStats is one replicate's cacheable outcome: everything the report
+// prints, as plain JSON-safe statistics.
+type runStats struct {
+	Seed  uint64
+	Flows []netsim.FlowStats
+	Link  netsim.LinkStats
+}
+
 func main() {
 	var (
-		capMbps  = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
-		rttMs    = flag.Float64("rtt", 40, "base RTT in milliseconds")
-		bufBDP   = flag.Float64("buffer", 3, "buffer size in BDP multiples")
-		flows    = flag.String("flows", "bbr:1,cubic:1", "flow spec: name:count[,name:count...]")
-		duration = flag.Duration("duration", 2*time.Minute, "flow duration")
-		seed     = flag.Uint64("seed", 1, "start-jitter seed")
-		jitter   = flag.Duration("jitter", 10*time.Millisecond, "max random start offset")
+		capMbps    = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
+		rttMs      = flag.Float64("rtt", 40, "base RTT in milliseconds")
+		bufBDP     = flag.Float64("buffer", 3, "buffer size in BDP multiples")
+		flows      = flag.String("flows", "bbr:1,cubic:1", "flow spec: name:count[,name:count...]")
+		duration   = flag.Duration("duration", 2*time.Minute, "flow duration")
+		seed       = flag.Uint64("seed", 1, "start-jitter seed (base seed with -runs > 1)")
+		jitter     = flag.Duration("jitter", 10*time.Millisecond, "max random start offset")
+		runs       = flag.Int("runs", 1, "number of replicate runs with distinct derived seeds")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = no caching)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -41,54 +57,115 @@ func main() {
 	rtt := time.Duration(*rttMs * float64(time.Millisecond))
 	buffer := units.BufferBytes(capacity, rtt, *bufBDP)
 
-	n, err := netsim.New(netsim.Config{Capacity: capacity, Buffer: buffer})
-	if err != nil {
-		fatal(err)
-	}
 	specs, err := exp.ParseFlowSpec(*flows)
 	if err != nil {
 		fatal(err)
 	}
-	r := rng.New(*seed)
-	var all []*netsim.Flow
-	for _, spec := range specs {
-		for i := 0; i < spec.Count; i++ {
-			f, err := n.AddFlow(netsim.FlowConfig{
-				Name:      fmt.Sprintf("%s%d", spec.Name, i),
-				RTT:       rtt,
-				Start:     r.Duration(*jitter),
-				Algorithm: spec.Ctor,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			all = append(all, f)
+	if *runs < 1 {
+		*runs = 1
+	}
+	if *cpuProfile != "" {
+		stop, err := runner.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
 		}
+		defer stop()
 	}
-
-	start := time.Now()
-	n.Run(*duration)
-	elapsed := time.Since(start)
-
-	fmt.Printf("bottleneck: %v, buffer %v (%.1f BDP), base RTT %v, %d flows, %v simulated\n",
-		capacity, buffer, *bufBDP, rtt, len(all), *duration)
-
-	tbl := &plot.Table{Header: []string{"flow", "algorithm", "throughput", "lost", "meanRTT", "avgQueue"}}
-	for _, f := range all {
-		st := f.Stats()
-		tbl.AddRow(st.Name, st.Algorithm,
-			fmt.Sprintf("%.2f Mbps", st.Throughput.Mbit()),
-			strconv.Itoa(st.Lost),
-			st.MeanRTT.Round(100*time.Microsecond).String(),
-			fmt.Sprintf("%.0f pkts", st.MeanQueueOccupancy.Packets()))
-	}
-	if err := tbl.Render(os.Stdout); err != nil {
+	cache, err := runner.OpenCache(*cachePath)
+	if err != nil {
 		fatal(err)
 	}
-	link := n.Link()
-	fmt.Printf("link: utilization %.1f%%, mean queue delay %v, drops %d\n",
-		100*link.Utilization, link.MeanQueueDelay.Round(100*time.Microsecond), link.Drops)
-	fmt.Printf("(%d events in %v wall time)\n", n.Events(), elapsed.Round(time.Millisecond))
+
+	// Pre-derive every replicate's seed before any run starts, so the
+	// seed→run assignment is independent of worker count. A single run
+	// keeps -seed verbatim for compatibility with older invocations.
+	seeds := make([]uint64, *runs)
+	seeds[0] = *seed
+	r := rng.New(*seed)
+	for i := 1; i < *runs; i++ {
+		seeds[i] = r.Uint64()
+	}
+
+	runOne := func(runSeed uint64) (runStats, error) {
+		key := fmt.Sprintf("bbrsim|v1|cap=%v|buf=%d|mss=%d|rtt=%d|dur=%d|j=%d|flows=%s|seed=%d",
+			float64(capacity), int64(buffer), int64(units.MSS), int64(rtt),
+			int64(*duration), int64(*jitter), *flows, runSeed)
+		var st runStats
+		if cache.Get(key, &st) {
+			return st, nil
+		}
+		n, err := netsim.New(netsim.Config{Capacity: capacity, Buffer: buffer})
+		if err != nil {
+			return runStats{}, err
+		}
+		jr := rng.New(runSeed)
+		var all []*netsim.Flow
+		for _, spec := range specs {
+			for i := 0; i < spec.Count; i++ {
+				f, err := n.AddFlow(netsim.FlowConfig{
+					Name:      fmt.Sprintf("%s%d", spec.Name, i),
+					RTT:       rtt,
+					Start:     jr.Duration(*jitter),
+					Algorithm: spec.Ctor,
+				})
+				if err != nil {
+					return runStats{}, err
+				}
+				all = append(all, f)
+			}
+		}
+		n.Run(*duration)
+		st = runStats{Seed: runSeed, Link: n.Link()}
+		for _, f := range all {
+			st.Flows = append(st.Flows, f.Stats())
+		}
+		cache.Put(key, st)
+		return st, nil
+	}
+
+	pool := runner.NewPool(*workers)
+	start := time.Now()
+	results, err := runner.Map(pool, *runs, func(i int) (runStats, error) {
+		return runOne(seeds[i])
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	numFlows := 0
+	for _, spec := range specs {
+		numFlows += spec.Count
+	}
+	fmt.Printf("bottleneck: %v, buffer %v (%.1f BDP), base RTT %v, %d flows, %v simulated",
+		capacity, buffer, *bufBDP, rtt, numFlows, *duration)
+	if *runs > 1 {
+		fmt.Printf(" x %d runs (%d workers)", *runs, pool.Workers())
+	}
+	fmt.Println()
+
+	for i, st := range results {
+		if *runs > 1 {
+			fmt.Printf("--- run %d (seed %d)\n", i+1, st.Seed)
+		}
+		tbl := &plot.Table{Header: []string{"flow", "algorithm", "throughput", "lost", "meanRTT", "avgQueue"}}
+		for _, fs := range st.Flows {
+			tbl.AddRow(fs.Name, fs.Algorithm,
+				fmt.Sprintf("%.2f Mbps", fs.Throughput.Mbit()),
+				strconv.Itoa(fs.Lost),
+				fs.MeanRTT.Round(100*time.Microsecond).String(),
+				fmt.Sprintf("%.0f pkts", fs.MeanQueueOccupancy.Packets()))
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("link: utilization %.1f%%, mean queue delay %v, drops %d\n",
+			100*st.Link.Utilization, st.Link.MeanQueueDelay.Round(100*time.Microsecond), st.Link.Drops)
+	}
+	fmt.Printf("(%d runs in %v wall time, %d cache hits)\n", *runs, elapsed.Round(time.Millisecond), cache.Hits())
+	if err := cache.Save(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -6,13 +6,16 @@
 // Usage:
 //
 //	figures -fig all -scale quick -out ./figures
-//	figures -fig 3a,3b -scale full
+//	figures -fig 3a,3b -scale full -workers 8
+//	figures -fig 9a -scale full -cache results.json
 //	figures -list
 //
 // Scales: "full" is the paper's protocol (2-minute flows, 10 trials,
-// exhaustive NE scans) and can take many hours on one core; "quick" keeps
-// every figure's shape at a fraction of the cost; "smoke" is a fast sanity
-// pass.
+// exhaustive NE scans); "quick" keeps every figure's shape at a fraction
+// of the cost; "smoke" is a fast sanity pass. Independent simulations fan
+// out across -workers cores, and -cache memoizes per-simulation results
+// on disk across runs — neither changes any figure's output by a single
+// byte (see DESIGN.md, "Parallel execution & determinism").
 package main
 
 import (
@@ -24,16 +27,20 @@ import (
 	"time"
 
 	"bbrnash/internal/exp"
+	"bbrnash/internal/runner"
 )
 
 func main() {
 	var (
-		figFlag   = flag.String("fig", "all", "comma-separated figure IDs (e.g. 1,3a,9f) or 'all'")
-		scaleFlag = flag.String("scale", "quick", "experiment scale: full, quick or smoke")
-		outFlag   = flag.String("out", "figures", "directory for CSV output ('' to skip CSVs)")
-		listFlag  = flag.Bool("list", false, "list available figures and exit")
-		width     = flag.Int("width", 72, "ASCII chart width")
-		height    = flag.Int("height", 18, "ASCII chart height")
+		figFlag    = flag.String("fig", "all", "comma-separated figure IDs (e.g. 1,3a,9f) or 'all'")
+		scaleFlag  = flag.String("scale", "quick", "experiment scale: full, quick or smoke")
+		outFlag    = flag.String("out", "figures", "directory for CSV output ('' to skip CSVs)")
+		listFlag   = flag.Bool("list", false, "list available figures and exit")
+		width      = flag.Int("width", 72, "ASCII chart width")
+		height     = flag.Int("height", 18, "ASCII chart height")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -47,6 +54,20 @@ func main() {
 	scale, err := exp.ScaleByName(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+	scale.Pool = runner.NewPool(*workers)
+	cache, err := runner.OpenCache(*cachePath)
+	if err != nil {
+		fatal(err)
+	}
+	scale.Cache = cache
+
+	if *cpuProfile != "" {
+		stop, err := runner.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
 	}
 
 	var figs []exp.Figure
@@ -68,9 +89,13 @@ func main() {
 		}
 	}
 
+	total := time.Now()
 	for _, f := range figs {
-		fmt.Printf("=== Figure %s: %s (scale %s)\n", f.ID, f.Title, scale.Name)
+		fmt.Printf("=== Figure %s: %s (scale %s, %d workers)\n",
+			f.ID, f.Title, scale.Name, scale.Pool.Workers())
 		start := time.Now()
+		jobs0, busy0 := scale.Pool.Jobs(), scale.Pool.Busy()
+		hits0, misses0 := cache.Hits(), cache.Misses()
 		res, err := f.Generate(scale)
 		if err != nil {
 			fatal(fmt.Errorf("figure %s: %w", f.ID, err))
@@ -100,8 +125,32 @@ func main() {
 		for _, note := range res.Notes {
 			fmt.Printf("note: %s\n", note)
 		}
-		fmt.Printf("figure %s done in %v\n\n", f.ID, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		fmt.Printf("figure %s done in %v (%d sims, %d cache hits%s)\n\n",
+			f.ID, wall.Round(time.Millisecond),
+			cache.Misses()-misses0, cache.Hits()-hits0,
+			speedupNote(scale.Pool.Busy()-busy0, wall, scale.Pool.Jobs()-jobs0))
 	}
+	wall := time.Since(total)
+	fmt.Printf("all done in %v: %d jobs, %d unique sims, %d cache hits%s\n",
+		wall.Round(time.Millisecond), scale.Pool.Jobs(), cache.Misses(), cache.Hits(),
+		speedupNote(scale.Pool.Busy(), wall, scale.Pool.Jobs()))
+	if err := cache.Save(); err != nil {
+		fatal(err)
+	}
+	if *cachePath != "" && cache.Misses() > 0 {
+		fmt.Printf("cache saved to %s (%d entries)\n", *cachePath, cache.Len())
+	}
+}
+
+// speedupNote reports parallel efficiency: cumulative worker-busy time
+// over wall-clock is the effective speedup vs running the same jobs
+// serially.
+func speedupNote(busy, wall time.Duration, jobs int64) string {
+	if jobs == 0 || wall <= 0 || busy <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %.1fx speedup", float64(busy)/float64(wall))
 }
 
 func fatal(err error) {

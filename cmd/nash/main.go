@@ -5,6 +5,11 @@
 // Usage:
 //
 //	nash -capacity 100 -rtt 40 -buffer 5 -n 20 -alg bbr -verify -scale quick
+//	nash -n 30 -verify -workers 8 -cache results.json
+//
+// With -verify, the payoff-table simulations fan out across -workers
+// cores and memoize per-scenario results in -cache; neither affects the
+// equilibria found (see DESIGN.md, "Parallel execution & determinism").
 package main
 
 import (
@@ -15,18 +20,22 @@ import (
 
 	"bbrnash/internal/core"
 	"bbrnash/internal/exp"
+	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
 
 func main() {
 	var (
-		capMbps = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
-		rttMs   = flag.Float64("rtt", 40, "base RTT in milliseconds")
-		bufBDP  = flag.Float64("buffer", 5, "buffer size in BDP multiples")
-		n       = flag.Int("n", 20, "total number of flows")
-		alg     = flag.String("alg", "bbr", "non-CUBIC algorithm")
-		verify  = flag.Bool("verify", false, "also search for the equilibrium empirically (simulations)")
-		scaleN  = flag.String("scale", "quick", "verification scale: full, quick or smoke")
+		capMbps    = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
+		rttMs      = flag.Float64("rtt", 40, "base RTT in milliseconds")
+		bufBDP     = flag.Float64("buffer", 5, "buffer size in BDP multiples")
+		n          = flag.Int("n", 20, "total number of flows")
+		alg        = flag.String("alg", "bbr", "non-CUBIC algorithm")
+		verify     = flag.Bool("verify", false, "also search for the equilibrium empirically (simulations)")
+		scaleN     = flag.String("scale", "quick", "verification scale: full, quick or smoke")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -46,6 +55,13 @@ func main() {
 	if !*verify {
 		return
 	}
+	if *cpuProfile != "" {
+		stop, err := runner.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
 	scale, err := exp.ScaleByName(*scaleN)
 	if err != nil {
 		fatal(err)
@@ -54,12 +70,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("verifying empirically with %s flows (%s scale, %d trials)...\n", *alg, scale.Name, scale.Trials)
+	pool := runner.NewPool(*workers)
+	cache, err := runner.OpenCache(*cachePath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("verifying empirically with %s flows (%s scale, %d trials, %d workers)...\n",
+		*alg, scale.Name, scale.Trials, pool.Workers())
+	start := time.Now()
 	for trial := 0; trial < scale.Trials; trial++ {
 		res, err := exp.FindNE(exp.NESearchConfig{
 			Capacity: capacity, Buffer: buffer, RTT: rtt, N: *n,
 			Duration: scale.FlowDuration, Seed: uint64(trial+1) * 1e6,
 			X: ctor, Exhaustive: scale.Exhaustive,
+			Pool: pool, Cache: cache,
 		})
 		if err != nil {
 			fatal(err)
@@ -68,7 +92,14 @@ func main() {
 		for _, k := range res.EquilibriaX {
 			fmt.Printf(" %d CUBIC/%d %s", *n-k, k, *alg)
 		}
-		fmt.Printf(" (%d simulations)\n", res.Simulations)
+		fmt.Printf(" (%d simulations, %d cache hits)\n", res.Simulations, res.CacheHits)
+	}
+	fmt.Printf("verified in %v\n", time.Since(start).Round(time.Millisecond))
+	if err := cache.Save(); err != nil {
+		fatal(err)
+	}
+	if *cachePath != "" && cache.Misses() > 0 {
+		fmt.Printf("cache saved to %s (%d entries)\n", *cachePath, cache.Len())
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"bbrnash/internal/cc/vivace"
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/rng"
+	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
 
@@ -43,6 +44,14 @@ type Scale struct {
 	// Exhaustive selects full n+1 distribution scans for empirical NE
 	// searches; when false, the incentive-following walk is used.
 	Exhaustive bool
+	// Pool bounds how many simulations run concurrently; nil means serial.
+	// Parallelism never changes results: every unit's seed is derived up
+	// front and results are collected in submission order, so any worker
+	// count yields byte-identical output (see internal/runner).
+	Pool *runner.Pool
+	// Cache memoizes simulation results under canonical scenario keys
+	// across a run; nil disables memoization.
+	Cache *runner.Cache
 }
 
 // Predefined scales. All three use the paper's two-minute flows: BBR's
@@ -75,6 +84,11 @@ func ScaleByName(name string) (Scale, error) {
 func (s Scale) thin(xs []float64) []float64 {
 	if s.SweepPoints <= 0 || len(xs) <= s.SweepPoints {
 		return xs
+	}
+	if s.SweepPoints == 1 {
+		// A single-point budget keeps the first point; the i*(n-1)/(p-1)
+		// spacing below would divide by zero.
+		return xs[:1:1]
 	}
 	out := make([]float64, 0, s.SweepPoints)
 	n := len(xs)
@@ -220,34 +234,21 @@ func RunMix(cfg MixConfig) (MixResult, error) {
 	return res, nil
 }
 
-// RunMixTrials averages RunMix over the scale's trial count, deriving
-// per-trial seeds from seed.
+// RunMixTrials averages RunMix over trials jittered repetitions, deriving
+// per-trial seeds from seed up front. It runs serially and uncached; use
+// Scale.RunMixTrials to fan the trials through a worker pool.
 func RunMixTrials(cfg MixConfig, trials int, seed uint64) (MixResult, error) {
-	if trials < 1 {
-		trials = 1
+	return Scale{Trials: trials}.RunMixTrials(cfg, seed)
+}
+
+// RunMixTrials averages RunMix over the scale's trial count, fanning the
+// trials through the scale's Pool and Cache.
+func (s Scale) RunMixTrials(cfg MixConfig, seed uint64) (MixResult, error) {
+	out, err := s.SweepMix(seed, 1, func(int) MixConfig { return cfg })
+	if err != nil {
+		return MixResult{}, err
 	}
-	var acc MixResult
-	for t := 0; t < trials; t++ {
-		cfg.Seed = seed + uint64(t)*1e9
-		r, err := RunMix(cfg)
-		if err != nil {
-			return MixResult{}, err
-		}
-		acc.PerFlowX += r.PerFlowX
-		acc.PerFlowCubic += r.PerFlowCubic
-		acc.AggX += r.AggX
-		acc.AggCubic += r.AggCubic
-		acc.Utilization += r.Utilization
-		acc.MeanQueueDelay += r.MeanQueueDelay
-	}
-	f := units.Rate(trials)
-	acc.PerFlowX /= f
-	acc.PerFlowCubic /= f
-	acc.AggX /= f
-	acc.AggCubic /= f
-	acc.Utilization /= float64(trials)
-	acc.MeanQueueDelay /= time.Duration(trials)
-	return acc, nil
+	return out[0], nil
 }
 
 // GroupConfig describes a multi-RTT run: flows come in same-RTT groups and

@@ -33,6 +33,14 @@ func TestThin(t *testing.T) {
 	if got := (Scale{SweepPoints: 10}).thin(xs); len(got) != len(xs) {
 		t.Errorf("oversized thin changed length: %v", got)
 	}
+	// Regression: SweepPoints == 1 used to divide by zero in the spacing
+	// formula; it must keep exactly the first point.
+	if got := (Scale{SweepPoints: 1}).thin(xs); len(got) != 1 || got[0] != 1 {
+		t.Errorf("single-point thin = %v", got)
+	}
+	if got := (Scale{SweepPoints: 2}).thin(xs); len(got) != 2 || got[0] != 1 || got[1] != 7 {
+		t.Errorf("two-point thin = %v", got)
+	}
 }
 
 func TestAlgorithmRegistry(t *testing.T) {

@@ -127,8 +127,17 @@ func Fig1(s Scale) (*FigureResult, error) {
 	capacity := 50 * units.Mbps
 	grid := s.thin(numeric.Arange(1, 50, 2))
 
+	sims, err := s.SweepMix(1, len(grid), func(i int) MixConfig {
+		return MixConfig{
+			Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, grid[i]),
+			RTT: rtt, Duration: s.FlowDuration, NumX: 1, NumCubic: 1,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var ware, actual []float64
-	for _, bdp := range grid {
+	for i, bdp := range grid {
 		buf := units.BufferBytes(capacity, rtt, bdp)
 		wp, err := core.PredictWare(core.WareScenario{
 			Capacity: capacity, Buffer: buf, RTT: rtt, NumBBR: 1, Duration: s.FlowDuration,
@@ -137,15 +146,7 @@ func Fig1(s Scale) (*FigureResult, error) {
 			return nil, err
 		}
 		ware = append(ware, wp.AggBBR.Mbit())
-		res, err := RunMixTrials(MixConfig{
-			Capacity: capacity, Buffer: buf, RTT: rtt,
-			Duration: s.FlowDuration,
-			NumX:     1, NumCubic: 1,
-		}, s.Trials, 1)
-		if err != nil {
-			return nil, err
-		}
-		actual = append(actual, res.AggX.Mbit())
+		actual = append(actual, sims[i].AggX.Mbit())
 	}
 	chart := &plot.Chart{Title: "Fig 1: BBR bandwidth share, 50 Mbps / 40 ms", XLabel: "buffer (BDP)", YLabel: "bandwidth (Mbps)"}
 	chart.Add("ware", grid, ware)
@@ -164,8 +165,17 @@ func Fig1(s Scale) (*FigureResult, error) {
 func Fig3(s Scale, id string, capacity units.Rate, rtt time.Duration) (*FigureResult, error) {
 	grid := s.thin(numeric.Arange(1, 30, 0.5))
 
+	sims, err := s.SweepMix(3, len(grid), func(i int) MixConfig {
+		return MixConfig{
+			Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, grid[i]),
+			RTT: rtt, Duration: s.FlowDuration, NumX: 1, NumCubic: 1,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var ours, ware, actual []float64
-	for _, bdp := range grid {
+	for i, bdp := range grid {
 		buf := units.BufferBytes(capacity, rtt, bdp)
 		p, err := core.Predict(core.Scenario{
 			Capacity: capacity, Buffer: buf, RTT: rtt, NumCubic: 1, NumBBR: 1,
@@ -181,15 +191,7 @@ func Fig3(s Scale, id string, capacity units.Rate, rtt time.Duration) (*FigureRe
 			return nil, err
 		}
 		ware = append(ware, wp.AggBBR.Mbit())
-		res, err := RunMixTrials(MixConfig{
-			Capacity: capacity, Buffer: buf, RTT: rtt,
-			Duration: s.FlowDuration,
-			NumX:     1, NumCubic: 1,
-		}, s.Trials, 3)
-		if err != nil {
-			return nil, err
-		}
-		actual = append(actual, res.AggX.Mbit())
+		actual = append(actual, sims[i].AggX.Mbit())
 	}
 	chart := &plot.Chart{
 		Title:  fmt.Sprintf("Fig %s: BBR share, %v / %v", id, capacity, rtt),
@@ -215,8 +217,17 @@ func Fig4(s Scale, id string, nEach int) (*FigureResult, error) {
 	capacity := 100 * units.Mbps
 	grid := s.thin(numeric.Arange(1, 30, 1))
 
+	sims, err := s.SweepMix(4, len(grid), func(i int) MixConfig {
+		return MixConfig{
+			Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, grid[i]),
+			RTT: rtt, Duration: s.FlowDuration, NumX: nEach, NumCubic: nEach,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var syncB, desyncB, ware, actual []float64
-	for _, bdp := range grid {
+	for i, bdp := range grid {
 		buf := units.BufferBytes(capacity, rtt, bdp)
 		iv, err := core.PredictInterval(core.Scenario{
 			Capacity: capacity, Buffer: buf, RTT: rtt, NumCubic: nEach, NumBBR: nEach,
@@ -233,15 +244,7 @@ func Fig4(s Scale, id string, nEach int) (*FigureResult, error) {
 			return nil, err
 		}
 		ware = append(ware, wp.AggBBR.Mbit()/float64(nEach))
-		res, err := RunMixTrials(MixConfig{
-			Capacity: capacity, Buffer: buf, RTT: rtt,
-			Duration: s.FlowDuration,
-			NumX:     nEach, NumCubic: nEach,
-		}, s.Trials, 4)
-		if err != nil {
-			return nil, err
-		}
-		actual = append(actual, res.PerFlowX.Mbit())
+		actual = append(actual, sims[i].PerFlowX.Mbit())
 	}
 	chart := &plot.Chart{
 		Title:  fmt.Sprintf("Fig %s: %dv%d per-flow BBR bandwidth", id, nEach, nEach),
@@ -280,8 +283,18 @@ func Fig5(s Scale, id string, n int, bufBDP float64) (*FigureResult, error) {
 	}
 	grid = s.thin(grid)
 
+	sims, err := s.SweepMix(5, len(grid), func(i int) MixConfig {
+		nb := int(grid[i])
+		return MixConfig{
+			Capacity: capacity, Buffer: buf, RTT: rtt,
+			Duration: s.FlowDuration, NumX: nb, NumCubic: n - nb,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var syncB, desyncB, actual []float64
-	for _, g := range grid {
+	for i, g := range grid {
 		nb := int(g)
 		iv, err := core.PredictInterval(core.Scenario{
 			Capacity: capacity, Buffer: buf, RTT: rtt, NumCubic: n - nb, NumBBR: nb,
@@ -291,15 +304,7 @@ func Fig5(s Scale, id string, n int, bufBDP float64) (*FigureResult, error) {
 		}
 		syncB = append(syncB, iv.Sync.PerBBR.Mbit())
 		desyncB = append(desyncB, iv.Desync.PerBBR.Mbit())
-		res, err := RunMixTrials(MixConfig{
-			Capacity: capacity, Buffer: buf, RTT: rtt,
-			Duration: s.FlowDuration,
-			NumX:     nb, NumCubic: n - nb,
-		}, s.Trials, 5)
-		if err != nil {
-			return nil, err
-		}
-		actual = append(actual, res.PerFlowX.Mbit())
+		actual = append(actual, sims[i].PerFlowX.Mbit())
 	}
 	chart := &plot.Chart{
 		Title:  fmt.Sprintf("Fig %s: diminishing returns, %d flows, %g BDP", id, n, bufBDP),
@@ -393,17 +398,19 @@ func Fig7(s Scale) (*FigureResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		var ys []float64
-		for _, g := range grid {
-			nx := int(g)
-			res, err := RunMixTrials(MixConfig{
+		sims, err := s.SweepMix(7, len(grid), func(i int) MixConfig {
+			nx := int(grid[i])
+			return MixConfig{
 				Capacity: capacity, Buffer: buf, RTT: rtt, Duration: s.FlowDuration,
 				X: ctor, NumX: nx, NumCubic: n - nx,
-			}, s.Trials, 7)
-			if err != nil {
-				return nil, err
 			}
-			ys = append(ys, res.PerFlowX.Mbit())
+		})
+		if err != nil {
+			return nil, err
+		}
+		var ys []float64
+		for i := range grid {
+			ys = append(ys, sims[i].PerFlowX.Mbit())
 		}
 		chart.Add(name, grid, ys)
 		notes = append(notes, fmt.Sprintf("%s at 1 flow: %.1f Mbps vs fair %.1f (disproportionate: %v)",
@@ -426,21 +433,23 @@ func Fig8(s Scale) (*FigureResult, error) {
 	}
 	grid = s.thin(grid)
 
-	var cubicY, bbrY, delayY []float64
-	var gx []float64
-	for _, g := range grid {
-		nb := int(g)
-		res, err := RunMixTrials(MixConfig{
+	sims, err := s.SweepMix(8, len(grid), func(i int) MixConfig {
+		nb := int(grid[i])
+		return MixConfig{
 			Capacity: capacity, Buffer: buf, RTT: rtt, Duration: s.FlowDuration,
 			NumX: nb, NumCubic: n - nb,
-		}, s.Trials, 8)
-		if err != nil {
-			return nil, err
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cubicY, bbrY, delayY []float64
+	var gx []float64
+	for i, g := range grid {
 		gx = append(gx, g)
-		cubicY = append(cubicY, res.PerFlowCubic.Mbit())
-		bbrY = append(bbrY, res.PerFlowX.Mbit())
-		delayY = append(delayY, float64(res.MeanQueueDelay.Milliseconds()))
+		cubicY = append(cubicY, sims[i].PerFlowCubic.Mbit())
+		bbrY = append(bbrY, sims[i].PerFlowX.Mbit())
+		delayY = append(delayY, float64(sims[i].MeanQueueDelay.Milliseconds()))
 	}
 	tputChart := &plot.Chart{
 		Title:  "Fig 8a: avg per-flow throughput vs distribution",
@@ -503,6 +512,7 @@ func Fig9(s Scale, id string, capacity units.Rate, rtt time.Duration, bufGrid []
 				Capacity: capacity, Buffer: buf, RTT: rtt, N: n,
 				Duration: s.FlowDuration, Seed: uint64(trial+1) * 1e6,
 				X: ctor, Exhaustive: s.Exhaustive,
+				Pool: s.Pool, Cache: s.Cache,
 			})
 			if err != nil {
 				return nil, err
@@ -574,6 +584,7 @@ func Fig10(s Scale) (*FigureResult, error) {
 				Capacity: capacity, Buffer: buf, RTTs: rtts, Sizes: sizes,
 				Duration: s.FlowDuration, Seed: uint64(trial+1) * 31337,
 				Exhaustive: false,
+				Pool:       s.Pool, Cache: s.Cache,
 			})
 			if err != nil {
 				return nil, err
@@ -653,6 +664,7 @@ func Fig11(s Scale, id string, capacity units.Rate) (*FigureResult, error) {
 					Capacity: capacity, Buffer: buf, RTT: rtt, N: n,
 					Duration: s.FlowDuration, Seed: uint64(trial+1) * 424243,
 					X: bbrv2.New, Exhaustive: s.Exhaustive,
+					Pool: s.Pool, Cache: s.Cache,
 				})
 				if err != nil {
 					return nil, err
@@ -694,8 +706,17 @@ func Fig12(s Scale) (*FigureResult, error) {
 	capacity := 50 * units.Mbps
 	grid := s.thin([]float64{1, 5, 10, 20, 40, 60, 80, 100, 130, 160, 200, 250})
 
+	sims, err := s.SweepMix(12, len(grid), func(i int) MixConfig {
+		return MixConfig{
+			Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, grid[i]),
+			RTT: rtt, Duration: s.FlowDuration, NumX: 1, NumCubic: 1,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var ours, ware, actual []float64
-	for _, bdp := range grid {
+	for i, bdp := range grid {
 		buf := units.BufferBytes(capacity, rtt, bdp)
 		p, err := core.Predict(core.Scenario{
 			Capacity: capacity, Buffer: buf, RTT: rtt, NumCubic: 1, NumBBR: 1,
@@ -711,15 +732,7 @@ func Fig12(s Scale) (*FigureResult, error) {
 			return nil, err
 		}
 		ware = append(ware, wp.AggBBR.Mbit())
-		res, err := RunMixTrials(MixConfig{
-			Capacity: capacity, Buffer: buf, RTT: rtt,
-			Duration: s.FlowDuration,
-			NumX:     1, NumCubic: 1,
-		}, s.Trials, 12)
-		if err != nil {
-			return nil, err
-		}
-		actual = append(actual, res.AggX.Mbit())
+		actual = append(actual, sims[i].AggX.Mbit())
 	}
 	chart := &plot.Chart{
 		Title:  "Fig 12: ultra-deep buffers (model over-estimates beyond ~100 BDP)",

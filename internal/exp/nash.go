@@ -2,11 +2,13 @@ package exp
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"bbrnash/internal/cc"
 	"bbrnash/internal/core"
 	"bbrnash/internal/game"
+	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
 
@@ -33,52 +35,68 @@ type NESearchConfig struct {
 	// and then checks that point's neighbourhood. The walk evaluates far
 	// fewer distributions (each evaluation is one simulation).
 	Exhaustive bool
+	// Pool parallelizes the payoff-table build of exhaustive scans; nil
+	// means serial. Results are identical at any worker count.
+	Pool *runner.Pool
+	// Cache memoizes payoff simulations by canonical scenario key. When
+	// nil, a search-local cache still deduplicates repeated distribution
+	// evaluations within this call; a shared cache additionally carries
+	// results across trials and figures.
+	Cache *runner.Cache
 }
 
 // NESearchResult is the outcome of one trial's search.
 type NESearchResult struct {
 	// EquilibriaX lists equilibrium distributions as numbers of X flows.
 	EquilibriaX []int
-	// Simulations counts simulator runs spent.
+	// Simulations counts simulator runs spent (memoized lookups excluded).
 	Simulations int
+	// CacheHits counts payoff lookups served by the memoizing cache
+	// instead of a fresh simulation.
+	CacheHits int
 }
 
 // FindNE runs the empirical search for one trial (one jitter seed).
+//
+// Every distribution's payoff simulation gets a seed pre-derived from
+// cfg.Seed (a pure function of the distribution, not of visit order), so
+// the payoff table can be built in parallel and re-checks of a
+// distribution — the equilibrium test probes each point's neighbours —
+// hit the cache instead of re-simulating.
 func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 	if cfg.EpsFraction == 0 {
 		cfg.EpsFraction = 0.05
 	}
-	sims := 0
+	cache := cfg.Cache
+	if cache == nil {
+		cache = runner.NewCache()
+	}
+	hits0 := cache.Hits()
+	var sims atomic.Int64
 	dur := nePayoffDuration(cfg.Duration)
-	payoff := func(numX int) (x, c units.Rate) {
-		res, err := RunMix(MixConfig{
+	seeds := trialSeeds(cfg.Seed, cfg.N+1)
+	mixAt := func(numX int) MixConfig {
+		return MixConfig{
 			Capacity: cfg.Capacity,
 			Buffer:   cfg.Buffer,
 			RTT:      cfg.RTT,
 			Duration: dur,
-			Seed:     cfg.Seed + uint64(numX)*7919,
+			Seed:     seeds[numX],
 			X:        cfg.X,
 			NumX:     numX,
 			NumCubic: cfg.N - numX,
-		})
-		if err != nil {
-			return 0, 0
 		}
-		sims++
-		return res.PerFlowX, res.PerFlowCubic
 	}
-	// Each distribution is one simulation that yields both classes'
-	// payoffs; cache jointly.
 	type pair struct{ x, c units.Rate }
-	cache := map[int]pair{}
 	eval := func(numX int) pair {
-		if p, ok := cache[numX]; ok {
-			return p
+		res, hit, err := runMixCached(mixAt(numX), cache)
+		if err != nil {
+			return pair{}
 		}
-		x, c := payoff(numX)
-		p := pair{x, c}
-		cache[numX] = p
-		return p
+		if !hit {
+			sims.Add(1)
+		}
+		return pair{res.PerFlowX, res.PerFlowCubic}
 	}
 	g := &game.SymmetricBinary{
 		N:           cfg.N,
@@ -88,11 +106,24 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 	eps := game.Epsilon(float64(cfg.Capacity), cfg.N, cfg.EpsFraction)
 
 	if cfg.Exhaustive {
+		// An exhaustive scan evaluates every distribution anyway, so
+		// build the whole payoff table up front through the pool; the
+		// enumeration below is then pure cache hits.
+		if _, err := runner.Map(cfg.Pool, cfg.N+1, func(numX int) (struct{}, error) {
+			eval(numX)
+			return struct{}{}, nil
+		}); err != nil {
+			return NESearchResult{}, err
+		}
 		ks, err := g.Equilibria(eps)
 		if err != nil {
 			return NESearchResult{}, err
 		}
-		return NESearchResult{EquilibriaX: ks, Simulations: sims}, nil
+		return NESearchResult{
+			EquilibriaX: ks,
+			Simulations: int(sims.Load()),
+			CacheHits:   int(cache.Hits() - hits0),
+		}, nil
 	}
 
 	// Walk from the model's predicted equilibrium, then report every
@@ -113,7 +144,11 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 			ks = append(ks, cand)
 		}
 	}
-	return NESearchResult{EquilibriaX: ks, Simulations: sims}, nil
+	return NESearchResult{
+		EquilibriaX: ks,
+		Simulations: int(sims.Load()),
+		CacheHits:   int(cache.Hits() - hits0),
+	}, nil
 }
 
 // nePayoffDuration enforces the paper's two-minute protocol on equilibrium
@@ -142,57 +177,55 @@ type GroupNEConfig struct {
 	// Exhaustive enumerates the whole Π(Size+1) profile space; otherwise
 	// a greedy incentive walk is used.
 	Exhaustive bool
+	// Pool and Cache as in NESearchConfig.
+	Pool  *runner.Pool
+	Cache *runner.Cache
 }
 
 // GroupNEResult is the outcome of a multi-RTT search.
 type GroupNEResult struct {
 	// Equilibria are profiles: Equilibria[j][i] X flows in group i.
 	Equilibria [][]int
-	// Simulations counts simulator runs spent.
+	// Simulations counts simulator runs spent (memoized lookups excluded).
 	Simulations int
+	// CacheHits counts payoff lookups served by the memoizing cache.
+	CacheHits int
 }
 
-// FindGroupNE runs the multi-RTT equilibrium search for one trial.
+// FindGroupNE runs the multi-RTT equilibrium search for one trial. Each
+// profile's payoff seed is a pure function of (cfg.Seed, profile), so the
+// profile space can be evaluated in parallel and memoized canonically.
 func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	if cfg.EpsFraction == 0 {
 		cfg.EpsFraction = 0.05
 	}
-	sims := 0
+	cache := cfg.Cache
+	if cache == nil {
+		cache = runner.NewCache()
+	}
+	hits0 := cache.Hits()
+	var sims atomic.Int64
 	type pair struct {
 		x, c []units.Rate
 	}
-	cache := map[string]pair{}
-	keyOf := func(k []int) string {
-		b := make([]byte, len(k))
-		for i, v := range k {
-			b[i] = byte(v)
-		}
-		return string(b)
-	}
 	eval := func(k []int) pair {
-		key := keyOf(k)
-		if p, ok := cache[key]; ok {
-			return p
-		}
-		res, err := RunGroups(GroupConfig{
+		res, hit, err := runGroupsCached(GroupConfig{
 			Capacity: cfg.Capacity,
 			Buffer:   cfg.Buffer,
 			Duration: nePayoffDuration(cfg.Duration),
-			Seed:     cfg.Seed + uint64(len(cache))*104729,
+			Seed:     profileSeed(cfg.Seed, k),
 			X:        cfg.X,
 			RTTs:     cfg.RTTs,
 			Sizes:    cfg.Sizes,
 			NumX:     append([]int(nil), k...),
-		})
-		p := pair{}
-		if err == nil {
-			p = pair{x: res.PerFlowX, c: res.PerFlowCubic}
-			sims++
-		} else {
-			p = pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}
+		}, cache)
+		if err != nil {
+			return pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}
 		}
-		cache[key] = p
-		return p
+		if !hit {
+			sims.Add(1)
+		}
+		return pair{x: res.PerFlowX, c: res.PerFlowCubic}
 	}
 	groups := make([]game.GroupSpec, len(cfg.Sizes))
 	total := 0
@@ -208,11 +241,24 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	eps := game.Epsilon(float64(cfg.Capacity), total, cfg.EpsFraction)
 
 	if cfg.Exhaustive {
+		// The exhaustive enumeration touches every profile, so build the
+		// whole payoff table up front through the pool.
+		profiles := enumerateProfiles(cfg.Sizes)
+		if _, err := runner.Map(cfg.Pool, len(profiles), func(i int) (struct{}, error) {
+			eval(profiles[i])
+			return struct{}{}, nil
+		}); err != nil {
+			return GroupNEResult{}, err
+		}
 		ks, err := g.Equilibria(eps)
 		if err != nil {
 			return GroupNEResult{}, err
 		}
-		return GroupNEResult{Equilibria: ks, Simulations: sims}, nil
+		return GroupNEResult{
+			Equilibria:  ks,
+			Simulations: int(sims.Load()),
+			CacheHits:   int(cache.Hits() - hits0),
+		}, nil
 	}
 
 	// Incentive walk with first-improvement moves: start from a
@@ -254,7 +300,36 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	if g.IsEquilibrium(k, eps) {
 		out = append(out, append([]int(nil), k...))
 	}
-	return GroupNEResult{Equilibria: out, Simulations: sims}, nil
+	return GroupNEResult{
+		Equilibria:  out,
+		Simulations: int(sims.Load()),
+		CacheHits:   int(cache.Hits() - hits0),
+	}, nil
+}
+
+// enumerateProfiles lists every profile of the Π(Size+1) space in the same
+// lexicographic order game.GroupSymmetric.Equilibria visits.
+func enumerateProfiles(sizes []int) [][]int {
+	total := 1
+	for _, sz := range sizes {
+		total *= sz + 1
+	}
+	out := make([][]int, 0, total)
+	k := make([]int, len(sizes))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(sizes) {
+			out = append(out, append([]int(nil), k...))
+			return
+		}
+		for v := 0; v <= sizes[i]; v++ {
+			k[i] = v
+			walk(i + 1)
+		}
+		k[i] = 0
+	}
+	walk(0)
+	return out
 }
 
 // groupWalkStart picks the walk's starting profile: the single-RTT model's

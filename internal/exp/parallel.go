@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/rng"
+	"bbrnash/internal/runner"
+	"bbrnash/internal/units"
+)
+
+// This file is the harness's boundary with internal/runner: seed
+// pre-derivation, canonical cache keys, and the parallel sweep fan-out.
+//
+// Determinism contract: every simulation unit's seed is derived up front
+// from the submitting goroutine's rng stream, units never share state, and
+// results are collected in submission order — so a sweep produces
+// byte-identical output at any worker count, with or without the cache.
+
+// trialSeeds pre-derives n unit seeds from base. Element i is the seed the
+// i-th successive rng.Source.Split child would be constructed from, so the
+// assignment is fixed before any worker starts.
+func trialSeeds(base uint64, n int) []uint64 {
+	r := rng.New(base)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// profileSeed derives the jitter seed for one group profile as a pure
+// function of (base, profile) — FNV-1a over the profile folded into the
+// base — so a profile's payoff simulation has one canonical key no matter
+// in which order a search visits it.
+func profileSeed(base uint64, k []int) uint64 {
+	const offset, prime = uint64(0xcbf29ce484222325), uint64(0x100000001b3)
+	h := offset
+	for _, v := range k {
+		h ^= uint64(v) + 1
+		h *= prime
+	}
+	return rng.New(base ^ h).Uint64()
+}
+
+// ctorNames maps registry constructor code pointers back to their names,
+// so cache keys can canonically identify the algorithm mix. Constructors
+// outside the registry (test closures, option-wrapped variants) have no
+// canonical name and make a scenario uncacheable.
+var ctorNames struct {
+	once sync.Once
+	m    map[uintptr]string
+}
+
+func constructorName(c cc.Constructor) (string, bool) {
+	if c == nil {
+		return "bbr", true // RunMix's default
+	}
+	ctorNames.once.Do(func() {
+		m := make(map[uintptr]string, len(Algorithms()))
+		for name, ctor := range Algorithms() {
+			m[reflect.ValueOf(ctor).Pointer()] = name
+		}
+		ctorNames.m = m
+	})
+	name, ok := ctorNames.m[reflect.ValueOf(c).Pointer()]
+	return name, ok
+}
+
+// fx renders a float64 exactly (hex mantissa), keeping keys canonical.
+func fx(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// mixKey builds the canonical cache key of one mixed-distribution run:
+// capacity, buffer, MSS, RTT, algorithm mix, duration, seed and the jitter
+// parameters — everything RunMix's output is a function of. ok is false
+// when the scenario cannot be canonically identified (non-registry X).
+func mixKey(cfg MixConfig) (key string, ok bool) {
+	xName, ok := constructorName(cfg.X)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("mix|v1|cap=%s|buf=%s|mss=%s|rtt=%d|dur=%d|sj=%d|aj=%d|x=%s|nx=%d|nc=%d|seed=%d",
+		fx(float64(cfg.Capacity)), fx(float64(cfg.Buffer)), fx(float64(units.MSS)),
+		int64(cfg.RTT), int64(cfg.Duration), int64(startJitter), int64(ackJitter),
+		xName, cfg.NumX, cfg.NumCubic, cfg.Seed), true
+}
+
+// groupKey is mixKey for multi-RTT group runs.
+func groupKey(cfg GroupConfig) (key string, ok bool) {
+	xName, ok := constructorName(cfg.X)
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "groups|v1|cap=%s|buf=%s|mss=%s|dur=%d|sj=%d|aj=%d|x=%s|seed=%d|g=",
+		fx(float64(cfg.Capacity)), fx(float64(cfg.Buffer)), fx(float64(units.MSS)),
+		int64(cfg.Duration), int64(startJitter), int64(ackJitter), xName, cfg.Seed)
+	for i := range cfg.RTTs {
+		fmt.Fprintf(&b, "%d:%d:%d,", int64(cfg.RTTs[i]), cfg.Sizes[i], cfg.NumX[i])
+	}
+	return b.String(), true
+}
+
+// runMixCached is RunMix behind the memoizing cache. hit reports whether
+// the result came from the cache; errors are never cached.
+func runMixCached(cfg MixConfig, cache *runner.Cache) (res MixResult, hit bool, err error) {
+	key, canonical := mixKey(cfg)
+	if canonical {
+		if cache.Get(key, &res) {
+			return res, true, nil
+		}
+	}
+	res, err = RunMix(cfg)
+	if err != nil {
+		return MixResult{}, false, err
+	}
+	if canonical {
+		cache.Put(key, res)
+	}
+	return res, false, nil
+}
+
+// runGroupsCached is RunGroups behind the memoizing cache.
+func runGroupsCached(cfg GroupConfig, cache *runner.Cache) (res GroupResult, hit bool, err error) {
+	key, canonical := groupKey(cfg)
+	if canonical {
+		if cache.Get(key, &res) {
+			return res, true, nil
+		}
+	}
+	res, err = RunGroups(cfg)
+	if err != nil {
+		return GroupResult{}, false, err
+	}
+	if canonical {
+		cache.Put(key, res)
+	}
+	return res, false, nil
+}
+
+// SweepMix runs the n-point sweep cfgAt(0) … cfgAt(n-1), each point
+// averaged over the scale's jittered trials. The flat point×trial job list
+// fans out through the scale's Pool, per-simulation results are memoized
+// in the scale's Cache, and collection order is submission order — output
+// is byte-identical at any worker count. Per-trial seeds are pre-derived
+// from seed and shared across points, matching the paper's protocol of
+// repeating one jitter schedule over a sweep.
+func (s Scale) SweepMix(seed uint64, n int, cfgAt func(i int) MixConfig) ([]MixResult, error) {
+	trials := s.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	seeds := trialSeeds(seed, trials)
+	flat, err := runner.Map(s.Pool, n*trials, func(j int) (MixResult, error) {
+		cfg := cfgAt(j / trials)
+		cfg.Seed = seeds[j%trials]
+		res, _, err := runMixCached(cfg, s.Cache)
+		return res, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MixResult, n)
+	for i := range out {
+		out[i] = averageMix(flat[i*trials : (i+1)*trials])
+	}
+	return out, nil
+}
+
+// averageMix folds per-trial results into the class averages the figures
+// report. Per-flow stats are per-trial artifacts and are not aggregated.
+func averageMix(rs []MixResult) MixResult {
+	var acc MixResult
+	for _, r := range rs {
+		acc.PerFlowX += r.PerFlowX
+		acc.PerFlowCubic += r.PerFlowCubic
+		acc.AggX += r.AggX
+		acc.AggCubic += r.AggCubic
+		acc.Utilization += r.Utilization
+		acc.MeanQueueDelay += r.MeanQueueDelay
+	}
+	f := units.Rate(len(rs))
+	acc.PerFlowX /= f
+	acc.PerFlowCubic /= f
+	acc.AggX /= f
+	acc.AggCubic /= f
+	acc.Utilization /= float64(len(rs))
+	acc.MeanQueueDelay /= time.Duration(len(rs))
+	return acc
+}

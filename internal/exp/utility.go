@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"sync/atomic"
 	"time"
 
 	"bbrnash/internal/game"
+	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
 
@@ -41,34 +43,38 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 	if cfg.EpsFraction == 0 {
 		cfg.EpsFraction = 0.05
 	}
-	sims := 0
+	cache := cfg.Cache
+	if cache == nil {
+		cache = runner.NewCache()
+	}
+	hits0 := cache.Hits()
+	var sims atomic.Int64
 	dur := nePayoffDuration(cfg.Duration)
+	seeds := trialSeeds(cfg.Seed, cfg.N+1)
 	type pair struct{ x, c float64 }
-	cache := map[int]pair{}
+	// What is memoized is the underlying MixResult — shared with FindNE's
+	// throughput-only searches — and the utility is recomputed per lookup.
 	eval := func(numX int) pair {
-		if p, ok := cache[numX]; ok {
-			return p
-		}
-		res, err := RunMix(MixConfig{
+		res, hit, err := runMixCached(MixConfig{
 			Capacity: cfg.Capacity,
 			Buffer:   cfg.Buffer,
 			RTT:      cfg.RTT,
 			Duration: dur,
-			Seed:     cfg.Seed + uint64(numX)*7919,
+			Seed:     seeds[numX],
 			X:        cfg.X,
 			NumX:     numX,
 			NumCubic: cfg.N - numX,
-		})
-		p := pair{}
-		if err == nil {
-			sims++
-			p = pair{
-				x: utility(res.PerFlowX, res.MeanQueueDelay),
-				c: utility(res.PerFlowCubic, res.MeanQueueDelay),
-			}
+		}, cache)
+		if err != nil {
+			return pair{}
 		}
-		cache[numX] = p
-		return p
+		if !hit {
+			sims.Add(1)
+		}
+		return pair{
+			x: utility(res.PerFlowX, res.MeanQueueDelay),
+			c: utility(res.PerFlowCubic, res.MeanQueueDelay),
+		}
 	}
 	g := &game.SymmetricBinary{
 		N:           cfg.N,
@@ -84,11 +90,21 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 	eps := cfg.EpsFraction * fairUtil
 
 	if cfg.Exhaustive {
+		if _, err := runner.Map(cfg.Pool, cfg.N+1, func(numX int) (struct{}, error) {
+			eval(numX)
+			return struct{}{}, nil
+		}); err != nil {
+			return NESearchResult{}, err
+		}
 		ks, err := g.Equilibria(eps)
 		if err != nil {
 			return NESearchResult{}, err
 		}
-		return NESearchResult{EquilibriaX: ks, Simulations: sims}, nil
+		return NESearchResult{
+			EquilibriaX: ks,
+			Simulations: int(sims.Load()),
+			CacheHits:   int(cache.Hits() - hits0),
+		}, nil
 	}
 	k, _ := g.FirstEquilibrium(cfg.N/2, eps, 3*cfg.N)
 	var ks []int
@@ -100,5 +116,9 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 			ks = append(ks, cand)
 		}
 	}
-	return NESearchResult{EquilibriaX: ks, Simulations: sims}, nil
+	return NESearchResult{
+		EquilibriaX: ks,
+		Simulations: int(sims.Load()),
+		CacheHits:   int(cache.Hits() - hits0),
+	}, nil
 }

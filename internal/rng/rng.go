@@ -16,6 +16,15 @@ import (
 
 // Source is a deterministic xoshiro256** generator. It is not safe for
 // concurrent use; give each goroutine its own Source (see Split).
+//
+// Concurrency rules at the runner boundary (internal/runner): derive every
+// parallel unit's seed or child Source up front with Split, on the
+// submitting goroutine, before any worker starts; then hand each worker
+// its own child. A child shares no state with its parent or siblings, so
+// execution order cannot change any unit's stream. The same confinement
+// applies to anything that owns a Source — in particular a netsim.Network
+// is never shared across goroutines; each unit builds its own from its
+// pre-derived seed. See the internal/runner package example.
 type Source struct {
 	s [4]uint64
 }

@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes experiment results by canonical scenario key. Values are
+// stored as JSON so one cache can hold heterogeneous result types (mix
+// runs, group runs) under namespaced keys, and so the in-memory map and the
+// optional on-disk store share one representation.
+//
+// Because every cached unit is a deterministic function of its key, a
+// concurrent duplicate computation is harmless: both goroutines store the
+// same bytes. Methods are safe for concurrent use; a nil *Cache is valid
+// and never hits.
+type Cache struct {
+	mu    sync.RWMutex
+	m     map[string]json.RawMessage
+	path  string
+	dirty bool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty in-memory cache with no backing file.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]json.RawMessage)}
+}
+
+// OpenCache returns a cache backed by the JSON store at path, loading any
+// existing entries. A missing file is an empty cache; Save writes back to
+// the same path. An empty path is equivalent to NewCache.
+func OpenCache(path string) (*Cache, error) {
+	c := NewCache()
+	if path == "" {
+		return c, nil
+	}
+	c.path = path
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: reading cache: %w", err)
+	}
+	if err := json.Unmarshal(data, &c.m); err != nil {
+		return nil, fmt.Errorf("runner: cache %s is not a JSON object: %w", path, err)
+	}
+	return c, nil
+}
+
+// Get looks key up and, when present, unmarshals the stored value into out,
+// returning true. Hit and miss counts are tracked for reporting. A value
+// that no longer unmarshals (e.g. an on-disk store written by an older
+// result schema) counts as a miss.
+func (c *Cache) Get(key string, out any) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.RLock()
+	raw, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok && json.Unmarshal(raw, out) == nil {
+		c.hits.Add(1)
+		return true
+	}
+	c.misses.Add(1)
+	return false
+}
+
+// Put stores v under key, replacing any previous entry. Unmarshalable
+// values are dropped silently: a cache failure must never fail the
+// experiment.
+func (c *Cache) Put(key string, v any) {
+	if c == nil {
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[key] = raw
+	c.dirty = true
+	c.mu.Unlock()
+}
+
+// Len reports the number of stored entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Hits reports how many Gets were served from the cache.
+func (c *Cache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses reports how many Gets found nothing.
+func (c *Cache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// HitRate reports Hits / (Hits + Misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	h, m := c.Hits(), c.Misses()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Save writes the store back to the path it was opened from, atomically
+// (temp file + rename). It is a no-op for purely in-memory caches and when
+// nothing changed since open.
+func (c *Cache) Save() error {
+	if c == nil || c.path == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
+	data, err := json.MarshalIndent(c.m, "", "\t")
+	if err != nil {
+		return fmt.Errorf("runner: encoding cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".cache-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	c.dirty = false
+	return nil
+}

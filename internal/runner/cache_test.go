@@ -1,0 +1,155 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type fakeResult struct {
+	Throughput float64
+	Drops      int
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache()
+	var out fakeResult
+	if c.Get("k", &out) {
+		t.Fatal("empty cache hit")
+	}
+	want := fakeResult{Throughput: 12.5, Drops: 3}
+	c.Put("k", want)
+	if !c.Get("k", &out) || out != want {
+		t.Fatalf("Get = %+v, want %+v", out, want)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 || c.Len() != 1 {
+		t.Errorf("hits/misses/len = %d/%d/%d, want 1/1/1", c.Hits(), c.Misses(), c.Len())
+	}
+	if r := c.HitRate(); r != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", r)
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	var out fakeResult
+	if c.Get("k", &out) {
+		t.Error("nil cache hit")
+	}
+	c.Put("k", out) // must not panic
+	if err := c.Save(); err != nil {
+		t.Error(err)
+	}
+	if c.Len() != 0 || c.Hits() != 0 || c.Misses() != 0 || c.HitRate() != 0 {
+		t.Error("nil cache should report zeros")
+	}
+}
+
+func TestCacheFloatRoundTripExact(t *testing.T) {
+	// Cached results must replay bit-for-bit: Go's JSON encoder emits the
+	// shortest representation that round-trips exactly.
+	c := NewCache()
+	values := []float64{1.0 / 3.0, 6.25e7, 0x1.fffffffffffffp+1023, 5e-324}
+	c.Put("f", values)
+	var got []float64
+	if !c.Get("f", &got) {
+		t.Fatal("miss")
+	}
+	for i := range values {
+		if got[i] != values[i] {
+			t.Errorf("value %d: %x != %x", i, got[i], values[i])
+		}
+	}
+}
+
+func TestCacheDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", fakeResult{Throughput: 1})
+	c.Put("b", fakeResult{Throughput: 2})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", re.Len())
+	}
+	var out fakeResult
+	if !re.Get("b", &out) || out.Throughput != 2 {
+		t.Errorf("reopened Get(b) = %+v", out)
+	}
+	// Save with no changes must be a no-op (file untouched).
+	before, _ := os.Stat(path)
+	if err := re.Save(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("clean Save rewrote the store")
+	}
+}
+
+func TestOpenCacheMissingAndEmptyPath(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || c.Len() != 0 {
+		t.Fatalf("missing file: %v, len %d", err, c.Len())
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err) // dirty=false, no entries: still fine
+	}
+	c2, err := OpenCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Save(); err != nil {
+		t.Error("in-memory Save should be a no-op")
+	}
+}
+
+func TestOpenCacheCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(path); err == nil {
+		t.Error("corrupt store accepted")
+	}
+}
+
+func TestCacheSchemaMismatchIsMiss(t *testing.T) {
+	c := NewCache()
+	c.Put("k", "a string, not an object")
+	var out fakeResult
+	if c.Get("k", &out) {
+		t.Error("incompatible stored value should miss")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := "shared"
+				var out fakeResult
+				if !c.Get(key, &out) {
+					c.Put(key, fakeResult{Throughput: 42})
+				} else if out.Throughput != 42 {
+					t.Errorf("read %v", out)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,25 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops profiling and closes the file. It exists so every
+// command wires -cpuprofile identically.
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("runner: creating CPU profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: starting CPU profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,143 @@
+// Package runner executes independent experiment units concurrently while
+// preserving bit-for-bit determinism.
+//
+// Every simulation in the harness is an independent, deterministic function
+// of its configuration and seed, so the only obstacles to parallelism are
+// ordering and seed derivation. The package solves both with one rule:
+//
+//   - Derive every unit's seed up front, on the submitting goroutine, from
+//     the parent rng.Source (see rng.Source.Split); then
+//   - collect results in submission order, never completion order.
+//
+// Under that discipline a sweep run with one worker and with sixteen
+// produces byte-identical output. A Pool bounds how many units execute at
+// once; a Cache memoizes unit results by canonical scenario key so that
+// exhaustive Nash-equilibrium scans and overlapping figure grids stop
+// re-simulating identical scenarios.
+//
+// Concurrency rules at the runner boundary: a rng.Source is not safe for
+// concurrent use, and neither is a netsim.Network (which owns one). Each
+// submitted unit must build its own Network from its pre-derived seed and
+// never share it — or the parent Source — with another unit. See the
+// package example.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool bounds how many units run concurrently and accumulates execution
+// statistics for wall-clock/speedup reporting. A nil *Pool is valid and
+// means serial execution with no statistics.
+//
+// A Pool carries no goroutines of its own: each Map call spawns at most
+// Workers() goroutines for its duration. The zero worker count is replaced
+// by GOMAXPROCS at construction.
+type Pool struct {
+	workers int
+
+	jobs atomic.Int64
+	busy atomic.Int64 // accumulated per-unit execution time, nanoseconds
+}
+
+// NewPool returns a pool running at most workers units at once; workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the concurrency bound. A nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Jobs reports how many units have completed through this pool.
+func (p *Pool) Jobs() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.jobs.Load()
+}
+
+// Busy reports the total execution time spent inside units. Dividing Busy
+// by elapsed wall-clock time estimates the achieved speedup.
+func (p *Pool) Busy() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.busy.Load())
+}
+
+func (p *Pool) account(start time.Time) {
+	if p == nil {
+		return
+	}
+	p.jobs.Add(1)
+	p.busy.Add(int64(time.Since(start)))
+}
+
+// Map runs fn(0) … fn(n-1) through the pool and returns the results indexed
+// by submission order. fn must be safe for concurrent invocation across
+// distinct indices and must not depend on execution order (derive any
+// randomness from pre-split seeds, not from shared state).
+//
+// If any invocation fails, Map still waits for all started units and then
+// returns the error of the lowest failing index, so the reported error does
+// not depend on scheduling.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			v, err := fn(i)
+			p.account(start)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				start := time.Now()
+				out[i], errs[i] = fn(i)
+				p.account(start)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

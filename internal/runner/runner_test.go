@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewPoolDefaults(t *testing.T) {
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Errorf("NewPool(0).Workers() = %d, want >= 1", w)
+	}
+	if w := NewPool(-3).Workers(); w < 1 {
+		t.Errorf("NewPool(-3).Workers() = %d, want >= 1", w)
+	}
+	if w := NewPool(5).Workers(); w != 5 {
+		t.Errorf("NewPool(5).Workers() = %d", w)
+	}
+	var nilPool *Pool
+	if w := nilPool.Workers(); w != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", w)
+	}
+	if nilPool.Jobs() != 0 || nilPool.Busy() != 0 {
+		t.Error("nil pool should report zero statistics")
+	}
+}
+
+func TestMapSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		p := NewPool(workers)
+		n := 53
+		out, err := Map(p, n, func(i int) (int, error) {
+			// Finish out of submission order on purpose.
+			time.Sleep(time.Duration((n-i)%5) * time.Millisecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		if got := p.Jobs(); got != int64(n) {
+			t.Errorf("workers=%d: Jobs() = %d, want %d", workers, got, n)
+		}
+		if p.Busy() <= 0 {
+			t.Errorf("workers=%d: Busy() not accumulated", workers)
+		}
+	}
+}
+
+func TestMapNilPoolIsSerial(t *testing.T) {
+	running := 0
+	out, err := Map[int](nil, 10, func(i int) (int, error) {
+		running++ // would race if anything ran concurrently
+		return i, nil
+	})
+	if err != nil || len(out) != 10 || running != 10 {
+		t.Fatalf("Map(nil) = %v, %v (ran %d)", out, err, running)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	_, err := Map(p, 40, func(i int) (struct{}, error) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("observed %d concurrent units, bound is %d", got, workers)
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(NewPool(workers), 20, func(i int) (int, error) {
+			switch i {
+			case 17:
+				return 0, errHigh
+			case 3:
+				// Make the higher index likely to fail first in real time.
+				time.Sleep(5 * time.Millisecond)
+				return 0, errLow
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: got %v, want lowest-index error %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(NewPool(4), 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(0 jobs) = %v, %v", out, err)
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []string {
+		out, err := Map(NewPool(workers), 25, func(i int) (string, error) {
+			return fmt.Sprintf("unit-%02d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 7, 25} {
+		got := run(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
