@@ -32,6 +32,7 @@ package bbrnash
 import (
 	"bbrnash/internal/cc"
 	"bbrnash/internal/cc/bbr"
+	"bbrnash/internal/check"
 	"bbrnash/internal/cc/bbrv2"
 	"bbrnash/internal/cc/copa"
 	"bbrnash/internal/cc/cubic"
@@ -256,4 +257,33 @@ var (
 	NewResultCache = runner.NewCache
 	// OpenResultCache loads (or creates) an on-disk JSON cache.
 	OpenResultCache = runner.OpenCache
+)
+
+// Fault tolerance and invariant auditing (internal/runner,
+// internal/check). Sweeps and NE searches honour an optional
+// context.Context (ExperimentScale.Ctx, NESearchConfig.Ctx): once it is
+// cancelled no further simulations are dispatched, in-flight units drain,
+// and a failing or panicking unit is reported as a *UnitError naming the
+// scenario's canonical key. An InvariantAuditor attached to a scale or
+// search config validates every simulation result as it is produced.
+type (
+	// UnitError identifies the failing unit of a sweep: submission index,
+	// canonical scenario key, and the error or recovered panic + stack.
+	UnitError = runner.UnitError
+	// InvariantAuditor collects physical-invariant violations; nil
+	// disables auditing.
+	InvariantAuditor = check.Auditor
+	// InvariantViolation is one failed invariant, keyed by scenario.
+	InvariantViolation = check.Violation
+	// InvariantLimits carries the bounds results are audited against.
+	InvariantLimits = check.Limits
+)
+
+var (
+	// NewInvariantAuditor creates an empty auditor; attach it to an
+	// ExperimentScale's (or search config's) Audit field.
+	NewInvariantAuditor = check.New
+	// AuditFlows audits one simulation's per-flow and link statistics
+	// against a scenario's physical bounds.
+	AuditFlows = check.Flows
 )

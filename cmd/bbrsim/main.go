@@ -4,7 +4,7 @@
 // Usage:
 //
 //	bbrsim -capacity 100 -rtt 40 -buffer 3 -flows bbr:2,cubic:3 -duration 60s
-//	bbrsim -flows bbr:5,cubic:5 -runs 8 -workers 4 -cache results.json
+//	bbrsim -flows bbr:5,cubic:5 -runs 8 -workers 4 -cache results.json -strict
 //
 // The -flows specification is a comma-separated list of name:count pairs;
 // names come from the algorithm registry (cubic, reno, bbr, bbrv2, copa,
@@ -12,15 +12,24 @@
 // -rtt. With -runs > 1, replicates with distinct start-jitter seeds
 // (pre-derived from -seed) fan out across -workers cores and are reported
 // in run order; -cache memoizes each replicate's statistics on disk.
+//
+// SIGINT/SIGTERM cancel remaining replicates (in-flight runs drain) and
+// the cache is saved on every exit path. -strict audits every replicate's
+// statistics against physical invariants and fails the run on violation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
+	"bbrnash/internal/check"
 	"bbrnash/internal/exp"
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/plot"
@@ -38,6 +47,10 @@ type runStats struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		capMbps    = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
 		rttMs      = flag.Float64("rtt", 40, "base RTT in milliseconds")
@@ -50,6 +63,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = no caching)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		strict     = flag.Bool("strict", false, "audit replicate statistics against physical invariants; violations fail the run")
 	)
 	flag.Parse()
 
@@ -59,22 +73,32 @@ func main() {
 
 	specs, err := exp.ParseFlowSpec(*flows)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *runs < 1 {
 		*runs = 1
 	}
 	if *cpuProfile != "" {
-		stop, err := runner.StartCPUProfile(*cpuProfile)
+		stopProfile, err := runner.StartCPUProfile(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer stop()
+		defer stopProfile()
 	}
 	cache, err := runner.OpenCache(*cachePath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
+	var audit *check.Auditor
+	if *strict {
+		audit = check.New()
+	}
+
+	// SIGINT/SIGTERM cancel remaining replicates; the deferred save still
+	// persists every replicate that completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	defer saveCache(cache, *cachePath)
 
 	// Pre-derive every replicate's seed before any run starts, so the
 	// seed→run assignment is independent of worker count. A single run
@@ -86,50 +110,62 @@ func main() {
 		seeds[i] = r.Uint64()
 	}
 
+	// Audit bounds: the conservation slack is one pipe-full (buffer plus
+	// the jittered path's BDP).
+	limits := check.Limits{
+		Capacity: capacity,
+		Buffer:   buffer,
+		Pipe:     buffer + units.BDP(capacity, rtt+*jitter),
+	}
+
 	runOne := func(runSeed uint64) (runStats, error) {
 		key := fmt.Sprintf("bbrsim|v1|cap=%v|buf=%d|mss=%d|rtt=%d|dur=%d|j=%d|flows=%s|seed=%d",
 			float64(capacity), int64(buffer), int64(units.MSS), int64(rtt),
 			int64(*duration), int64(*jitter), *flows, runSeed)
-		var st runStats
-		if cache.Get(key, &st) {
-			return st, nil
-		}
-		n, err := netsim.New(netsim.Config{Capacity: capacity, Buffer: buffer})
-		if err != nil {
-			return runStats{}, err
-		}
-		jr := rng.New(runSeed)
-		var all []*netsim.Flow
-		for _, spec := range specs {
-			for i := 0; i < spec.Count; i++ {
-				f, err := n.AddFlow(netsim.FlowConfig{
-					Name:      fmt.Sprintf("%s%d", spec.Name, i),
-					RTT:       rtt,
-					Start:     jr.Duration(*jitter),
-					Algorithm: spec.Ctor,
-				})
-				if err != nil {
-					return runStats{}, err
-				}
-				all = append(all, f)
+		return runner.Protect(key, func() (runStats, error) {
+			var st runStats
+			if cache.Get(key, &st) {
+				audit.Record(check.Flows(key, limits, st.Flows, &st.Link)...)
+				return st, nil
 			}
-		}
-		n.Run(*duration)
-		st = runStats{Seed: runSeed, Link: n.Link()}
-		for _, f := range all {
-			st.Flows = append(st.Flows, f.Stats())
-		}
-		cache.Put(key, st)
-		return st, nil
+			n, err := netsim.New(netsim.Config{Capacity: capacity, Buffer: buffer})
+			if err != nil {
+				return runStats{}, err
+			}
+			jr := rng.New(runSeed)
+			var all []*netsim.Flow
+			for _, spec := range specs {
+				for i := 0; i < spec.Count; i++ {
+					f, err := n.AddFlow(netsim.FlowConfig{
+						Name:      fmt.Sprintf("%s%d", spec.Name, i),
+						RTT:       rtt,
+						Start:     jr.Duration(*jitter),
+						Algorithm: spec.Ctor,
+					})
+					if err != nil {
+						return runStats{}, err
+					}
+					all = append(all, f)
+				}
+			}
+			n.Run(*duration)
+			st = runStats{Seed: runSeed, Link: n.Link()}
+			for _, f := range all {
+				st.Flows = append(st.Flows, f.Stats())
+			}
+			cache.Put(key, st)
+			audit.Record(check.Flows(key, limits, st.Flows, &st.Link)...)
+			return st, nil
+		})
 	}
 
 	pool := runner.NewPool(*workers)
 	start := time.Now()
-	results, err := runner.Map(pool, *runs, func(i int) (runStats, error) {
+	results, err := runner.MapCtx(ctx, pool, *runs, func(_ context.Context, i int) (runStats, error) {
 		return runOne(seeds[i])
 	})
 	if err != nil {
-		fatal(err)
+		return report(ctx, err)
 	}
 	elapsed := time.Since(start)
 
@@ -157,18 +193,58 @@ func main() {
 				fmt.Sprintf("%.0f pkts", fs.MeanQueueOccupancy.Packets()))
 		}
 		if err := tbl.Render(os.Stdout); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("link: utilization %.1f%%, mean queue delay %v, drops %d\n",
 			100*st.Link.Utilization, st.Link.MeanQueueDelay.Round(100*time.Microsecond), st.Link.Drops)
 	}
 	fmt.Printf("(%d runs in %v wall time, %d cache hits)\n", *runs, elapsed.Round(time.Millisecond), cache.Hits())
+	return auditVerdict(audit)
+}
+
+// report explains a replicate failure: an interrupt exits 130, a failing
+// replicate is named by its canonical key, a captured panic includes its
+// stack.
+func report(ctx context.Context, err error) int {
+	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "bbrsim: interrupted; completed replicates cached")
+		return 130
+	}
+	var ue *runner.UnitError
+	if errors.As(err, &ue) && ue.Recovered != nil {
+		fmt.Fprintln(os.Stderr, "bbrsim:", err)
+		fmt.Fprintf(os.Stderr, "bbrsim: unit panic stack:\n%s", ue.Stack)
+		return 1
+	}
+	return fail(err)
+}
+
+// auditVerdict reports the -strict outcome.
+func auditVerdict(audit *check.Auditor) int {
+	if audit == nil {
+		return 0
+	}
+	vs := audit.Violations()
+	if len(vs) == 0 {
+		fmt.Println("strict audit: all invariants held")
+		return 0
+	}
+	for _, v := range vs {
+		fmt.Fprintf(os.Stderr, "bbrsim: strict: %s\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "bbrsim: strict: %d invariant violation(s)\n", len(vs))
+	return 1
+}
+
+// saveCache persists replicate results; deferred so it runs on every exit
+// path, including errors and interrupts.
+func saveCache(cache *runner.Cache, path string) {
 	if err := cache.Save(); err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "bbrsim: saving cache:", err)
 	}
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "bbrsim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -7,7 +7,7 @@
 //
 //	figures -fig all -scale quick -out ./figures
 //	figures -fig 3a,3b -scale full -workers 8
-//	figures -fig 9a -scale full -cache results.json
+//	figures -fig 9a -scale full -cache results.json -strict
 //	figures -list
 //
 // Scales: "full" is the paper's protocol (2-minute flows, 10 trials,
@@ -16,21 +16,39 @@
 // out across -workers cores, and -cache memoizes per-simulation results
 // on disk across runs — neither changes any figure's output by a single
 // byte (see DESIGN.md, "Parallel execution & determinism").
+//
+// Execution is fault-tolerant: SIGINT/SIGTERM cancel the run (in-flight
+// simulations drain, nothing new is dispatched), a failing or panicking
+// simulation is reported with its canonical scenario key, and on every
+// exit path — success, error or interrupt — the -cache store is saved, so
+// a multi-hour sweep never loses its warmed payoffs. -strict additionally
+// audits every simulation result against physical invariants (share sums,
+// byte conservation, queue bounds, NaN/Inf) and fails the run if any are
+// violated.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"bbrnash/internal/check"
 	"bbrnash/internal/exp"
 	"bbrnash/internal/runner"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		figFlag    = flag.String("fig", "all", "comma-separated figure IDs (e.g. 1,3a,9f) or 'all'")
 		scaleFlag  = flag.String("scale", "quick", "experiment scale: full, quick or smoke")
@@ -41,6 +59,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		strict     = flag.Bool("strict", false, "audit every simulation result against physical invariants; violations fail the run")
 	)
 	flag.Parse()
 
@@ -48,26 +67,42 @@ func main() {
 		for _, f := range exp.Figures() {
 			fmt.Printf("%-4s %s\n", f.ID, f.Title)
 		}
-		return
+		return 0
 	}
 
 	scale, err := exp.ScaleByName(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	scale.Pool = runner.NewPool(*workers)
 	cache, err := runner.OpenCache(*cachePath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	scale.Cache = cache
+	var audit *check.Auditor
+	if *strict {
+		audit = check.New()
+		scale.Audit = audit
+	}
+
+	// SIGINT/SIGTERM cancel the context: the sweep stops dispatching new
+	// simulations, in-flight units drain, and the deferred save below
+	// still persists every memoized payoff.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	scale.Ctx = ctx
+
+	// The cache is saved on every exit path — success, error or
+	// interrupt — so a failed multi-hour sweep keeps its warmed payoffs.
+	defer saveCache(cache, *cachePath)
 
 	if *cpuProfile != "" {
-		stop, err := runner.StartCPUProfile(*cpuProfile)
+		stopProfile, err := runner.StartCPUProfile(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer stop()
+		defer stopProfile()
 	}
 
 	var figs []exp.Figure
@@ -77,7 +112,7 @@ func main() {
 		for _, id := range strings.Split(*figFlag, ",") {
 			f, err := exp.FigureByID(strings.TrimSpace(id))
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			figs = append(figs, f)
 		}
@@ -85,7 +120,7 @@ func main() {
 
 	if *outFlag != "" {
 		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
@@ -98,7 +133,7 @@ func main() {
 		hits0, misses0 := cache.Hits(), cache.Misses()
 		res, err := f.Generate(scale)
 		if err != nil {
-			fatal(fmt.Errorf("figure %s: %w", f.ID, err))
+			return report(ctx, fmt.Errorf("figure %s: %w", f.ID, err))
 		}
 		for i, chart := range res.Charts {
 			fmt.Println(chart.RenderASCII(*width, *height))
@@ -110,14 +145,14 @@ func main() {
 				path := filepath.Join(*outFlag, name)
 				file, err := os.Create(path)
 				if err != nil {
-					fatal(err)
+					return fail(err)
 				}
 				if err := chart.WriteCSV(file); err != nil {
 					file.Close()
-					fatal(err)
+					return fail(err)
 				}
 				if err := file.Close(); err != nil {
-					fatal(err)
+					return fail(err)
 				}
 				fmt.Printf("wrote %s\n", path)
 			}
@@ -135,11 +170,53 @@ func main() {
 	fmt.Printf("all done in %v: %d jobs, %d unique sims, %d cache hits%s\n",
 		wall.Round(time.Millisecond), scale.Pool.Jobs(), cache.Misses(), cache.Hits(),
 		speedupNote(scale.Pool.Busy(), wall, scale.Pool.Jobs()))
-	if err := cache.Save(); err != nil {
-		fatal(err)
+	return auditVerdict(audit)
+}
+
+// report explains a sweep failure: an interrupt is reported as such (exit
+// 130), a failing unit is named by canonical scenario key, and a captured
+// simulation panic includes its stack.
+func report(ctx context.Context, err error) int {
+	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "figures: interrupted; in-flight simulations drained, partial figure discarded")
+		return 130
 	}
-	if *cachePath != "" && cache.Misses() > 0 {
-		fmt.Printf("cache saved to %s (%d entries)\n", *cachePath, cache.Len())
+	var ue *runner.UnitError
+	if errors.As(err, &ue) && ue.Recovered != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		fmt.Fprintf(os.Stderr, "figures: unit panic stack:\n%s", ue.Stack)
+		return 1
+	}
+	return fail(err)
+}
+
+// auditVerdict reports the -strict outcome: every recorded invariant
+// violation, keyed by scenario, fails the run.
+func auditVerdict(audit *check.Auditor) int {
+	if audit == nil {
+		return 0
+	}
+	vs := audit.Violations()
+	if len(vs) == 0 {
+		fmt.Println("strict audit: all invariants held")
+		return 0
+	}
+	for _, v := range vs {
+		fmt.Fprintf(os.Stderr, "figures: strict: %s\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "figures: strict: %d invariant violation(s)\n", len(vs))
+	return 1
+}
+
+// saveCache persists the memoized results; deferred so it runs on every
+// exit path, including errors and interrupts.
+func saveCache(cache *runner.Cache, path string) {
+	if err := cache.Save(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures: saving cache:", err)
+		return
+	}
+	if path != "" && cache.Misses() > 0 {
+		fmt.Printf("cache saved to %s (%d entries)\n", path, cache.Len())
 	}
 }
 
@@ -153,7 +230,7 @@ func speedupNote(busy, wall time.Duration, jobs int64) string {
 	return fmt.Sprintf(", %.1fx speedup", float64(busy)/float64(wall))
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(1)
+	return 1
 }

@@ -5,19 +5,29 @@
 // Usage:
 //
 //	nash -capacity 100 -rtt 40 -buffer 5 -n 20 -alg bbr -verify -scale quick
-//	nash -n 30 -verify -workers 8 -cache results.json
+//	nash -n 30 -verify -workers 8 -cache results.json -strict
 //
 // With -verify, the payoff-table simulations fan out across -workers
 // cores and memoize per-scenario results in -cache; neither affects the
 // equilibria found (see DESIGN.md, "Parallel execution & determinism").
+// SIGINT/SIGTERM cancel the search gracefully — in-flight simulations
+// drain and the cache is saved on every exit path, so an interrupted
+// exhaustive scan keeps its warmed payoff table. -strict audits every
+// payoff simulation against physical invariants and fails the run on any
+// violation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"bbrnash/internal/check"
 	"bbrnash/internal/core"
 	"bbrnash/internal/exp"
 	"bbrnash/internal/runner"
@@ -25,6 +35,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		capMbps    = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
 		rttMs      = flag.Float64("rtt", 40, "base RTT in milliseconds")
@@ -36,6 +50,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		strict     = flag.Bool("strict", false, "audit every payoff simulation against physical invariants; violations fail the run")
 	)
 	flag.Parse()
 
@@ -47,34 +62,45 @@ func main() {
 		Capacity: capacity, Buffer: buffer, RTT: rtt, N: *n,
 	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Printf("model (for BBR): equilibrium at %.1f to %.1f CUBIC flows of %d (buffer %.1f BDP)\n",
 		region.CubicLow(), region.CubicHigh(), *n, *bufBDP)
 
 	if !*verify {
-		return
+		return 0
 	}
 	if *cpuProfile != "" {
-		stop, err := runner.StartCPUProfile(*cpuProfile)
+		stopProfile, err := runner.StartCPUProfile(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer stop()
+		defer stopProfile()
 	}
 	scale, err := exp.ScaleByName(*scaleN)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	ctor, err := exp.AlgorithmByName(*alg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	pool := runner.NewPool(*workers)
 	cache, err := runner.OpenCache(*cachePath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
+	var audit *check.Auditor
+	if *strict {
+		audit = check.New()
+	}
+
+	// SIGINT/SIGTERM cancel the search; the deferred save still persists
+	// every payoff simulated so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	defer saveCache(cache, *cachePath)
+
 	fmt.Printf("verifying empirically with %s flows (%s scale, %d trials, %d workers)...\n",
 		*alg, scale.Name, scale.Trials, pool.Workers())
 	start := time.Now()
@@ -83,10 +109,10 @@ func main() {
 			Capacity: capacity, Buffer: buffer, RTT: rtt, N: *n,
 			Duration: scale.FlowDuration, Seed: uint64(trial+1) * 1e6,
 			X: ctor, Exhaustive: scale.Exhaustive,
-			Pool: pool, Cache: cache,
+			Pool: pool, Cache: cache, Ctx: ctx, Audit: audit,
 		})
 		if err != nil {
-			fatal(err)
+			return report(ctx, fmt.Errorf("trial %d: %w", trial+1, err))
 		}
 		fmt.Printf("trial %d: equilibria at", trial+1)
 		for _, k := range res.EquilibriaX {
@@ -95,15 +121,56 @@ func main() {
 		fmt.Printf(" (%d simulations, %d cache hits)\n", res.Simulations, res.CacheHits)
 	}
 	fmt.Printf("verified in %v\n", time.Since(start).Round(time.Millisecond))
-	if err := cache.Save(); err != nil {
-		fatal(err)
+	return auditVerdict(audit)
+}
+
+// report explains a search failure: an interrupt exits 130, a failing
+// payoff simulation is named by canonical scenario key, and a captured
+// panic includes its stack.
+func report(ctx context.Context, err error) int {
+	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "nash: interrupted; in-flight simulations drained, cache saved")
+		return 130
 	}
-	if *cachePath != "" && cache.Misses() > 0 {
-		fmt.Printf("cache saved to %s (%d entries)\n", *cachePath, cache.Len())
+	var ue *runner.UnitError
+	if errors.As(err, &ue) && ue.Recovered != nil {
+		fmt.Fprintln(os.Stderr, "nash:", err)
+		fmt.Fprintf(os.Stderr, "nash: unit panic stack:\n%s", ue.Stack)
+		return 1
+	}
+	return fail(err)
+}
+
+// auditVerdict reports the -strict outcome.
+func auditVerdict(audit *check.Auditor) int {
+	if audit == nil {
+		return 0
+	}
+	vs := audit.Violations()
+	if len(vs) == 0 {
+		fmt.Println("strict audit: all invariants held")
+		return 0
+	}
+	for _, v := range vs {
+		fmt.Fprintf(os.Stderr, "nash: strict: %s\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "nash: strict: %d invariant violation(s)\n", len(vs))
+	return 1
+}
+
+// saveCache persists the memoized payoffs; deferred so it runs on every
+// exit path, including errors and interrupts.
+func saveCache(cache *runner.Cache, path string) {
+	if err := cache.Save(); err != nil {
+		fmt.Fprintln(os.Stderr, "nash: saving cache:", err)
+		return
+	}
+	if path != "" && cache.Misses() > 0 {
+		fmt.Printf("cache saved to %s (%d entries)\n", path, cache.Len())
 	}
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "nash:", err)
-	os.Exit(1)
+	return 1
 }

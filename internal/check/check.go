@@ -1,0 +1,242 @@
+// Package check audits experiment results against physical invariants.
+//
+// Every figure and equilibrium in the pipeline is hours of accumulated
+// simulation; a silent NaN or a conservation bug in a congestion-control
+// implementation poisons everything downstream. The auditor validates each
+// simulation's statistics as they are produced — throughput shares must fit
+// the link, delivered bytes must be accounted for by sent bytes, queues
+// must respect the buffer bound, and nothing may be NaN, Inf or negative —
+// and records violations under the canonical scenario key, so one bad unit
+// in a sweep is reported by scenario instead of discovered in a plot.
+//
+// A nil *Auditor is valid and disables auditing, mirroring the nil
+// *runner.Pool / *runner.Cache convention; the CLIs attach one behind
+// their -strict flag.
+package check
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/units"
+)
+
+// relTol absorbs measurement-window rounding: utilization and share sums
+// may exceed their ideal bounds by a fraction of a percent when a window
+// opens on a full queue (netsim's own property tests allow the same
+// drift). Real corruption — a NaN, a negative rate, a share twice the
+// capacity — is far outside this band.
+const relTol = 5e-3
+
+// Limits carries the scenario bounds a result is audited against.
+type Limits struct {
+	// Capacity is the bottleneck rate; shares must sum to at most
+	// Capacity (within tolerance).
+	Capacity units.Rate
+	// Buffer bounds queue occupancy and queueing delay.
+	Buffer units.Bytes
+	// Pipe bounds one flow's unaccounted bytes — sent but neither
+	// delivered nor dropped — as the buffer plus the longest path's
+	// bandwidth-delay product. A measurement window can open with a
+	// pipe-full outstanding, so conservation is enforced up to this
+	// slack.
+	Pipe units.Bytes
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	// Key is the canonical scenario key of the violating result ("" when
+	// the scenario is uncacheable).
+	Key string
+	// Invariant names the failed rule: "finite", "non-negative",
+	// "conservation", "share-sum", "queue-bound", "utilization",
+	// "delay-bound" or "rtt-order".
+	Invariant string
+	// Detail is the measured-vs-bound evidence.
+	Detail string
+}
+
+func (v Violation) String() string {
+	key := v.Key
+	if key == "" {
+		key = "<uncacheable scenario>"
+	}
+	return fmt.Sprintf("%s: %s [%s]", v.Invariant, v.Detail, key)
+}
+
+// violations accumulates failed invariants for one audited result.
+type violations struct {
+	key string
+	vs  []Violation
+}
+
+func (a *violations) add(invariant, format string, args ...any) {
+	a.vs = append(a.vs, Violation{Key: a.key, Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// finite flags NaN and Inf, the poison values a long sweep must never
+// average into a figure.
+func (a *violations) finite(what string, v float64) bool {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		a.add("finite", "%s = %v", what, v)
+		return false
+	}
+	return true
+}
+
+func (a *violations) nonNegative(what string, v float64) bool {
+	if !a.finite(what, v) {
+		return false
+	}
+	if v < 0 {
+		a.add("non-negative", "%s = %v", what, v)
+		return false
+	}
+	return true
+}
+
+// Rate audits one reported rate: finite and non-negative.
+func Rate(key, what string, r units.Rate) []Violation {
+	a := &violations{key: key}
+	a.nonNegative(what, float64(r))
+	return a.vs
+}
+
+// ShareSum audits that an aggregate of per-flow shares fits the link:
+// flows cannot collectively deliver more than the bottleneck forwards.
+func ShareSum(key string, lim Limits, agg units.Rate) []Violation {
+	a := &violations{key: key}
+	if a.nonNegative("aggregate throughput", float64(agg)) && lim.Capacity > 0 &&
+		float64(agg) > float64(lim.Capacity)*(1+relTol) {
+		a.add("share-sum", "aggregate throughput %v exceeds capacity %v", agg, lim.Capacity)
+	}
+	return a.vs
+}
+
+// Flows audits the per-flow and link statistics of one simulation run
+// against lim, returning every violated invariant. link may be nil when
+// only per-flow statistics are available.
+func Flows(key string, lim Limits, flows []netsim.FlowStats, link *netsim.LinkStats) []Violation {
+	a := &violations{key: key}
+	var agg units.Rate
+	for _, f := range flows {
+		if a.nonNegative("flow "+f.Name+" throughput", float64(f.Throughput)) {
+			agg += f.Throughput
+		}
+		ok := a.nonNegative("flow "+f.Name+" delivered bytes", float64(f.Delivered))
+		ok = a.nonNegative("flow "+f.Name+" sent bytes", float64(f.SentBytes)) && ok
+		if f.Lost < 0 {
+			a.add("non-negative", "flow %s lost packets = %d", f.Name, f.Lost)
+			ok = false
+		}
+		// Conservation: every delivered or dropped byte was sent. The
+		// measurement window may open with up to a pipe-full already in
+		// flight, hence the slack.
+		if ok {
+			accounted := float64(f.Delivered) + float64(f.Lost)*float64(units.MSS)
+			if accounted > float64(f.SentBytes)+float64(lim.Pipe)+float64(units.MSS) {
+				a.add("conservation", "flow %s delivered+dropped %.0fB exceeds sent %v + pipe %v",
+					f.Name, accounted, f.SentBytes, lim.Pipe)
+			}
+		}
+		if a.nonNegative("flow "+f.Name+" max queue occupancy", float64(f.MaxQueueOccupancy)) &&
+			lim.Buffer > 0 && float64(f.MaxQueueOccupancy) > float64(lim.Buffer)*(1+relTol) {
+			a.add("queue-bound", "flow %s max queue occupancy %v exceeds buffer %v",
+				f.Name, f.MaxQueueOccupancy, lim.Buffer)
+		}
+		if f.MeanRTT < 0 || f.MinRTT < 0 {
+			a.add("non-negative", "flow %s RTT mean %v / min %v", f.Name, f.MeanRTT, f.MinRTT)
+		} else if f.MeanRTT > 0 && f.MinRTT > 0 && f.MeanRTT < f.MinRTT {
+			a.add("rtt-order", "flow %s mean RTT %v below min RTT %v", f.Name, f.MeanRTT, f.MinRTT)
+		}
+	}
+	a.vs = append(a.vs, ShareSum(key, lim, agg)...)
+	if link != nil {
+		a.link(lim, link)
+	}
+	return a.vs
+}
+
+// link audits bottleneck-level statistics.
+func (a *violations) link(lim Limits, l *netsim.LinkStats) {
+	if a.finite("link utilization", l.Utilization) &&
+		(l.Utilization < 0 || l.Utilization > 1+relTol) {
+		a.add("utilization", "link utilization = %v, want 0..1", l.Utilization)
+	}
+	if a.nonNegative("link mean queue occupancy", float64(l.MeanQueueOccupancy)) &&
+		lim.Buffer > 0 && float64(l.MeanQueueOccupancy) > float64(lim.Buffer)*(1+relTol) {
+		a.add("queue-bound", "link mean queue occupancy %v exceeds buffer %v",
+			l.MeanQueueOccupancy, lim.Buffer)
+	}
+	if l.MeanQueueDelay < 0 {
+		a.add("non-negative", "link mean queue delay = %v", l.MeanQueueDelay)
+	} else if lim.Capacity > 0 && lim.Buffer > 0 {
+		// A drop-tail queue never holds more than the buffer ahead of a
+		// packet, so its delay through the bottleneck is bounded by the
+		// time to transmit buffer + its own size.
+		bound := time.Duration(float64(lim.Buffer+units.MSS) * 8 / float64(lim.Capacity) *
+			(1 + relTol) * float64(time.Second))
+		if l.MeanQueueDelay > bound {
+			a.add("delay-bound", "link mean queue delay %v exceeds drain bound %v",
+				l.MeanQueueDelay, bound)
+		}
+	}
+	if l.Drops < 0 {
+		a.add("non-negative", "link drops = %d", l.Drops)
+	}
+}
+
+// Auditor collects violations across a run; methods are safe for
+// concurrent use and a nil *Auditor disables auditing entirely.
+type Auditor struct {
+	mu sync.Mutex
+	vs []Violation
+}
+
+// New returns an empty auditor.
+func New() *Auditor { return &Auditor{} }
+
+// Enabled reports whether results should be audited at all.
+func (a *Auditor) Enabled() bool { return a != nil }
+
+// Record appends violations; recording nothing is a no-op.
+func (a *Auditor) Record(vs ...Violation) {
+	if a == nil || len(vs) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.vs = append(a.vs, vs...)
+	a.mu.Unlock()
+}
+
+// Len reports how many violations have been recorded.
+func (a *Auditor) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.vs)
+}
+
+// Violations returns a copy of everything recorded, in record order.
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Violation(nil), a.vs...)
+}
+
+// Err summarizes the recorded violations as one error, nil when clean.
+func (a *Auditor) Err() error {
+	vs := a.Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d invariant violation(s), first: %s", len(vs), vs[0])
+}

@@ -1,0 +1,193 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/units"
+)
+
+// testLimits is a plausible 100 Mbps / 40 ms / 3 BDP scenario.
+func testLimits() Limits {
+	capacity := 100 * units.Mbps
+	buffer := units.BufferBytes(capacity, 40*time.Millisecond, 3)
+	return Limits{
+		Capacity: capacity,
+		Buffer:   buffer,
+		Pipe:     buffer + units.BDP(capacity, 50*time.Millisecond),
+	}
+}
+
+// cleanFlow builds statistics that satisfy every invariant under
+// testLimits.
+func cleanFlow(name string, tput units.Rate, dur time.Duration) netsim.FlowStats {
+	return netsim.FlowStats{
+		Name:               name,
+		Throughput:         tput,
+		Delivered:          units.Bytes(float64(tput) / 8 * dur.Seconds()),
+		SentBytes:          units.Bytes(float64(tput)/8*dur.Seconds()) + 20*units.MSS,
+		Lost:               10,
+		MaxQueueOccupancy:  units.BufferBytes(100*units.Mbps, 40*time.Millisecond, 2),
+		MeanQueueOccupancy: units.BufferBytes(100*units.Mbps, 40*time.Millisecond, 1),
+		MinRTT:             40 * time.Millisecond,
+		MeanRTT:            55 * time.Millisecond,
+	}
+}
+
+func invariants(vs []Violation) []string {
+	var names []string
+	for _, v := range vs {
+		names = append(names, v.Invariant)
+	}
+	return names
+}
+
+func requireInvariant(t *testing.T, vs []Violation, want string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Invariant == want {
+			return
+		}
+	}
+	t.Errorf("violations %v missing invariant %q", invariants(vs), want)
+}
+
+func TestFlowsCleanResultPasses(t *testing.T) {
+	lim := testLimits()
+	flows := []netsim.FlowStats{
+		cleanFlow("bbr0", 60*units.Mbps, time.Minute),
+		cleanFlow("cubic0", 35*units.Mbps, time.Minute),
+	}
+	link := &netsim.LinkStats{
+		Utilization:        0.95,
+		MeanQueueOccupancy: lim.Buffer / 2,
+		MeanQueueDelay:     10 * time.Millisecond,
+		Drops:              42,
+	}
+	if vs := Flows("key", lim, flows, link); len(vs) != 0 {
+		t.Errorf("clean result flagged: %v", vs)
+	}
+}
+
+func TestFlowsConservation(t *testing.T) {
+	lim := testLimits()
+	f := cleanFlow("bbr0", 60*units.Mbps, time.Minute)
+	// Claim to have delivered far more than was sent: a pipe-full of slack
+	// cannot explain two extra pipes.
+	f.Delivered = f.SentBytes + 3*lim.Pipe
+	vs := Flows("key", lim, []netsim.FlowStats{f}, nil)
+	requireInvariant(t, vs, "conservation")
+}
+
+func TestFlowsNaNThroughput(t *testing.T) {
+	f := cleanFlow("bbr0", 60*units.Mbps, time.Minute)
+	f.Throughput = units.Rate(math.NaN())
+	vs := Flows("key", testLimits(), []netsim.FlowStats{f}, nil)
+	requireInvariant(t, vs, "finite")
+}
+
+func TestFlowsNegativeLost(t *testing.T) {
+	f := cleanFlow("bbr0", 60*units.Mbps, time.Minute)
+	f.Lost = -1
+	vs := Flows("key", testLimits(), []netsim.FlowStats{f}, nil)
+	requireInvariant(t, vs, "non-negative")
+}
+
+func TestFlowsQueueOverBuffer(t *testing.T) {
+	lim := testLimits()
+	f := cleanFlow("bbr0", 60*units.Mbps, time.Minute)
+	f.MaxQueueOccupancy = 2 * lim.Buffer
+	vs := Flows("key", lim, []netsim.FlowStats{f}, nil)
+	requireInvariant(t, vs, "queue-bound")
+}
+
+func TestFlowsRTTOrder(t *testing.T) {
+	f := cleanFlow("bbr0", 60*units.Mbps, time.Minute)
+	f.MeanRTT = f.MinRTT / 2
+	vs := Flows("key", testLimits(), []netsim.FlowStats{f}, nil)
+	requireInvariant(t, vs, "rtt-order")
+}
+
+func TestShareSumOverCapacity(t *testing.T) {
+	lim := testLimits()
+	vs := ShareSum("key", lim, lim.Capacity*2)
+	requireInvariant(t, vs, "share-sum")
+	// Within tolerance is fine: utilization measurement can round a hair
+	// above the line rate.
+	if vs := ShareSum("key", lim, lim.Capacity*units.Rate(1+relTol/2)); len(vs) != 0 {
+		t.Errorf("in-tolerance aggregate flagged: %v", vs)
+	}
+}
+
+func TestLinkUtilizationAndDelayBounds(t *testing.T) {
+	lim := testLimits()
+	f := cleanFlow("bbr0", 60*units.Mbps, time.Minute)
+	link := &netsim.LinkStats{Utilization: 1.2}
+	requireInvariant(t, Flows("key", lim, []netsim.FlowStats{f}, link), "utilization")
+
+	link = &netsim.LinkStats{Utilization: 0.9, MeanQueueDelay: time.Hour}
+	requireInvariant(t, Flows("key", lim, []netsim.FlowStats{f}, link), "delay-bound")
+}
+
+func TestRate(t *testing.T) {
+	if vs := Rate("key", "per-flow", 10*units.Mbps); len(vs) != 0 {
+		t.Errorf("clean rate flagged: %v", vs)
+	}
+	requireInvariant(t, Rate("key", "per-flow", units.Rate(math.Inf(1))), "finite")
+	requireInvariant(t, Rate("key", "per-flow", -1*units.Mbps), "non-negative")
+}
+
+func TestViolationStringNamesScenario(t *testing.T) {
+	v := Violation{Key: "mix|v1|cap=1", Invariant: "share-sum", Detail: "d"}
+	if s := v.String(); !strings.Contains(s, "mix|v1|cap=1") || !strings.Contains(s, "share-sum") {
+		t.Errorf("String() = %q", s)
+	}
+	v.Key = ""
+	if s := v.String(); !strings.Contains(s, "<uncacheable scenario>") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAuditorNilSafe(t *testing.T) {
+	var a *Auditor
+	if a.Enabled() {
+		t.Error("nil auditor enabled")
+	}
+	a.Record(Violation{Invariant: "finite"}) // must not panic
+	if a.Len() != 0 || a.Violations() != nil || a.Err() != nil {
+		t.Error("nil auditor should report nothing")
+	}
+}
+
+func TestAuditorConcurrentRecord(t *testing.T) {
+	a := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a.Record(Violation{Invariant: "finite", Detail: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Len() != 800 {
+		t.Errorf("Len = %d, want 800", a.Len())
+	}
+	if err := a.Err(); err == nil || !strings.Contains(err.Error(), "800") {
+		t.Errorf("Err = %v", err)
+	}
+}
+
+func TestAuditorEmptyRecordIsNoOp(t *testing.T) {
+	a := New()
+	a.Record()
+	if a.Len() != 0 || a.Err() != nil {
+		t.Error("empty Record changed state")
+	}
+}

@@ -10,11 +10,13 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"bbrnash/internal/cc"
+	"bbrnash/internal/check"
 	"bbrnash/internal/cc/bbr"
 	"bbrnash/internal/cc/bbrv2"
 	"bbrnash/internal/cc/copa"
@@ -52,6 +54,24 @@ type Scale struct {
 	// Cache memoizes simulation results under canonical scenario keys
 	// across a run; nil disables memoization.
 	Cache *runner.Cache
+	// Ctx cancels experiment execution: once it is done, no further
+	// simulation units are dispatched, in-flight units drain, and sweeps
+	// return the context's error (the CLIs wire SIGINT here). Nil means
+	// context.Background().
+	Ctx context.Context
+	// Audit, when non-nil, validates every simulation result against
+	// physical invariants (share sums, byte conservation, queue bounds,
+	// NaN/Inf) and records violations under the canonical scenario key;
+	// see internal/check. Nil disables auditing.
+	Audit *check.Auditor
+}
+
+// ctx resolves the scale's context, defaulting to Background.
+func (s Scale) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // Predefined scales. All three use the paper's two-minute flows: BBR's

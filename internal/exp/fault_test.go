@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bbrnash/internal/check"
+	"bbrnash/internal/runner"
+)
+
+// TestSweepMixCancelledContext: a sweep under a cancelled context returns
+// promptly with context.Canceled instead of simulating anything.
+func TestSweepMixCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := testScale()
+	s.Pool = runner.NewPool(4)
+	s.Ctx = ctx
+
+	start := time.Now()
+	_, err := s.SweepMix(1, 4, func(int) MixConfig { return smokeMix() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A single smoke simulation takes seconds; a cancelled sweep must not
+	// run even one.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled sweep took %v", elapsed)
+	}
+}
+
+// TestSweepMixFailureNamesScenario: a failing simulation unit surfaces as
+// a *runner.UnitError carrying the scenario's canonical cache key.
+func TestSweepMixFailureNamesScenario(t *testing.T) {
+	s := testScale()
+	s.Pool = runner.NewPool(2)
+	_, err := s.SweepMix(1, 2, func(i int) MixConfig {
+		cfg := smokeMix()
+		if i == 1 {
+			cfg.Duration = 0 // RunMix rejects non-positive durations
+		}
+		return cfg
+	})
+	if err == nil {
+		t.Fatal("expected sweep failure")
+	}
+	var ue *runner.UnitError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want *runner.UnitError", err)
+	}
+	if !strings.HasPrefix(ue.Key, "mix|v1|") {
+		t.Errorf("UnitError.Key = %q, want canonical mix key", ue.Key)
+	}
+	if !strings.Contains(err.Error(), "non-positive duration") {
+		t.Errorf("err = %v, want wrapped RunMix error", err)
+	}
+}
+
+// TestSweepMixAuditClean: real simulation output passes the strict
+// invariant audit — on fresh computes and on cached replays.
+func TestSweepMixAuditClean(t *testing.T) {
+	s := testScale()
+	s.Pool = runner.NewPool(4)
+	s.Cache = runner.NewCache()
+	s.Audit = check.New()
+
+	cfgAt := func(int) MixConfig {
+		c := smokeMix()
+		c.NumX, c.NumCubic = 2, 1
+		return c
+	}
+	if _, err := s.SweepMix(9, 1, cfgAt); err != nil {
+		t.Fatal(err)
+	}
+	if s.Audit.Len() != 0 {
+		t.Fatalf("fresh run violated invariants: %v", s.Audit.Violations())
+	}
+	// Replay from the warm cache: the audit re-runs on cached results.
+	if _, err := s.SweepMix(9, 1, cfgAt); err != nil {
+		t.Fatal(err)
+	}
+	if s.Audit.Len() != 0 {
+		t.Fatalf("cached replay violated invariants: %v", s.Audit.Violations())
+	}
+	if err := s.Audit.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindNECancelledContext: the exhaustive equilibrium search honours
+// its config context.
+func TestFindNECancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mix := smokeMix()
+	_, err := FindNE(NESearchConfig{
+		Capacity: mix.Capacity, Buffer: mix.Buffer, RTT: mix.RTT,
+		N: 3, Duration: mix.Duration, Seed: 11,
+		Exhaustive: true, Pool: runner.NewPool(4), Ctx: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,16 +1,53 @@
 package exp
 
 import (
+	"context"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"bbrnash/internal/cc"
+	"bbrnash/internal/check"
 	"bbrnash/internal/core"
 	"bbrnash/internal/game"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
+
+// ctxOr resolves an optional search context, defaulting to Background.
+func ctxOr(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	return context.Background()
+}
+
+// evalFailure records the first payoff-evaluation failure of a search.
+// Game callbacks cannot return errors, so without this an erroring or
+// panicking payoff simulation would silently score zero and steer the
+// equilibrium enumeration to a bogus answer.
+type evalFailure struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *evalFailure) note(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *evalFailure) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
 
 // NESearchConfig describes one empirical Nash-Equilibrium search (§4.4
 // methodology): N same-RTT flows each running CUBIC or X, a payoff table
@@ -43,6 +80,12 @@ type NESearchConfig struct {
 	// evaluations within this call; a shared cache additionally carries
 	// results across trials and figures.
 	Cache *runner.Cache
+	// Ctx cancels the search: no further payoff simulations are
+	// dispatched once it is done. Nil means context.Background().
+	Ctx context.Context
+	// Audit, when non-nil, validates every payoff simulation against
+	// physical invariants (see internal/check).
+	Audit *check.Auditor
 }
 
 // NESearchResult is the outcome of one trial's search.
@@ -88,15 +131,27 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 		}
 	}
 	type pair struct{ x, c units.Rate }
+	// evalErr is the fallible payoff evaluation: panic-protected and
+	// reported under the distribution's canonical scenario key.
+	evalErr := func(numX int) (pair, error) {
+		mix := mixAt(numX)
+		key, _ := mixKey(mix)
+		return runner.Protect(key, func() (pair, error) {
+			res, hit, err := runMixCached(mix, cache, cfg.Audit)
+			if err != nil {
+				return pair{}, err
+			}
+			if !hit {
+				sims.Add(1)
+			}
+			return pair{res.PerFlowX, res.PerFlowCubic}, nil
+		})
+	}
+	var failed evalFailure
 	eval := func(numX int) pair {
-		res, hit, err := runMixCached(mixAt(numX), cache)
-		if err != nil {
-			return pair{}
-		}
-		if !hit {
-			sims.Add(1)
-		}
-		return pair{res.PerFlowX, res.PerFlowCubic}
+		p, err := evalErr(numX)
+		failed.note(err)
+		return p
 	}
 	g := &game.SymmetricBinary{
 		N:           cfg.N,
@@ -109,14 +164,17 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 		// An exhaustive scan evaluates every distribution anyway, so
 		// build the whole payoff table up front through the pool; the
 		// enumeration below is then pure cache hits.
-		if _, err := runner.Map(cfg.Pool, cfg.N+1, func(numX int) (struct{}, error) {
-			eval(numX)
-			return struct{}{}, nil
+		if _, err := runner.MapCtx(ctxOr(cfg.Ctx), cfg.Pool, cfg.N+1, func(_ context.Context, numX int) (struct{}, error) {
+			_, err := evalErr(numX)
+			return struct{}{}, err
 		}); err != nil {
 			return NESearchResult{}, err
 		}
 		ks, err := g.Equilibria(eps)
 		if err != nil {
+			return NESearchResult{}, err
+		}
+		if err := failed.get(); err != nil {
 			return NESearchResult{}, err
 		}
 		return NESearchResult{
@@ -143,6 +201,9 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 		if g.IsEquilibrium(cand, eps) {
 			ks = append(ks, cand)
 		}
+	}
+	if err := failed.get(); err != nil {
+		return NESearchResult{}, err
 	}
 	return NESearchResult{
 		EquilibriaX: ks,
@@ -177,9 +238,11 @@ type GroupNEConfig struct {
 	// Exhaustive enumerates the whole Π(Size+1) profile space; otherwise
 	// a greedy incentive walk is used.
 	Exhaustive bool
-	// Pool and Cache as in NESearchConfig.
+	// Pool, Cache, Ctx and Audit as in NESearchConfig.
 	Pool  *runner.Pool
 	Cache *runner.Cache
+	Ctx   context.Context
+	Audit *check.Auditor
 }
 
 // GroupNEResult is the outcome of a multi-RTT search.
@@ -208,8 +271,8 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	type pair struct {
 		x, c []units.Rate
 	}
-	eval := func(k []int) pair {
-		res, hit, err := runGroupsCached(GroupConfig{
+	evalErr := func(k []int) (pair, error) {
+		gcfg := GroupConfig{
 			Capacity: cfg.Capacity,
 			Buffer:   cfg.Buffer,
 			Duration: nePayoffDuration(cfg.Duration),
@@ -218,14 +281,27 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 			RTTs:     cfg.RTTs,
 			Sizes:    cfg.Sizes,
 			NumX:     append([]int(nil), k...),
-		}, cache)
-		if err != nil {
-			return pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}
 		}
-		if !hit {
-			sims.Add(1)
+		key, _ := groupKey(gcfg)
+		return runner.Protect(key, func() (pair, error) {
+			res, hit, err := runGroupsCached(gcfg, cache, cfg.Audit)
+			if err != nil {
+				return pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}, err
+			}
+			if !hit {
+				sims.Add(1)
+			}
+			return pair{x: res.PerFlowX, c: res.PerFlowCubic}, nil
+		})
+	}
+	var failed evalFailure
+	eval := func(k []int) pair {
+		p, err := evalErr(k)
+		failed.note(err)
+		if p.x == nil || p.c == nil {
+			p = pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}
 		}
-		return pair{x: res.PerFlowX, c: res.PerFlowCubic}
+		return p
 	}
 	groups := make([]game.GroupSpec, len(cfg.Sizes))
 	total := 0
@@ -244,14 +320,17 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 		// The exhaustive enumeration touches every profile, so build the
 		// whole payoff table up front through the pool.
 		profiles := enumerateProfiles(cfg.Sizes)
-		if _, err := runner.Map(cfg.Pool, len(profiles), func(i int) (struct{}, error) {
-			eval(profiles[i])
-			return struct{}{}, nil
+		if _, err := runner.MapCtx(ctxOr(cfg.Ctx), cfg.Pool, len(profiles), func(_ context.Context, i int) (struct{}, error) {
+			_, err := evalErr(profiles[i])
+			return struct{}{}, err
 		}); err != nil {
 			return GroupNEResult{}, err
 		}
 		ks, err := g.Equilibria(eps)
 		if err != nil {
+			return GroupNEResult{}, err
+		}
+		if err := failed.get(); err != nil {
 			return GroupNEResult{}, err
 		}
 		return GroupNEResult{
@@ -299,6 +378,9 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	var out [][]int
 	if g.IsEquilibrium(k, eps) {
 		out = append(out, append([]int(nil), k...))
+	}
+	if err := failed.get(); err != nil {
+		return GroupNEResult{}, err
 	}
 	return GroupNEResult{
 		Equilibria:  out,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"bbrnash/internal/cc"
+	"bbrnash/internal/check"
 	"bbrnash/internal/rng"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
@@ -106,12 +108,15 @@ func groupKey(cfg GroupConfig) (key string, ok bool) {
 	return b.String(), true
 }
 
-// runMixCached is RunMix behind the memoizing cache. hit reports whether
-// the result came from the cache; errors are never cached.
-func runMixCached(cfg MixConfig, cache *runner.Cache) (res MixResult, hit bool, err error) {
+// runMixCached is RunMix behind the memoizing cache and the invariant
+// auditor. hit reports whether the result came from the cache; errors are
+// never cached. Cached replays are audited too: a store written by an
+// older build should not smuggle a bad result past a strict run.
+func runMixCached(cfg MixConfig, cache *runner.Cache, audit *check.Auditor) (res MixResult, hit bool, err error) {
 	key, canonical := mixKey(cfg)
 	if canonical {
 		if cache.Get(key, &res) {
+			auditMix(audit, key, cfg, res)
 			return res, true, nil
 		}
 	}
@@ -121,15 +126,20 @@ func runMixCached(cfg MixConfig, cache *runner.Cache) (res MixResult, hit bool, 
 	}
 	if canonical {
 		cache.Put(key, res)
+		auditMix(audit, key, cfg, res)
+	} else {
+		auditMix(audit, "", cfg, res)
 	}
 	return res, false, nil
 }
 
-// runGroupsCached is RunGroups behind the memoizing cache.
-func runGroupsCached(cfg GroupConfig, cache *runner.Cache) (res GroupResult, hit bool, err error) {
+// runGroupsCached is RunGroups behind the memoizing cache and the
+// invariant auditor.
+func runGroupsCached(cfg GroupConfig, cache *runner.Cache, audit *check.Auditor) (res GroupResult, hit bool, err error) {
 	key, canonical := groupKey(cfg)
 	if canonical {
 		if cache.Get(key, &res) {
+			auditGroups(audit, key, cfg, res)
 			return res, true, nil
 		}
 	}
@@ -139,6 +149,9 @@ func runGroupsCached(cfg GroupConfig, cache *runner.Cache) (res GroupResult, hit
 	}
 	if canonical {
 		cache.Put(key, res)
+		auditGroups(audit, key, cfg, res)
+	} else {
+		auditGroups(audit, "", cfg, res)
 	}
 	return res, false, nil
 }
@@ -150,17 +163,25 @@ func runGroupsCached(cfg GroupConfig, cache *runner.Cache) (res GroupResult, hit
 // is byte-identical at any worker count. Per-trial seeds are pre-derived
 // from seed and shared across points, matching the paper's protocol of
 // repeating one jitter schedule over a sweep.
+//
+// Execution is fault-tolerant: cancelling s.Ctx or one unit failing stops
+// dispatch at any worker count, in-flight units drain, and the returned
+// error is a *runner.UnitError naming the failing scenario's canonical key
+// (a panicking simulation is captured the same way).
 func (s Scale) SweepMix(seed uint64, n int, cfgAt func(i int) MixConfig) ([]MixResult, error) {
 	trials := s.Trials
 	if trials < 1 {
 		trials = 1
 	}
 	seeds := trialSeeds(seed, trials)
-	flat, err := runner.Map(s.Pool, n*trials, func(j int) (MixResult, error) {
+	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(_ context.Context, j int) (MixResult, error) {
 		cfg := cfgAt(j / trials)
 		cfg.Seed = seeds[j%trials]
-		res, _, err := runMixCached(cfg, s.Cache)
-		return res, err
+		key, _ := mixKey(cfg)
+		return runner.Protect(key, func() (MixResult, error) {
+			res, _, err := runMixCached(cfg, s.Cache, s.Audit)
+			return res, err
+		})
 	})
 	if err != nil {
 		return nil, err

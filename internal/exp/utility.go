@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -54,8 +55,8 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 	type pair struct{ x, c float64 }
 	// What is memoized is the underlying MixResult — shared with FindNE's
 	// throughput-only searches — and the utility is recomputed per lookup.
-	eval := func(numX int) pair {
-		res, hit, err := runMixCached(MixConfig{
+	evalErr := func(numX int) (pair, error) {
+		mix := MixConfig{
 			Capacity: cfg.Capacity,
 			Buffer:   cfg.Buffer,
 			RTT:      cfg.RTT,
@@ -64,17 +65,27 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 			X:        cfg.X,
 			NumX:     numX,
 			NumCubic: cfg.N - numX,
-		}, cache)
-		if err != nil {
-			return pair{}
 		}
-		if !hit {
-			sims.Add(1)
-		}
-		return pair{
-			x: utility(res.PerFlowX, res.MeanQueueDelay),
-			c: utility(res.PerFlowCubic, res.MeanQueueDelay),
-		}
+		key, _ := mixKey(mix)
+		return runner.Protect(key, func() (pair, error) {
+			res, hit, err := runMixCached(mix, cache, cfg.Audit)
+			if err != nil {
+				return pair{}, err
+			}
+			if !hit {
+				sims.Add(1)
+			}
+			return pair{
+				x: utility(res.PerFlowX, res.MeanQueueDelay),
+				c: utility(res.PerFlowCubic, res.MeanQueueDelay),
+			}, nil
+		})
+	}
+	var failed evalFailure
+	eval := func(numX int) pair {
+		p, err := evalErr(numX)
+		failed.note(err)
+		return p
 	}
 	g := &game.SymmetricBinary{
 		N:           cfg.N,
@@ -90,14 +101,17 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 	eps := cfg.EpsFraction * fairUtil
 
 	if cfg.Exhaustive {
-		if _, err := runner.Map(cfg.Pool, cfg.N+1, func(numX int) (struct{}, error) {
-			eval(numX)
-			return struct{}{}, nil
+		if _, err := runner.MapCtx(ctxOr(cfg.Ctx), cfg.Pool, cfg.N+1, func(_ context.Context, numX int) (struct{}, error) {
+			_, err := evalErr(numX)
+			return struct{}{}, err
 		}); err != nil {
 			return NESearchResult{}, err
 		}
 		ks, err := g.Equilibria(eps)
 		if err != nil {
+			return NESearchResult{}, err
+		}
+		if err := failed.get(); err != nil {
 			return NESearchResult{}, err
 		}
 		return NESearchResult{
@@ -115,6 +129,9 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 		if g.IsEquilibrium(cand, eps) {
 			ks = append(ks, cand)
 		}
+	}
+	if err := failed.get(); err != nil {
+		return NESearchResult{}, err
 	}
 	return NESearchResult{
 		EquilibriaX: ks,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"sync/atomic"
 )
@@ -58,7 +59,10 @@ func OpenCache(path string) (*Cache, error) {
 // Get looks key up and, when present, unmarshals the stored value into out,
 // returning true. Hit and miss counts are tracked for reporting. A value
 // that no longer unmarshals (e.g. an on-disk store written by an older
-// result schema) counts as a miss.
+// result schema) counts as a miss and is evicted, so the recomputed result
+// replaces the stale bytes on the next Put/Save instead of shadowing them
+// forever. Decoding goes through a scratch value, so a failed unmarshal
+// never leaves out partially populated.
 func (c *Cache) Get(key string, out any) bool {
 	if c == nil {
 		return false
@@ -66,9 +70,29 @@ func (c *Cache) Get(key string, out any) bool {
 	c.mu.RLock()
 	raw, ok := c.m[key]
 	c.mu.RUnlock()
-	if ok && json.Unmarshal(raw, out) == nil {
-		c.hits.Add(1)
-		return true
+	if ok {
+		dst := reflect.ValueOf(out)
+		if dst.Kind() != reflect.Pointer || dst.IsNil() {
+			// Invalid destination; the entry itself may be fine, so
+			// leave it in place.
+			c.misses.Add(1)
+			return false
+		}
+		scratch := reflect.New(dst.Type().Elem())
+		if json.Unmarshal(raw, scratch.Interface()) == nil {
+			dst.Elem().Set(scratch.Elem())
+			c.hits.Add(1)
+			return true
+		}
+		// The entry cannot serve this schema; delete it under the write
+		// lock — unless a concurrent Put already replaced it with fresh
+		// bytes — and mark the store dirty so Save drops it.
+		c.mu.Lock()
+		if cur, still := c.m[key]; still && string(cur) == string(raw) {
+			delete(c.m, key)
+			c.dirty = true
+		}
+		c.mu.Unlock()
 	}
 	c.misses.Add(1)
 	return false
@@ -127,8 +151,11 @@ func (c *Cache) HitRate() float64 {
 }
 
 // Save writes the store back to the path it was opened from, atomically
-// (temp file + rename). It is a no-op for purely in-memory caches and when
-// nothing changed since open.
+// (temp file + rename). The written file keeps an existing store's
+// permission bits, and a new store is created 0644 — without the chmod the
+// rename would inherit os.CreateTemp's private 0600 mode, making a cache
+// produced by one user or CI step unreadable to the next. Save is a no-op
+// for purely in-memory caches and when nothing changed since open.
 func (c *Cache) Save() error {
 	if c == nil || c.path == "" {
 		return nil
@@ -142,8 +169,17 @@ func (c *Cache) Save() error {
 	if err != nil {
 		return fmt.Errorf("runner: encoding cache: %w", err)
 	}
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(c.path); err == nil {
+		mode = fi.Mode().Perm()
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".cache-*.json")
 	if err != nil {
+		return err
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {

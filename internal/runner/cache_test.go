@@ -153,3 +153,111 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheCorruptEntryEvictedAndRecomputed: a corrupt on-disk entry
+// must (a) miss without disturbing the caller's destination, (b) be
+// evicted so the recomputed value can be stored, and (c) round-trip the
+// recompute bit-identically through Save and reopen.
+func TestCacheCorruptEntryEvictedAndRecomputed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	// "Drops" is a string where the schema wants an int: the entry decodes
+	// as JSON but not into fakeResult.
+	corrupt := `{"k": {"Throughput": 1.5, "Drops": "bad"}}`
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+
+	// Pre-fill the destination: a corrupt hit must not leak partial fields
+	// into it.
+	out := fakeResult{Throughput: 99, Drops: 7}
+	if c.Get("k", &out) {
+		t.Fatal("corrupt entry reported as a hit")
+	}
+	if (out != fakeResult{Throughput: 99, Drops: 7}) {
+		t.Errorf("destination mutated by failed decode: %+v", out)
+	}
+	if c.Len() != 0 {
+		t.Errorf("corrupt entry not evicted: Len = %d", c.Len())
+	}
+
+	// Recompute, store, persist, reopen: the replacement must replay
+	// bit-identically.
+	want := fakeResult{Throughput: 1.0 / 3.0, Drops: 3}
+	c.Put("k", want)
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got fakeResult
+	if !re.Get("k", &got) || got != want {
+		t.Errorf("reopened Get = %+v, want %+v", got, want)
+	}
+}
+
+// TestCacheInvalidDestinationDoesNotEvict: a nil or non-pointer
+// destination is a caller bug, not a corrupt entry — the stored value
+// must survive.
+func TestCacheInvalidDestinationDoesNotEvict(t *testing.T) {
+	c := NewCache()
+	c.Put("k", fakeResult{Throughput: 1})
+	if c.Get("k", nil) {
+		t.Error("nil destination hit")
+	}
+	if c.Get("k", fakeResult{}) {
+		t.Error("non-pointer destination hit")
+	}
+	if c.Len() != 1 {
+		t.Errorf("valid entry evicted on caller error: Len = %d", c.Len())
+	}
+	var out fakeResult
+	if !c.Get("k", &out) || out.Throughput != 1 {
+		t.Errorf("entry lost: %+v", out)
+	}
+}
+
+// TestCacheSaveFileMode: a fresh store is world-readable (0644, less
+// umask is not applied by Chmod), and Save preserves the mode of an
+// existing store the operator may have tightened.
+func TestCacheSaveFileMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", fakeResult{Throughput: 1})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("fresh store mode = %o, want 0644", fi.Mode().Perm())
+	}
+
+	if err := os.Chmod(path, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k2", fakeResult{Throughput: 2})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err = os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Errorf("tightened store mode = %o, want 0600 preserved", fi.Mode().Perm())
+	}
+}

@@ -15,6 +15,15 @@
 // exhaustive Nash-equilibrium scans and overlapping figure grids stop
 // re-simulating identical scenarios.
 //
+// Execution is fault-tolerant: MapCtx stops dispatching new units as soon
+// as the context is cancelled or any unit fails (in-flight units drain), a
+// panicking unit is captured instead of crashing the process, and every
+// failure is reported as a *UnitError naming the unit by submission index
+// and — when the caller wraps its unit bodies in Protect — by canonical
+// scenario key. Error selection is deterministic: the lowest-index real
+// failure wins regardless of scheduling, and cancellations triggered by the
+// abort never mask it.
+//
 // Concurrency rules at the runner boundary: a rng.Source is not safe for
 // concurrent use, and neither is a netsim.Network (which owns one). Each
 // submitted unit must build its own Network from its pre-derived seed and
@@ -23,11 +32,75 @@
 package runner
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// UnitError reports the failure of one mapped unit: which submission index
+// failed, the canonical scenario key when the caller supplied one (see
+// Protect), and either the underlying error or the recovered panic value
+// with its stack. Map and MapCtx wrap every unit failure this way, so a
+// multi-hour sweep that dies on one pathological scenario names the point
+// instead of crashing.
+type UnitError struct {
+	// Index is the unit's submission index within its Map/MapCtx call.
+	Index int
+	// Key is the unit's canonical scenario key, "" when not supplied.
+	Key string
+	// Err is the underlying error; nil when the unit panicked.
+	Err error
+	// Recovered is the recovered panic value; nil for plain errors.
+	Recovered any
+	// Stack is the panicking goroutine's stack; nil for plain errors.
+	Stack []byte
+}
+
+func (e *UnitError) Error() string {
+	var what string
+	switch {
+	case e.Recovered != nil:
+		what = fmt.Sprintf("panic: %v", e.Recovered)
+	case e.Err != nil:
+		what = e.Err.Error()
+	default:
+		what = "failed"
+	}
+	if e.Key != "" {
+		return fmt.Sprintf("runner: unit %d (%s): %s", e.Index, e.Key, what)
+	}
+	return fmt.Sprintf("runner: unit %d: %s", e.Index, what)
+}
+
+// Unwrap exposes the underlying error to errors.Is/errors.As chains (so a
+// unit returning ctx.Err() still matches context.Canceled).
+func (e *UnitError) Unwrap() error { return e.Err }
+
+// Protect runs work on behalf of a mapped unit, converting a panic into a
+// *UnitError carrying key (the unit's canonical scenario key) and wrapping
+// a plain error the same way. MapCtx fills in the submission index; unit
+// bodies that know their scenario key wrap themselves in Protect so a
+// failure deep in a sweep is reported by scenario, not just by position.
+func Protect[T any](key string, work func() (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &UnitError{Key: key, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	out, err = work()
+	if err != nil {
+		var ue *UnitError
+		if !errors.As(err, &ue) {
+			err = &UnitError{Key: key, Err: err}
+		}
+	}
+	return out, err
+}
 
 // Pool bounds how many units run concurrently and accumulates execution
 // statistics for wall-clock/speedup reporting. A nil *Pool is valid and
@@ -60,7 +133,9 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
-// Jobs reports how many units have completed through this pool.
+// Jobs reports how many units have completed successfully through this
+// pool. Failed and cancelled units are excluded, so after an aborted run
+// the count is the same at any worker count.
 func (p *Pool) Jobs() int64 {
 	if p == nil {
 		return 0
@@ -68,8 +143,9 @@ func (p *Pool) Jobs() int64 {
 	return p.jobs.Load()
 }
 
-// Busy reports the total execution time spent inside units. Dividing Busy
-// by elapsed wall-clock time estimates the achieved speedup.
+// Busy reports the total execution time spent inside successfully
+// completed units. Dividing Busy by elapsed wall-clock time estimates the
+// achieved speedup.
 func (p *Pool) Busy() time.Duration {
 	if p == nil {
 		return 0
@@ -90,54 +166,121 @@ func (p *Pool) account(start time.Time) {
 // distinct indices and must not depend on execution order (derive any
 // randomness from pre-split seeds, not from shared state).
 //
-// If any invocation fails, Map still waits for all started units and then
-// returns the error of the lowest failing index, so the reported error does
-// not depend on scheduling.
+// Failure semantics are those of MapCtx with a background context: after
+// the first failure no further units are dispatched at any worker count,
+// started units drain, and the lowest failing index's error is reported as
+// a *UnitError.
 func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), p, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with cancellation and panic capture. As soon as ctx is
+// cancelled or any unit fails, no further units are dispatched; units
+// already started drain (they observe the cancellation through the context
+// passed to fn) and MapCtx returns only after all of them have finished, so
+// it never leaks a goroutine.
+//
+// Every unit failure — including a recovered panic — is reported as a
+// *UnitError. The reported error is the lowest-submission-index failure
+// that is not itself a cancellation, so it does not depend on scheduling;
+// when execution was aborted by ctx rather than by a unit, ctx.Err() is
+// returned.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
 	workers := p.Workers()
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			start := time.Now()
-			v, err := fn(i)
-			p.account(start)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
+
+	// Cancelling unitCtx — on the first unit failure or when the parent
+	// context is cancelled — stops dispatch and lets cooperative in-flight
+	// units return early.
+	unitCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				start := time.Now()
-				out[i], errs[i] = fn(i)
-				p.account(start)
-			}
-		}()
+	runUnit := func(i int) {
+		start := time.Now()
+		v, err := protectUnit(unitCtx, i, fn)
+		if err != nil {
+			errs[i] = err
+			cancel()
+			return
+		}
+		out[i] = v
+		p.account(start)
 	}
-	wg.Wait()
+
+	if workers <= 1 {
+		for i := 0; i < n && unitCtx.Err() == nil; i++ {
+			runUnit(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for unitCtx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runUnit(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err == nil || isCancellation(err) {
+			continue
+		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Only cancellations remain: a unit returned ctx.Err() without the
+	// parent context being cancelled. Surface the lowest-index one.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// protectUnit invokes one unit with panic capture and normalizes any
+// failure into a *UnitError carrying the submission index.
+func protectUnit[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &UnitError{Index: i, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	out, err = fn(ctx, i)
+	if err != nil {
+		var ue *UnitError
+		if errors.As(err, &ue) {
+			ue.Index = i
+		} else {
+			err = &UnitError{Index: i, Err: err}
+		}
+	}
+	return out, err
+}
+
+// isCancellation reports whether err is a pure context-cancellation
+// failure: a drained unit observing the aborted context must never mask
+// the real failure that triggered the abort.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
