@@ -43,6 +43,7 @@ import (
 	"bbrnash/internal/game"
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
 	"bbrnash/internal/units"
 )
 
@@ -172,7 +173,39 @@ var (
 
 // AlgorithmByName resolves a constructor from its name ("cubic", "reno",
 // "bbr", "bbrv2", "copa", "vivace").
-var AlgorithmByName = exp.AlgorithmByName
+var AlgorithmByName = cc.AlgorithmByName
+
+// Algorithms lists the registered algorithm names in sorted order.
+var Algorithms = cc.Algorithms
+
+// Declarative scenarios (internal/scenario). A ScenarioSpec is the
+// canonical description of one bottleneck experiment — the same object
+// the CLIs parse, the simulator builds from, and the cache and auditor
+// key results by (Spec.Key).
+type (
+	// ScenarioSpec is one complete declarative scenario.
+	ScenarioSpec = scenario.Spec
+	// ScenarioGroup is one ordered group of identical flows in a spec.
+	ScenarioGroup = scenario.Group
+	// ScenarioResult carries a spec run's per-group and link statistics.
+	ScenarioResult = exp.SpecResult
+)
+
+var (
+	// LoadScenario reads and validates a scenario spec from a JSON file.
+	LoadScenario = scenario.Load
+	// MixScenario builds the paper's canonical two-class scenario.
+	MixScenario = scenario.Mix
+	// RunScenario executes one scenario spec.
+	RunScenario = exp.RunSpec
+	// RunScenarioCached executes a spec through a ResultCache and an
+	// optional InvariantAuditor, keyed by the spec's canonical key.
+	RunScenarioCached = exp.RunSpecCached
+)
+
+// ScenarioKeyVersion is the canonical-key format generation used by
+// Spec.Key, the result cache and the invariant auditor.
+const ScenarioKeyVersion = scenario.KeyVersion
 
 // Experiments (internal/exp) and game theory (internal/game).
 type (

@@ -22,6 +22,7 @@ import (
 	"bbrnash/internal/cc"
 	"bbrnash/internal/cc/bbr"
 	"bbrnash/internal/cc/cubic"
+	"bbrnash/internal/cc/reno"
 	"bbrnash/internal/core"
 	"bbrnash/internal/eventsim"
 	"bbrnash/internal/exp"
@@ -344,7 +345,7 @@ func BenchmarkAblationCubicVsReno(b *testing.B) {
 			Buffer:   units.BufferBytes(100*units.Mbps, 80*time.Millisecond, 1),
 			RTT:      80 * time.Millisecond,
 			Duration: 2 * time.Minute,
-			X:        exp.Algorithms()["reno"],
+			X:        reno.New,
 			NumX:     1, NumCubic: 1,
 		})
 		if err != nil {

@@ -5,13 +5,22 @@
 //
 //	bbrsim -capacity 100 -rtt 40 -buffer 3 -flows bbr:2,cubic:3 -duration 60s
 //	bbrsim -flows bbr:5,cubic:5 -runs 8 -workers 4 -cache results.json -strict
+//	bbrsim -scenario examples/mix-3bbr-2cubic.json -runs 4
 //
 // The -flows specification is a comma-separated list of name:count pairs;
-// names come from the algorithm registry (cubic, reno, bbr, bbrv2, copa,
-// vivace). -buffer is in multiples of the BDP computed from -capacity and
-// -rtt. With -runs > 1, replicates with distinct start-jitter seeds
-// (pre-derived from -seed) fan out across -workers cores and are reported
-// in run order; -cache memoizes each replicate's statistics on disk.
+// names come from the algorithm registry (-list-algorithms prints it).
+// -buffer is in multiples of the BDP computed from -capacity and -rtt.
+// Alternatively -scenario loads a full scenario spec from a JSON file
+// (see internal/scenario), which may mix algorithms at heterogeneous RTTs
+// and start offsets; the topology flags are then ignored. Either way the
+// run is driven by one canonical scenario.Spec — echoed as a "scenario:"
+// JSON line, ready to be saved and replayed with -scenario — whose key
+// identifies results in the cache and in failure reports.
+//
+// With -runs > 1, replicates with distinct start-jitter seeds (pre-derived
+// from the base seed) fan out across -workers cores and are reported in
+// run order; -cache memoizes each replicate's statistics on disk (entries
+// from other key-format generations are skipped and pruned).
 //
 // SIGINT/SIGTERM cancel remaining replicates (in-flight runs drain) and
 // the cache is saved on every exit path. -strict audits every replicate's
@@ -20,31 +29,25 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"bbrnash/internal/check"
 	"bbrnash/internal/exp"
-	"bbrnash/internal/netsim"
 	"bbrnash/internal/plot"
 	"bbrnash/internal/rng"
 	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
 	"bbrnash/internal/units"
 )
-
-// runStats is one replicate's cacheable outcome: everything the report
-// prints, as plain JSON-safe statistics.
-type runStats struct {
-	Seed  uint64
-	Flows []netsim.FlowStats
-	Link  netsim.LinkStats
-}
 
 func main() {
 	os.Exit(run())
@@ -59,21 +62,28 @@ func run() int {
 		duration   = flag.Duration("duration", 2*time.Minute, "flow duration")
 		seed       = flag.Uint64("seed", 1, "start-jitter seed (base seed with -runs > 1)")
 		jitter     = flag.Duration("jitter", 10*time.Millisecond, "max random start offset")
+		ackJitter  = flag.Duration("ackjitter", 0, "max per-packet ACK path delay variation")
+		specPath   = flag.String("scenario", "", "load the full scenario from this JSON file (topology flags ignored)")
 		runs       = flag.Int("runs", 1, "number of replicate runs with distinct derived seeds")
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = no caching)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		strict     = flag.Bool("strict", false, "audit replicate statistics against physical invariants; violations fail the run")
+		listAlgs   = flag.Bool("list-algorithms", false, "print the algorithm registry and exit")
 	)
 	flag.Parse()
 
-	capacity := units.Rate(*capMbps) * units.Mbps
-	rtt := time.Duration(*rttMs * float64(time.Millisecond))
-	buffer := units.BufferBytes(capacity, rtt, *bufBDP)
+	if *listAlgs {
+		fmt.Println(strings.Join(scenario.Algorithms(), "\n"))
+		return 0
+	}
 
-	specs, err := exp.ParseFlowSpec(*flows)
+	sp, err := buildSpec(*specPath, *capMbps, *rttMs, *bufBDP, *flows, *duration, *jitter, *ackJitter)
 	if err != nil {
 		return fail(err)
+	}
+	if sp.Seed == 0 {
+		sp.Seed = *seed
 	}
 	if *runs < 1 {
 		*runs = 1
@@ -85,7 +95,7 @@ func run() int {
 		}
 		defer stopProfile()
 	}
-	cache, err := runner.OpenCache(*cachePath)
+	cache, err := runner.OpenCache(*cachePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}
@@ -98,99 +108,60 @@ func run() int {
 	// persists every replicate that completed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	defer saveCache(cache, *cachePath)
+	defer saveCache(cache)
 
 	// Pre-derive every replicate's seed before any run starts, so the
 	// seed→run assignment is independent of worker count. A single run
-	// keeps -seed verbatim for compatibility with older invocations.
+	// keeps the base seed verbatim for compatibility with older
+	// invocations.
 	seeds := make([]uint64, *runs)
-	seeds[0] = *seed
-	r := rng.New(*seed)
+	seeds[0] = sp.Seed
+	r := rng.New(sp.Seed)
 	for i := 1; i < *runs; i++ {
 		seeds[i] = r.Uint64()
 	}
 
-	// Audit bounds: the conservation slack is one pipe-full (buffer plus
-	// the jittered path's BDP).
-	limits := check.Limits{
-		Capacity: capacity,
-		Buffer:   buffer,
-		Pipe:     buffer + units.BDP(capacity, rtt+*jitter),
-	}
-
-	runOne := func(runSeed uint64) (runStats, error) {
-		key := fmt.Sprintf("bbrsim|v1|cap=%v|buf=%d|mss=%d|rtt=%d|dur=%d|j=%d|flows=%s|seed=%d",
-			float64(capacity), int64(buffer), int64(units.MSS), int64(rtt),
-			int64(*duration), int64(*jitter), *flows, runSeed)
-		return runner.Protect(key, func() (runStats, error) {
-			var st runStats
-			if cache.Get(key, &st) {
-				audit.Record(check.Flows(key, limits, st.Flows, &st.Link)...)
-				return st, nil
-			}
-			n, err := netsim.New(netsim.Config{Capacity: capacity, Buffer: buffer})
-			if err != nil {
-				return runStats{}, err
-			}
-			jr := rng.New(runSeed)
-			var all []*netsim.Flow
-			for _, spec := range specs {
-				for i := 0; i < spec.Count; i++ {
-					f, err := n.AddFlow(netsim.FlowConfig{
-						Name:      fmt.Sprintf("%s%d", spec.Name, i),
-						RTT:       rtt,
-						Start:     jr.Duration(*jitter),
-						Algorithm: spec.Ctor,
-					})
-					if err != nil {
-						return runStats{}, err
-					}
-					all = append(all, f)
-				}
-			}
-			n.Run(*duration)
-			st = runStats{Seed: runSeed, Link: n.Link()}
-			for _, f := range all {
-				st.Flows = append(st.Flows, f.Stats())
-			}
-			cache.Put(key, st)
-			audit.Record(check.Flows(key, limits, st.Flows, &st.Link)...)
-			return st, nil
-		})
-	}
-
 	pool := runner.NewPool(*workers)
 	start := time.Now()
-	results, err := runner.MapCtx(ctx, pool, *runs, func(_ context.Context, i int) (runStats, error) {
-		return runOne(seeds[i])
+	results, err := runner.MapCtx(ctx, pool, *runs, func(_ context.Context, i int) (exp.SpecResult, error) {
+		run := sp
+		run.Seed = seeds[i]
+		return runner.Protect(run.Key(), func() (exp.SpecResult, error) {
+			res, _, err := exp.RunSpecCached(run, cache, audit)
+			return res, err
+		})
 	})
 	if err != nil {
 		return report(ctx, err)
 	}
 	elapsed := time.Since(start)
 
-	numFlows := 0
-	for _, spec := range specs {
-		numFlows += spec.Count
-	}
-	fmt.Printf("bottleneck: %v, buffer %v (%.1f BDP), base RTT %v, %d flows, %v simulated",
-		capacity, buffer, *bufBDP, rtt, numFlows, *duration)
+	resolved := sp.WithDefaults()
+	fmt.Printf("bottleneck: %v, buffer %v (%.1f BDP of max RTT), max RTT %v, %d flows, %v simulated",
+		resolved.Capacity, resolved.Buffer,
+		units.InBDP(resolved.Buffer, resolved.Capacity, resolved.MaxRTT()),
+		resolved.MaxRTT(), sp.TotalFlows(), sp.Duration)
 	if *runs > 1 {
 		fmt.Printf(" x %d runs (%d workers)", *runs, pool.Workers())
 	}
 	fmt.Println()
+	if data, err := json.Marshal(sp); err == nil {
+		fmt.Printf("scenario: %s\n", data)
+	}
 
 	for i, st := range results {
 		if *runs > 1 {
-			fmt.Printf("--- run %d (seed %d)\n", i+1, st.Seed)
+			fmt.Printf("--- run %d (seed %d)\n", i+1, seeds[i])
 		}
 		tbl := &plot.Table{Header: []string{"flow", "algorithm", "throughput", "lost", "meanRTT", "avgQueue"}}
-		for _, fs := range st.Flows {
-			tbl.AddRow(fs.Name, fs.Algorithm,
-				fmt.Sprintf("%.2f Mbps", fs.Throughput.Mbit()),
-				strconv.Itoa(fs.Lost),
-				fs.MeanRTT.Round(100*time.Microsecond).String(),
-				fmt.Sprintf("%.0f pkts", fs.MeanQueueOccupancy.Packets()))
+		for _, g := range st.Groups {
+			for _, fs := range g {
+				tbl.AddRow(fs.Name, fs.Algorithm,
+					fmt.Sprintf("%.2f Mbps", fs.Throughput.Mbit()),
+					strconv.Itoa(fs.Lost),
+					fs.MeanRTT.Round(100*time.Microsecond).String(),
+					fmt.Sprintf("%.0f pkts", fs.MeanQueueOccupancy.Packets()))
+			}
 		}
 		if err := tbl.Render(os.Stdout); err != nil {
 			return fail(err)
@@ -202,9 +173,37 @@ func run() int {
 	return auditVerdict(audit)
 }
 
+// buildSpec assembles the run's scenario: from the -scenario JSON file when
+// given (validated on load), otherwise from the topology flags — one flow
+// group per -flows entry, all at the base RTT.
+func buildSpec(path string, capMbps, rttMs, bufBDP float64, flows string,
+	duration, jitter, ackJitter time.Duration) (scenario.Spec, error) {
+	if path != "" {
+		return scenario.Load(path)
+	}
+	capacity := units.Rate(capMbps) * units.Mbps
+	rtt := time.Duration(rttMs * float64(time.Millisecond))
+	groups, err := scenario.ParseGroups(flows, rtt)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	sp := scenario.Spec{
+		Capacity:    capacity,
+		Buffer:      units.BufferBytes(capacity, rtt, bufBDP),
+		AckJitter:   ackJitter,
+		StartJitter: jitter,
+		Duration:    duration,
+		Groups:      groups,
+	}
+	if err := sp.Validate(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return sp, nil
+}
+
 // report explains a replicate failure: an interrupt exits 130, a failing
-// replicate is named by its canonical key, a captured panic includes its
-// stack.
+// replicate is named by its canonical scenario key, a captured panic
+// includes its stack.
 func report(ctx context.Context, err error) int {
 	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "bbrsim: interrupted; completed replicates cached")
@@ -238,7 +237,7 @@ func auditVerdict(audit *check.Auditor) int {
 
 // saveCache persists replicate results; deferred so it runs on every exit
 // path, including errors and interrupts.
-func saveCache(cache *runner.Cache, path string) {
+func saveCache(cache *runner.Cache) {
 	if err := cache.Save(); err != nil {
 		fmt.Fprintln(os.Stderr, "bbrsim: saving cache:", err)
 	}

@@ -42,6 +42,7 @@ import (
 	"bbrnash/internal/check"
 	"bbrnash/internal/exp"
 	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
 )
 
 func main() {
@@ -75,7 +76,7 @@ func run() int {
 		return fail(err)
 	}
 	scale.Pool = runner.NewPool(*workers)
-	cache, err := runner.OpenCache(*cachePath)
+	cache, err := runner.OpenCache(*cachePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}

@@ -24,13 +24,16 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"bbrnash/internal/cc"
 	"bbrnash/internal/check"
 	"bbrnash/internal/core"
 	"bbrnash/internal/exp"
 	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
 	"bbrnash/internal/units"
 )
 
@@ -51,8 +54,14 @@ func run() int {
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		strict     = flag.Bool("strict", false, "audit every payoff simulation against physical invariants; violations fail the run")
+		listAlgs   = flag.Bool("list-algorithms", false, "print the algorithm registry and exit")
 	)
 	flag.Parse()
+
+	if *listAlgs {
+		fmt.Println(strings.Join(scenario.Algorithms(), "\n"))
+		return 0
+	}
 
 	capacity := units.Rate(*capMbps) * units.Mbps
 	rtt := time.Duration(*rttMs * float64(time.Millisecond))
@@ -81,12 +90,12 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	ctor, err := exp.AlgorithmByName(*alg)
+	ctor, err := cc.AlgorithmByName(*alg)
 	if err != nil {
 		return fail(err)
 	}
 	pool := runner.NewPool(*workers)
-	cache, err := runner.OpenCache(*cachePath)
+	cache, err := runner.OpenCache(*cachePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}

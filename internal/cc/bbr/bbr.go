@@ -153,6 +153,8 @@ type BBR struct {
 // cc.Constructor.
 func New(p cc.Params) cc.Algorithm { return NewWithOptions(p) }
 
+func init() { cc.Register("bbr", New) }
+
 // NewWithOptions constructs a BBR instance with options applied.
 func NewWithOptions(p cc.Params, opts ...Option) *BBR {
 	p = p.WithDefaults()

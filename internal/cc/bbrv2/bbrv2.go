@@ -151,6 +151,8 @@ type BBR2 struct {
 	lossRounds   int
 }
 
+func init() { cc.Register("bbrv2", New) }
+
 // New constructs a BBRv2 instance. It satisfies cc.Constructor.
 func New(p cc.Params) cc.Algorithm {
 	p = p.WithDefaults()

@@ -64,6 +64,8 @@ type Copa struct {
 	maxSeqSent uint64
 }
 
+func init() { cc.Register("copa", New) }
+
 // New constructs a Copa instance. It satisfies cc.Constructor.
 func New(p cc.Params) cc.Algorithm {
 	p = p.WithDefaults()

@@ -73,6 +73,8 @@ type Cubic struct {
 // cc.Constructor.
 func New(p cc.Params) cc.Algorithm { return NewWithOptions(p) }
 
+func init() { cc.Register("cubic", New) }
+
 // NewWithOptions constructs a CUBIC instance with options applied.
 func NewWithOptions(p cc.Params, opts ...Option) *Cubic {
 	p = p.WithDefaults()

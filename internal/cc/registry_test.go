@@ -1,0 +1,65 @@
+package cc_test
+
+import (
+	"sort"
+	"testing"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/cc/bbr"
+	_ "bbrnash/internal/cc/bbrv2"
+	_ "bbrnash/internal/cc/copa"
+	"bbrnash/internal/cc/cubic"
+	_ "bbrnash/internal/cc/reno"
+	_ "bbrnash/internal/cc/vivace"
+)
+
+// TestRegistryNames: the six shipped algorithms self-register and come back
+// sorted, once each.
+func TestRegistryNames(t *testing.T) {
+	names := cc.Algorithms()
+	want := []string{"bbr", "bbrv2", "copa", "cubic", "reno", "vivace"}
+	if len(names) != len(want) {
+		t.Fatalf("Algorithms() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Algorithms() = %v, want %v", names, want)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Algorithms() not sorted: %v", names)
+	}
+}
+
+// TestRegistryLookup: names resolve to working constructors; unknown names
+// are rejected with the available set in the error.
+func TestRegistryLookup(t *testing.T) {
+	ctor, err := cc.AlgorithmByName("bbr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg := ctor(cc.Params{}); alg == nil {
+		t.Fatal("constructor returned nil algorithm")
+	}
+	if _, err := cc.AlgorithmByName("hybla"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestNameOf: registry constructors map back to their names; foreign
+// constructors do not.
+func TestNameOf(t *testing.T) {
+	if name, ok := cc.NameOf(bbr.New); !ok || name != "bbr" {
+		t.Errorf("NameOf(bbr.New) = %q, %v", name, ok)
+	}
+	if name, ok := cc.NameOf(cubic.New); !ok || name != "cubic" {
+		t.Errorf("NameOf(cubic.New) = %q, %v", name, ok)
+	}
+	custom := func(p cc.Params) cc.Algorithm { return cubic.New(p) }
+	if name, ok := cc.NameOf(custom); ok {
+		t.Errorf("NameOf(custom) = %q, want miss", name)
+	}
+	if _, ok := cc.NameOf(nil); ok {
+		t.Error("NameOf(nil) = ok")
+	}
+}

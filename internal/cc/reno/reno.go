@@ -26,6 +26,8 @@ type Reno struct {
 	maxSeqSent uint64
 }
 
+func init() { cc.Register("reno", New) }
+
 // New constructs a Reno instance. It satisfies cc.Constructor.
 func New(p cc.Params) cc.Algorithm {
 	p = p.WithDefaults()

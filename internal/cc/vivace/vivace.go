@@ -101,6 +101,8 @@ type Vivace struct {
 	confidence int
 }
 
+func init() { cc.Register("vivace", New) }
+
 // New constructs a Vivace instance. It satisfies cc.Constructor.
 func New(p cc.Params) cc.Algorithm {
 	p = p.WithDefaults()

@@ -1,74 +1,44 @@
 package exp
 
 import (
-	"fmt"
-	"time"
-
 	"bbrnash/internal/check"
 	"bbrnash/internal/netsim"
+	"bbrnash/internal/scenario"
 	"bbrnash/internal/units"
 )
 
 // This file is the harness's boundary with internal/check: it derives each
-// scenario's physical bounds from its configuration and audits every
-// MixResult/GroupResult as it is produced (fresh or replayed from the
-// cache — a store written by an older, buggier build should not escape the
-// audit). Violations are recorded, never fatal: a strict run completes its
-// sweep and reports all of them at once.
+// scenario's physical bounds from its spec and audits every SpecResult as
+// it is produced (fresh or replayed from the cache — a store written by an
+// older, buggier build should not escape the audit). Violations are
+// recorded under the spec's canonical key, never fatal: a strict run
+// completes its sweep and reports all of them at once.
 
-// mixLimits derives the audit bounds of one mixed-distribution run. The
-// conservation slack is one pipe-full: the buffer plus the path's
-// bandwidth-delay product (jitter included), the most a flow can have in
-// flight when a measurement window opens.
-func mixLimits(cfg MixConfig) check.Limits {
+// specLimits derives the audit bounds of one scenario. The conservation
+// slack is one pipe-full: the buffer plus the path's bandwidth-delay
+// product at the longest RTT (jitter included), the most a flow can have
+// in flight when a measurement window opens.
+func specLimits(sp scenario.Spec) check.Limits {
+	sp = sp.WithDefaults()
 	return check.Limits{
-		Capacity: cfg.Capacity,
-		Buffer:   cfg.Buffer,
-		Pipe:     cfg.Buffer + units.BDP(cfg.Capacity, cfg.RTT+startJitter+ackJitter),
+		Capacity: sp.Capacity,
+		Buffer:   sp.Buffer,
+		Pipe:     sp.Buffer + units.BDP(sp.Capacity, sp.MaxRTT()+sp.StartJitter+sp.AckJitter),
 	}
 }
 
-// auditMix validates one MixResult against its scenario's invariants.
-func auditMix(a *check.Auditor, key string, cfg MixConfig, res MixResult) {
+// auditSpec validates one SpecResult against its scenario's invariants:
+// per-flow non-negativity and byte conservation, the share sum against
+// capacity, queue occupancy against the buffer, and the link statistics.
+func auditSpec(a *check.Auditor, key string, sp scenario.Spec, res SpecResult) {
 	if !a.Enabled() {
 		return
 	}
-	lim := mixLimits(cfg)
-	stats := make([]netsim.FlowStats, 0, len(res.XStats)+len(res.CubicStats))
-	stats = append(append(stats, res.XStats...), res.CubicStats...)
-	link := netsim.LinkStats{Utilization: res.Utilization, MeanQueueDelay: res.MeanQueueDelay}
+	lim := specLimits(sp)
+	var stats []netsim.FlowStats
+	for _, g := range res.Groups {
+		stats = append(stats, g...)
+	}
+	link := res.Link
 	a.Record(check.Flows(key, lim, stats, &link)...)
-	a.Record(check.Rate(key, "PerFlowX", res.PerFlowX)...)
-	a.Record(check.Rate(key, "PerFlowCubic", res.PerFlowCubic)...)
-	a.Record(check.ShareSum(key, lim, res.AggX+res.AggCubic)...)
-}
-
-// auditGroups validates one GroupResult against its scenario's invariants:
-// per-group class averages must be finite and non-negative, and weighted
-// by their class sizes they must fit the link.
-func auditGroups(a *check.Auditor, key string, cfg GroupConfig, res GroupResult) {
-	if !a.Enabled() {
-		return
-	}
-	var maxRTT time.Duration
-	for _, rtt := range cfg.RTTs {
-		if rtt > maxRTT {
-			maxRTT = rtt
-		}
-	}
-	lim := check.Limits{
-		Capacity: cfg.Capacity,
-		Buffer:   cfg.Buffer,
-		Pipe:     cfg.Buffer + units.BDP(cfg.Capacity, maxRTT+startJitter+ackJitter),
-	}
-	var agg units.Rate
-	for i := range res.PerFlowX {
-		a.Record(check.Rate(key, fmt.Sprintf("group %d PerFlowX", i), res.PerFlowX[i])...)
-		a.Record(check.Rate(key, fmt.Sprintf("group %d PerFlowCubic", i), res.PerFlowCubic[i])...)
-		if i < len(cfg.NumX) && i < len(cfg.Sizes) {
-			agg += res.PerFlowX[i]*units.Rate(cfg.NumX[i]) +
-				res.PerFlowCubic[i]*units.Rate(cfg.Sizes[i]-cfg.NumX[i])
-		}
-	}
-	a.Record(check.ShareSum(key, lim, agg)...)
 }

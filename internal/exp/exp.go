@@ -7,24 +7,20 @@
 // for two minutes, and the average throughput over the whole run is
 // reported. Trials differ through small start-time jitter, which plays the
 // role the testbed's kernel/timing noise played.
+//
+// Every run is expressed as a scenario.Spec before it executes (see
+// internal/exp/run.go): the spec's canonical key is the single identity
+// shared by the result cache, the invariant auditor and failure reports.
 package exp
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
 	"bbrnash/internal/cc"
 	"bbrnash/internal/check"
-	"bbrnash/internal/cc/bbr"
-	"bbrnash/internal/cc/bbrv2"
-	"bbrnash/internal/cc/copa"
-	"bbrnash/internal/cc/cubic"
-	"bbrnash/internal/cc/reno"
-	"bbrnash/internal/cc/vivace"
 	"bbrnash/internal/netsim"
-	"bbrnash/internal/rng"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/units"
 )
@@ -119,39 +115,6 @@ func (s Scale) thin(xs []float64) []float64 {
 	return out
 }
 
-// Algorithms returns the registry of constructors by name.
-func Algorithms() map[string]cc.Constructor {
-	return map[string]cc.Constructor{
-		"cubic":  cubic.New,
-		"reno":   reno.New,
-		"bbr":    bbr.New,
-		"bbrv2":  bbrv2.New,
-		"copa":   copa.New,
-		"vivace": vivace.New,
-	}
-}
-
-// AlgorithmByName resolves a constructor.
-func AlgorithmByName(name string) (cc.Constructor, error) {
-	if ctor, ok := Algorithms()[name]; ok {
-		return ctor, nil
-	}
-	return nil, fmt.Errorf("exp: unknown algorithm %q", name)
-}
-
-// startJitter is the maximum flow start offset; it supplies the
-// trial-to-trial stochasticity of the testbed.
-const startJitter = 10 * time.Millisecond
-
-// ackJitter is the per-packet ACK path delay variation used by all
-// experiment runs. A perfectly deterministic drop-tail simulation exhibits
-// traffic phase effects — a flow's ack-clocked arrivals can lock onto the
-// queue's free slots and systematically win or lose at overflow instants —
-// that real paths' delay variation washes out. A millisecond (a few packet
-// service times at the experiment link speeds) is enough to break the
-// lockout without perturbing RTTs meaningfully.
-const ackJitter = time.Millisecond
-
 // MixConfig describes one same-RTT mixed-distribution run: NumX flows of
 // algorithm X against NumCubic flows of CUBIC.
 type MixConfig struct {
@@ -184,74 +147,15 @@ type MixResult struct {
 	CubicStats []netsim.FlowStats
 }
 
-// RunMix executes one mixed-distribution simulation.
+// RunMix executes one mixed-distribution simulation: the config is
+// compiled to its scenario.Spec and run through the shared spec path.
 func RunMix(cfg MixConfig) (MixResult, error) {
-	if cfg.NumX+cfg.NumCubic == 0 {
-		return MixResult{}, errors.New("exp: no flows")
-	}
-	if cfg.Duration <= 0 {
-		return MixResult{}, errors.New("exp: non-positive duration")
-	}
-	x := cfg.X
-	if x == nil {
-		x = bbr.New
-	}
-	n, err := netsim.New(netsim.Config{
-		Capacity: cfg.Capacity, Buffer: cfg.Buffer,
-		AckJitter: ackJitter, Seed: cfg.Seed,
-	})
+	sp, override, _ := cfg.spec()
+	res, err := runSpecOverride(sp, override)
 	if err != nil {
 		return MixResult{}, err
 	}
-	r := rng.New(cfg.Seed)
-	var xFlows, cFlows []*netsim.Flow
-	for i := 0; i < cfg.NumX; i++ {
-		f, err := n.AddFlow(netsim.FlowConfig{
-			Name:      fmt.Sprintf("x%d", i),
-			RTT:       cfg.RTT,
-			Start:     r.Duration(startJitter),
-			Algorithm: x,
-		})
-		if err != nil {
-			return MixResult{}, err
-		}
-		xFlows = append(xFlows, f)
-	}
-	for i := 0; i < cfg.NumCubic; i++ {
-		f, err := n.AddFlow(netsim.FlowConfig{
-			Name:      fmt.Sprintf("cubic%d", i),
-			RTT:       cfg.RTT,
-			Start:     r.Duration(startJitter),
-			Algorithm: cubic.New,
-		})
-		if err != nil {
-			return MixResult{}, err
-		}
-		cFlows = append(cFlows, f)
-	}
-	n.Run(cfg.Duration)
-
-	var res MixResult
-	for _, f := range xFlows {
-		st := f.Stats()
-		res.XStats = append(res.XStats, st)
-		res.AggX += st.Throughput
-	}
-	for _, f := range cFlows {
-		st := f.Stats()
-		res.CubicStats = append(res.CubicStats, st)
-		res.AggCubic += st.Throughput
-	}
-	if cfg.NumX > 0 {
-		res.PerFlowX = res.AggX / units.Rate(cfg.NumX)
-	}
-	if cfg.NumCubic > 0 {
-		res.PerFlowCubic = res.AggCubic / units.Rate(cfg.NumCubic)
-	}
-	link := n.Link()
-	res.Utilization = link.Utilization
-	res.MeanQueueDelay = link.MeanQueueDelay
-	return res, nil
+	return mixView(res), nil
 }
 
 // RunMixTrials averages RunMix over trials jittered repetitions, deriving
@@ -293,69 +197,17 @@ type GroupResult struct {
 	PerFlowCubic []units.Rate
 }
 
-// RunGroups executes one multi-RTT simulation.
+// RunGroups executes one multi-RTT simulation: the config is compiled to
+// its scenario.Spec (two spec groups per RTT group) and run through the
+// shared spec path.
 func RunGroups(cfg GroupConfig) (GroupResult, error) {
-	if len(cfg.RTTs) == 0 || len(cfg.RTTs) != len(cfg.Sizes) || len(cfg.RTTs) != len(cfg.NumX) {
-		return GroupResult{}, errors.New("exp: RTTs, Sizes and NumX must be equal-length and non-empty")
-	}
-	x := cfg.X
-	if x == nil {
-		x = bbr.New
-	}
-	n, err := netsim.New(netsim.Config{
-		Capacity: cfg.Capacity, Buffer: cfg.Buffer,
-		AckJitter: ackJitter, Seed: cfg.Seed,
-	})
+	sp, override, _, err := cfg.spec()
 	if err != nil {
 		return GroupResult{}, err
 	}
-	r := rng.New(cfg.Seed)
-	xFlows := make([][]*netsim.Flow, len(cfg.RTTs))
-	cFlows := make([][]*netsim.Flow, len(cfg.RTTs))
-	for g := range cfg.RTTs {
-		if cfg.NumX[g] < 0 || cfg.NumX[g] > cfg.Sizes[g] {
-			return GroupResult{}, fmt.Errorf("exp: group %d has NumX %d of %d", g, cfg.NumX[g], cfg.Sizes[g])
-		}
-		for i := 0; i < cfg.Sizes[g]; i++ {
-			ctor := cubic.New
-			if i < cfg.NumX[g] {
-				ctor = x
-			}
-			f, err := n.AddFlow(netsim.FlowConfig{
-				Name:      fmt.Sprintf("g%df%d", g, i),
-				RTT:       cfg.RTTs[g],
-				Start:     r.Duration(startJitter),
-				Algorithm: ctor,
-			})
-			if err != nil {
-				return GroupResult{}, err
-			}
-			if i < cfg.NumX[g] {
-				xFlows[g] = append(xFlows[g], f)
-			} else {
-				cFlows[g] = append(cFlows[g], f)
-			}
-		}
+	res, err := runSpecOverride(sp, override)
+	if err != nil {
+		return GroupResult{}, err
 	}
-	n.Run(cfg.Duration)
-
-	res := GroupResult{
-		PerFlowX:     make([]units.Rate, len(cfg.RTTs)),
-		PerFlowCubic: make([]units.Rate, len(cfg.RTTs)),
-	}
-	for g := range cfg.RTTs {
-		for _, f := range xFlows[g] {
-			res.PerFlowX[g] += f.Stats().Throughput
-		}
-		if len(xFlows[g]) > 0 {
-			res.PerFlowX[g] /= units.Rate(len(xFlows[g]))
-		}
-		for _, f := range cFlows[g] {
-			res.PerFlowCubic[g] += f.Stats().Throughput
-		}
-		if len(cFlows[g]) > 0 {
-			res.PerFlowCubic[g] /= units.Rate(len(cFlows[g]))
-		}
-	}
-	return res, nil
+	return groupView(len(cfg.RTTs), res), nil
 }

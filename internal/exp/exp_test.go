@@ -43,18 +43,6 @@ func TestThin(t *testing.T) {
 	}
 }
 
-func TestAlgorithmRegistry(t *testing.T) {
-	for _, name := range []string{"cubic", "reno", "bbr", "bbrv2", "copa", "vivace"} {
-		ctor, err := AlgorithmByName(name)
-		if err != nil || ctor == nil {
-			t.Errorf("AlgorithmByName(%q) failed: %v", name, err)
-		}
-	}
-	if _, err := AlgorithmByName("quic-magic"); err == nil {
-		t.Error("unknown algorithm accepted")
-	}
-}
-
 func smokeMix() MixConfig {
 	return MixConfig{
 		Capacity: 50 * units.Mbps,

@@ -9,6 +9,7 @@ import (
 
 	"bbrnash/internal/check"
 	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
 )
 
 // TestSweepMixCancelledContext: a sweep under a cancelled context returns
@@ -51,11 +52,11 @@ func TestSweepMixFailureNamesScenario(t *testing.T) {
 	if !errors.As(err, &ue) {
 		t.Fatalf("err = %v, want *runner.UnitError", err)
 	}
-	if !strings.HasPrefix(ue.Key, "mix|v1|") {
-		t.Errorf("UnitError.Key = %q, want canonical mix key", ue.Key)
+	if !strings.HasPrefix(ue.Key, scenario.KeyPrefix) {
+		t.Errorf("UnitError.Key = %q, want canonical scenario key", ue.Key)
 	}
 	if !strings.Contains(err.Error(), "non-positive duration") {
-		t.Errorf("err = %v, want wrapped RunMix error", err)
+		t.Errorf("err = %v, want wrapped validation error", err)
 	}
 }
 

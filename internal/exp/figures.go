@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"time"
 
+	"bbrnash/internal/cc"
 	"bbrnash/internal/cc/bbrv2"
 	"bbrnash/internal/core"
 	"bbrnash/internal/numeric"
 	"bbrnash/internal/plot"
+	"bbrnash/internal/scenario"
 	"bbrnash/internal/units"
 )
 
@@ -127,11 +129,9 @@ func Fig1(s Scale) (*FigureResult, error) {
 	capacity := 50 * units.Mbps
 	grid := s.thin(numeric.Arange(1, 50, 2))
 
-	sims, err := s.SweepMix(1, len(grid), func(i int) MixConfig {
-		return MixConfig{
-			Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, grid[i]),
-			RTT: rtt, Duration: s.FlowDuration, NumX: 1, NumCubic: 1,
-		}
+	sims, err := s.Sweep(1, len(grid), func(i int) scenario.Spec {
+		return scenario.Mix("bbr", 1, 1, capacity,
+			units.BufferBytes(capacity, rtt, grid[i]), rtt, s.FlowDuration)
 	})
 	if err != nil {
 		return nil, err
@@ -146,7 +146,7 @@ func Fig1(s Scale) (*FigureResult, error) {
 			return nil, err
 		}
 		ware = append(ware, wp.AggBBR.Mbit())
-		actual = append(actual, sims[i].AggX.Mbit())
+		actual = append(actual, sims[i].Agg[0].Mbit())
 	}
 	chart := &plot.Chart{Title: "Fig 1: BBR bandwidth share, 50 Mbps / 40 ms", XLabel: "buffer (BDP)", YLabel: "bandwidth (Mbps)"}
 	chart.Add("ware", grid, ware)
@@ -165,11 +165,9 @@ func Fig1(s Scale) (*FigureResult, error) {
 func Fig3(s Scale, id string, capacity units.Rate, rtt time.Duration) (*FigureResult, error) {
 	grid := s.thin(numeric.Arange(1, 30, 0.5))
 
-	sims, err := s.SweepMix(3, len(grid), func(i int) MixConfig {
-		return MixConfig{
-			Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, grid[i]),
-			RTT: rtt, Duration: s.FlowDuration, NumX: 1, NumCubic: 1,
-		}
+	sims, err := s.Sweep(3, len(grid), func(i int) scenario.Spec {
+		return scenario.Mix("bbr", 1, 1, capacity,
+			units.BufferBytes(capacity, rtt, grid[i]), rtt, s.FlowDuration)
 	})
 	if err != nil {
 		return nil, err
@@ -191,7 +189,7 @@ func Fig3(s Scale, id string, capacity units.Rate, rtt time.Duration) (*FigureRe
 			return nil, err
 		}
 		ware = append(ware, wp.AggBBR.Mbit())
-		actual = append(actual, sims[i].AggX.Mbit())
+		actual = append(actual, sims[i].Agg[0].Mbit())
 	}
 	chart := &plot.Chart{
 		Title:  fmt.Sprintf("Fig %s: BBR share, %v / %v", id, capacity, rtt),
@@ -217,11 +215,9 @@ func Fig4(s Scale, id string, nEach int) (*FigureResult, error) {
 	capacity := 100 * units.Mbps
 	grid := s.thin(numeric.Arange(1, 30, 1))
 
-	sims, err := s.SweepMix(4, len(grid), func(i int) MixConfig {
-		return MixConfig{
-			Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, grid[i]),
-			RTT: rtt, Duration: s.FlowDuration, NumX: nEach, NumCubic: nEach,
-		}
+	sims, err := s.Sweep(4, len(grid), func(i int) scenario.Spec {
+		return scenario.Mix("bbr", nEach, nEach, capacity,
+			units.BufferBytes(capacity, rtt, grid[i]), rtt, s.FlowDuration)
 	})
 	if err != nil {
 		return nil, err
@@ -244,7 +240,7 @@ func Fig4(s Scale, id string, nEach int) (*FigureResult, error) {
 			return nil, err
 		}
 		ware = append(ware, wp.AggBBR.Mbit()/float64(nEach))
-		actual = append(actual, sims[i].PerFlowX.Mbit())
+		actual = append(actual, sims[i].PerFlow[0].Mbit())
 	}
 	chart := &plot.Chart{
 		Title:  fmt.Sprintf("Fig %s: %dv%d per-flow BBR bandwidth", id, nEach, nEach),
@@ -283,12 +279,9 @@ func Fig5(s Scale, id string, n int, bufBDP float64) (*FigureResult, error) {
 	}
 	grid = s.thin(grid)
 
-	sims, err := s.SweepMix(5, len(grid), func(i int) MixConfig {
+	sims, err := s.Sweep(5, len(grid), func(i int) scenario.Spec {
 		nb := int(grid[i])
-		return MixConfig{
-			Capacity: capacity, Buffer: buf, RTT: rtt,
-			Duration: s.FlowDuration, NumX: nb, NumCubic: n - nb,
-		}
+		return scenario.Mix("bbr", nb, n-nb, capacity, buf, rtt, s.FlowDuration)
 	})
 	if err != nil {
 		return nil, err
@@ -304,7 +297,7 @@ func Fig5(s Scale, id string, n int, bufBDP float64) (*FigureResult, error) {
 		}
 		syncB = append(syncB, iv.Sync.PerBBR.Mbit())
 		desyncB = append(desyncB, iv.Desync.PerBBR.Mbit())
-		actual = append(actual, sims[i].PerFlowX.Mbit())
+		actual = append(actual, sims[i].PerFlow[0].Mbit())
 	}
 	chart := &plot.Chart{
 		Title:  fmt.Sprintf("Fig %s: diminishing returns, %d flows, %g BDP", id, n, bufBDP),
@@ -394,23 +387,17 @@ func Fig7(s Scale) (*FigureResult, error) {
 
 	notes := []string{}
 	for _, name := range []string{"vivace", "bbr", "bbrv2", "copa"} {
-		ctor, err := AlgorithmByName(name)
-		if err != nil {
-			return nil, err
-		}
-		sims, err := s.SweepMix(7, len(grid), func(i int) MixConfig {
+		name := name
+		sims, err := s.Sweep(7, len(grid), func(i int) scenario.Spec {
 			nx := int(grid[i])
-			return MixConfig{
-				Capacity: capacity, Buffer: buf, RTT: rtt, Duration: s.FlowDuration,
-				X: ctor, NumX: nx, NumCubic: n - nx,
-			}
+			return scenario.Mix(name, nx, n-nx, capacity, buf, rtt, s.FlowDuration)
 		})
 		if err != nil {
 			return nil, err
 		}
 		var ys []float64
 		for i := range grid {
-			ys = append(ys, sims[i].PerFlowX.Mbit())
+			ys = append(ys, sims[i].PerFlow[0].Mbit())
 		}
 		chart.Add(name, grid, ys)
 		notes = append(notes, fmt.Sprintf("%s at 1 flow: %.1f Mbps vs fair %.1f (disproportionate: %v)",
@@ -433,12 +420,9 @@ func Fig8(s Scale) (*FigureResult, error) {
 	}
 	grid = s.thin(grid)
 
-	sims, err := s.SweepMix(8, len(grid), func(i int) MixConfig {
+	sims, err := s.Sweep(8, len(grid), func(i int) scenario.Spec {
 		nb := int(grid[i])
-		return MixConfig{
-			Capacity: capacity, Buffer: buf, RTT: rtt, Duration: s.FlowDuration,
-			NumX: nb, NumCubic: n - nb,
-		}
+		return scenario.Mix("bbr", nb, n-nb, capacity, buf, rtt, s.FlowDuration)
 	})
 	if err != nil {
 		return nil, err
@@ -447,8 +431,8 @@ func Fig8(s Scale) (*FigureResult, error) {
 	var gx []float64
 	for i, g := range grid {
 		gx = append(gx, g)
-		cubicY = append(cubicY, sims[i].PerFlowCubic.Mbit())
-		bbrY = append(bbrY, sims[i].PerFlowX.Mbit())
+		cubicY = append(cubicY, sims[i].PerFlow[1].Mbit())
+		bbrY = append(bbrY, sims[i].PerFlow[0].Mbit())
 		delayY = append(delayY, float64(sims[i].MeanQueueDelay.Milliseconds()))
 	}
 	tputChart := &plot.Chart{
@@ -490,7 +474,7 @@ func Fig9(s Scale, id string, capacity units.Rate, rtt time.Duration, bufGrid []
 	if grid == nil {
 		grid = s.thin([]float64{0.5, 1, 2, 3, 5, 8, 12, 16, 22, 30, 40, 50})
 	}
-	ctor, err := AlgorithmByName(algName)
+	ctor, err := cc.AlgorithmByName(algName)
 	if err != nil {
 		return nil, err
 	}
@@ -706,11 +690,9 @@ func Fig12(s Scale) (*FigureResult, error) {
 	capacity := 50 * units.Mbps
 	grid := s.thin([]float64{1, 5, 10, 20, 40, 60, 80, 100, 130, 160, 200, 250})
 
-	sims, err := s.SweepMix(12, len(grid), func(i int) MixConfig {
-		return MixConfig{
-			Capacity: capacity, Buffer: units.BufferBytes(capacity, rtt, grid[i]),
-			RTT: rtt, Duration: s.FlowDuration, NumX: 1, NumCubic: 1,
-		}
+	sims, err := s.Sweep(12, len(grid), func(i int) scenario.Spec {
+		return scenario.Mix("bbr", 1, 1, capacity,
+			units.BufferBytes(capacity, rtt, grid[i]), rtt, s.FlowDuration)
 	})
 	if err != nil {
 		return nil, err
@@ -732,7 +714,7 @@ func Fig12(s Scale) (*FigureResult, error) {
 			return nil, err
 		}
 		ware = append(ware, wp.AggBBR.Mbit())
-		actual = append(actual, sims[i].AggX.Mbit())
+		actual = append(actual, sims[i].Agg[0].Mbit())
 	}
 	chart := &plot.Chart{
 		Title:  "Fig 12: ultra-deep buffers (model over-estimates beyond ~100 BDP)",

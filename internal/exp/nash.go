@@ -135,8 +135,7 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 	// reported under the distribution's canonical scenario key.
 	evalErr := func(numX int) (pair, error) {
 		mix := mixAt(numX)
-		key, _ := mixKey(mix)
-		return runner.Protect(key, func() (pair, error) {
+		return runner.Protect(mix.key(), func() (pair, error) {
 			res, hit, err := runMixCached(mix, cache, cfg.Audit)
 			if err != nil {
 				return pair{}, err
@@ -282,8 +281,7 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 			Sizes:    cfg.Sizes,
 			NumX:     append([]int(nil), k...),
 		}
-		key, _ := groupKey(gcfg)
-		return runner.Protect(key, func() (pair, error) {
+		return runner.Protect(gcfg.key(), func() (pair, error) {
 			res, hit, err := runGroupsCached(gcfg, cache, cfg.Audit)
 			if err != nil {
 				return pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}, err

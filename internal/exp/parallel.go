@@ -2,22 +2,17 @@ package exp
 
 import (
 	"context"
-	"fmt"
-	"reflect"
-	"strconv"
-	"strings"
-	"sync"
 	"time"
 
-	"bbrnash/internal/cc"
 	"bbrnash/internal/check"
 	"bbrnash/internal/rng"
 	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
 	"bbrnash/internal/units"
 )
 
 // This file is the harness's boundary with internal/runner: seed
-// pre-derivation, canonical cache keys, and the parallel sweep fan-out.
+// pre-derivation and the parallel sweep fan-out.
 //
 // Determinism contract: every simulation unit's seed is derived up front
 // from the submitting goroutine's rng stream, units never share state, and
@@ -50,124 +45,88 @@ func profileSeed(base uint64, k []int) uint64 {
 	return rng.New(base ^ h).Uint64()
 }
 
-// ctorNames maps registry constructor code pointers back to their names,
-// so cache keys can canonically identify the algorithm mix. Constructors
-// outside the registry (test closures, option-wrapped variants) have no
-// canonical name and make a scenario uncacheable.
-var ctorNames struct {
-	once sync.Once
-	m    map[uintptr]string
-}
-
-func constructorName(c cc.Constructor) (string, bool) {
-	if c == nil {
-		return "bbr", true // RunMix's default
-	}
-	ctorNames.once.Do(func() {
-		m := make(map[uintptr]string, len(Algorithms()))
-		for name, ctor := range Algorithms() {
-			m[reflect.ValueOf(ctor).Pointer()] = name
-		}
-		ctorNames.m = m
-	})
-	name, ok := ctorNames.m[reflect.ValueOf(c).Pointer()]
-	return name, ok
-}
-
-// fx renders a float64 exactly (hex mantissa), keeping keys canonical.
-func fx(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
-
-// mixKey builds the canonical cache key of one mixed-distribution run:
-// capacity, buffer, MSS, RTT, algorithm mix, duration, seed and the jitter
-// parameters — everything RunMix's output is a function of. ok is false
-// when the scenario cannot be canonically identified (non-registry X).
-func mixKey(cfg MixConfig) (key string, ok bool) {
-	xName, ok := constructorName(cfg.X)
-	if !ok {
-		return "", false
-	}
-	return fmt.Sprintf("mix|v1|cap=%s|buf=%s|mss=%s|rtt=%d|dur=%d|sj=%d|aj=%d|x=%s|nx=%d|nc=%d|seed=%d",
-		fx(float64(cfg.Capacity)), fx(float64(cfg.Buffer)), fx(float64(units.MSS)),
-		int64(cfg.RTT), int64(cfg.Duration), int64(startJitter), int64(ackJitter),
-		xName, cfg.NumX, cfg.NumCubic, cfg.Seed), true
-}
-
-// groupKey is mixKey for multi-RTT group runs.
-func groupKey(cfg GroupConfig) (key string, ok bool) {
-	xName, ok := constructorName(cfg.X)
-	if !ok {
-		return "", false
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "groups|v1|cap=%s|buf=%s|mss=%s|dur=%d|sj=%d|aj=%d|x=%s|seed=%d|g=",
-		fx(float64(cfg.Capacity)), fx(float64(cfg.Buffer)), fx(float64(units.MSS)),
-		int64(cfg.Duration), int64(startJitter), int64(ackJitter), xName, cfg.Seed)
-	for i := range cfg.RTTs {
-		fmt.Fprintf(&b, "%d:%d:%d,", int64(cfg.RTTs[i]), cfg.Sizes[i], cfg.NumX[i])
-	}
-	return b.String(), true
-}
-
 // runMixCached is RunMix behind the memoizing cache and the invariant
-// auditor. hit reports whether the result came from the cache; errors are
-// never cached. Cached replays are audited too: a store written by an
-// older build should not smuggle a bad result past a strict run.
-func runMixCached(cfg MixConfig, cache *runner.Cache, audit *check.Auditor) (res MixResult, hit bool, err error) {
-	key, canonical := mixKey(cfg)
-	if canonical {
-		if cache.Get(key, &res) {
-			auditMix(audit, key, cfg, res)
-			return res, true, nil
-		}
-	}
-	res, err = RunMix(cfg)
+// auditor: the config compiles to its scenario.Spec, and cache entries,
+// audit records and failures all use the spec's canonical key.
+func runMixCached(cfg MixConfig, cache *runner.Cache, audit *check.Auditor) (MixResult, bool, error) {
+	sp, override, canonical := cfg.spec()
+	res, hit, err := runSpecCachedOverride(sp, override, canonical, cache, audit)
 	if err != nil {
 		return MixResult{}, false, err
 	}
-	if canonical {
-		cache.Put(key, res)
-		auditMix(audit, key, cfg, res)
-	} else {
-		auditMix(audit, "", cfg, res)
-	}
-	return res, false, nil
+	return mixView(res), hit, nil
 }
 
 // runGroupsCached is RunGroups behind the memoizing cache and the
 // invariant auditor.
-func runGroupsCached(cfg GroupConfig, cache *runner.Cache, audit *check.Auditor) (res GroupResult, hit bool, err error) {
-	key, canonical := groupKey(cfg)
-	if canonical {
-		if cache.Get(key, &res) {
-			auditGroups(audit, key, cfg, res)
-			return res, true, nil
-		}
-	}
-	res, err = RunGroups(cfg)
+func runGroupsCached(cfg GroupConfig, cache *runner.Cache, audit *check.Auditor) (GroupResult, bool, error) {
+	sp, override, canonical, err := cfg.spec()
 	if err != nil {
 		return GroupResult{}, false, err
 	}
-	if canonical {
-		cache.Put(key, res)
-		auditGroups(audit, key, cfg, res)
-	} else {
-		auditGroups(audit, "", cfg, res)
+	res, hit, err := runSpecCachedOverride(sp, override, canonical, cache, audit)
+	if err != nil {
+		return GroupResult{}, false, err
 	}
-	return res, false, nil
+	return groupView(len(cfg.RTTs), res), hit, nil
 }
 
-// SweepMix runs the n-point sweep cfgAt(0) … cfgAt(n-1), each point
-// averaged over the scale's jittered trials. The flat point×trial job list
-// fans out through the scale's Pool, per-simulation results are memoized
-// in the scale's Cache, and collection order is submission order — output
-// is byte-identical at any worker count. Per-trial seeds are pre-derived
-// from seed and shared across points, matching the paper's protocol of
-// repeating one jitter schedule over a sweep.
+// SweepPoint is one averaged point of a scenario sweep: per-group class
+// averages and aggregates in spec group order, plus the shared link
+// statistics, each averaged over the sweep's trials.
+type SweepPoint struct {
+	// PerFlow[g] is spec group g's average per-flow throughput (0 if the
+	// group is empty); Agg[g] is the group's aggregate.
+	PerFlow []units.Rate
+	Agg     []units.Rate
+	// Utilization is total delivered rate over capacity.
+	Utilization float64
+	// MeanQueueDelay is the average bottleneck queueing delay.
+	MeanQueueDelay time.Duration
+}
+
+// Sweep runs the n-point scenario sweep specAt(0) … specAt(n-1), each
+// point averaged over the scale's jittered trials (the spec's Seed field is
+// overwritten with the trial seed). The flat point×trial job list fans out
+// through the scale's Pool, per-simulation results are memoized in the
+// scale's Cache under each spec's canonical key, and collection order is
+// submission order — output is byte-identical at any worker count.
+// Per-trial seeds are pre-derived from seed and shared across points,
+// matching the paper's protocol of repeating one jitter schedule over a
+// sweep.
 //
 // Execution is fault-tolerant: cancelling s.Ctx or one unit failing stops
 // dispatch at any worker count, in-flight units drain, and the returned
 // error is a *runner.UnitError naming the failing scenario's canonical key
 // (a panicking simulation is captured the same way).
+func (s Scale) Sweep(seed uint64, n int, specAt func(i int) scenario.Spec) ([]SweepPoint, error) {
+	trials := s.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	seeds := trialSeeds(seed, trials)
+	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(_ context.Context, j int) (SpecResult, error) {
+		sp := specAt(j / trials)
+		sp.Seed = seeds[j%trials]
+		return runner.Protect(sp.Key(), func() (SpecResult, error) {
+			res, _, err := RunSpecCached(sp, s.Cache, s.Audit)
+			return res, err
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, n)
+	for i := range out {
+		out[i] = averageSpecs(len(specAt(i).Groups), flat[i*trials:(i+1)*trials])
+	}
+	return out, nil
+}
+
+// SweepMix is Sweep for MixConfig points, reporting the mix class view.
+// It shares Sweep's determinism and fault-tolerance contract; unlike
+// Sweep, it accepts non-registry X constructors (such points run fresh
+// and uncached).
 func (s Scale) SweepMix(seed uint64, n int, cfgAt func(i int) MixConfig) ([]MixResult, error) {
 	trials := s.Trials
 	if trials < 1 {
@@ -177,8 +136,7 @@ func (s Scale) SweepMix(seed uint64, n int, cfgAt func(i int) MixConfig) ([]MixR
 	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(_ context.Context, j int) (MixResult, error) {
 		cfg := cfgAt(j / trials)
 		cfg.Seed = seeds[j%trials]
-		key, _ := mixKey(cfg)
-		return runner.Protect(key, func() (MixResult, error) {
+		return runner.Protect(cfg.key(), func() (MixResult, error) {
 			res, _, err := runMixCached(cfg, s.Cache, s.Audit)
 			return res, err
 		})
@@ -191,6 +149,37 @@ func (s Scale) SweepMix(seed uint64, n int, cfgAt func(i int) MixConfig) ([]MixR
 		out[i] = averageMix(flat[i*trials : (i+1)*trials])
 	}
 	return out, nil
+}
+
+// averageSpecs folds per-trial spec results into one sweep point with ng
+// groups (the spec's group count — a cached result with a drifted shape
+// degrades to empty classes). Per-flow stats are per-trial artifacts and
+// are not aggregated.
+func averageSpecs(ng int, rs []SpecResult) SweepPoint {
+	pt := SweepPoint{
+		PerFlow: make([]units.Rate, ng),
+		Agg:     make([]units.Rate, ng),
+	}
+	for _, r := range rs {
+		for g := 0; g < ng; g++ {
+			stats := r.group(g)
+			agg := aggRate(stats)
+			pt.Agg[g] += agg
+			if len(stats) > 0 {
+				pt.PerFlow[g] += agg / units.Rate(len(stats))
+			}
+		}
+		pt.Utilization += r.Link.Utilization
+		pt.MeanQueueDelay += r.Link.MeanQueueDelay
+	}
+	f := units.Rate(len(rs))
+	for g := 0; g < ng; g++ {
+		pt.Agg[g] /= f
+		pt.PerFlow[g] /= f
+	}
+	pt.Utilization /= float64(len(rs))
+	pt.MeanQueueDelay /= time.Duration(len(rs))
+	return pt
 }
 
 // averageMix folds per-trial results into the class averages the figures

@@ -1,0 +1,15 @@
+package exp
+
+// Link the full built-in algorithm registry: any program that can run an
+// experiment can run every algorithm a scenario may name. The underscore
+// imports live here rather than in internal/scenario because the
+// algorithm packages' own tests import netsim, which imports scenario —
+// linking the registry there would be an import cycle in test binaries.
+import (
+	_ "bbrnash/internal/cc/bbr"
+	_ "bbrnash/internal/cc/bbrv2"
+	_ "bbrnash/internal/cc/copa"
+	_ "bbrnash/internal/cc/cubic"
+	_ "bbrnash/internal/cc/reno"
+	_ "bbrnash/internal/cc/vivace"
+)

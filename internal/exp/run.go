@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/check"
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/units"
+)
+
+// This file is the harness's boundary with internal/scenario: every run —
+// mixed-distribution, multi-RTT group, sweep point, NE payoff — is first
+// expressed as a scenario.Spec, and the spec's canonical key is the one
+// identity used by the result cache, the invariant auditor and unit-failure
+// reports. MixConfig and GroupConfig survive as convenience views that
+// compile down to specs.
+
+// SpecResult is the raw outcome of one scenario run: per-flow statistics in
+// spec group order (group i of the spec is Groups[i], empty groups stay
+// empty) plus the shared bottleneck's statistics. It is the one value type
+// stored in the result cache, so mix and group runs of the same spec share
+// an entry instead of evicting each other.
+type SpecResult struct {
+	Groups [][]netsim.FlowStats
+	Link   netsim.LinkStats
+}
+
+// group returns group i's stats, tolerating shape drift in cached values
+// (an on-disk store written against a different spec must degrade to empty
+// classes, not panic).
+func (r SpecResult) group(i int) []netsim.FlowStats {
+	if i >= 0 && i < len(r.Groups) {
+		return r.Groups[i]
+	}
+	return nil
+}
+
+// aggRate sums a class's throughputs in flow order.
+func aggRate(stats []netsim.FlowStats) units.Rate {
+	var agg units.Rate
+	for _, st := range stats {
+		agg += st.Throughput
+	}
+	return agg
+}
+
+// RunSpec executes one scenario and reports per-group statistics.
+func RunSpec(sp scenario.Spec) (SpecResult, error) {
+	return runSpecOverride(sp, nil)
+}
+
+// runSpecOverride is RunSpec with constructor substitution for algorithm
+// variants outside the registry (see netsim.BuildOverride).
+func runSpecOverride(sp scenario.Spec, override map[string]cc.Constructor) (SpecResult, error) {
+	n, flows, err := netsim.BuildOverride(sp, override)
+	if err != nil {
+		return SpecResult{}, err
+	}
+	n.Run(sp.Duration)
+	res := SpecResult{Groups: make([][]netsim.FlowStats, len(flows)), Link: n.Link()}
+	for gi, fs := range flows {
+		for _, f := range fs {
+			res.Groups[gi] = append(res.Groups[gi], f.Stats())
+		}
+	}
+	return res, nil
+}
+
+// RunSpecCached is RunSpec behind the memoizing cache and the invariant
+// auditor, keyed by the spec's canonical key. hit reports whether the
+// result came from the cache; errors are never cached. Cached replays are
+// audited too: a store written by an older build should not smuggle a bad
+// result past a strict run.
+func RunSpecCached(sp scenario.Spec, cache *runner.Cache, audit *check.Auditor) (SpecResult, bool, error) {
+	return runSpecCachedOverride(sp, nil, true, cache, audit)
+}
+
+// runSpecCachedOverride threads an uncanonical spec (one whose constructors
+// come from an override map, so its key does not identify the run) past the
+// cache: it is executed fresh and audited under the empty key.
+func runSpecCachedOverride(sp scenario.Spec, override map[string]cc.Constructor, canonical bool, cache *runner.Cache, audit *check.Auditor) (res SpecResult, hit bool, err error) {
+	key := ""
+	if canonical {
+		key = sp.Key()
+		if cache.Get(key, &res) {
+			auditSpec(audit, key, sp, res)
+			return res, true, nil
+		}
+	}
+	res, err = runSpecOverride(sp, override)
+	if err != nil {
+		return SpecResult{}, false, err
+	}
+	if canonical {
+		cache.Put(key, res)
+	}
+	auditSpec(audit, key, sp, res)
+	return res, false, nil
+}
+
+// specOf resolves the X constructor to a registry name. Constructors
+// outside the registry (test closures, option-wrapped variants) have no
+// canonical name: they run under the placeholder name "custom" with an
+// override map, and the scenario is uncacheable.
+func specOf(x cc.Constructor) (name string, override map[string]cc.Constructor, canonical bool) {
+	if x == nil {
+		return "bbr", nil, true // RunMix's default
+	}
+	if n, ok := cc.NameOf(x); ok {
+		return n, nil, true
+	}
+	return "custom", map[string]cc.Constructor{"custom": x}, false
+}
+
+// spec compiles the mix down to its scenario: group 0 is the X class,
+// group 1 the CUBIC class, both at the shared RTT, with the experiment
+// protocol's jitter parameters. canonical is false when X has no registry
+// name (the spec then carries an override and must not be cached).
+func (cfg MixConfig) spec() (sp scenario.Spec, override map[string]cc.Constructor, canonical bool) {
+	name, override, canonical := specOf(cfg.X)
+	sp = scenario.Spec{
+		Capacity:    cfg.Capacity,
+		Buffer:      cfg.Buffer,
+		AckJitter:   scenario.DefaultAckJitter,
+		StartJitter: scenario.DefaultStartJitter,
+		Duration:    cfg.Duration,
+		Seed:        cfg.Seed,
+		Groups: []scenario.Group{
+			{Algorithm: name, Count: cfg.NumX, RTT: cfg.RTT},
+			{Algorithm: "cubic", Count: cfg.NumCubic, RTT: cfg.RTT},
+		},
+	}
+	return sp, override, canonical
+}
+
+// key is the mix's canonical cache key, or "" when the scenario cannot be
+// canonically identified (non-registry X).
+func (cfg MixConfig) key() string {
+	sp, _, canonical := cfg.spec()
+	if !canonical {
+		return ""
+	}
+	return sp.Key()
+}
+
+// mixView projects a spec result back into the mix's class view: group 0
+// is X, group 1 is CUBIC.
+func mixView(res SpecResult) MixResult {
+	out := MixResult{
+		XStats:         res.group(0),
+		CubicStats:     res.group(1),
+		Utilization:    res.Link.Utilization,
+		MeanQueueDelay: res.Link.MeanQueueDelay,
+	}
+	out.AggX = aggRate(out.XStats)
+	out.AggCubic = aggRate(out.CubicStats)
+	if n := len(out.XStats); n > 0 {
+		out.PerFlowX = out.AggX / units.Rate(n)
+	}
+	if n := len(out.CubicStats); n > 0 {
+		out.PerFlowCubic = out.AggCubic / units.Rate(n)
+	}
+	return out
+}
+
+// spec compiles the multi-RTT run down to its scenario: RTT group g
+// becomes spec groups 2g (X class) and 2g+1 (CUBIC class). Both classes are
+// always present — zero-count groups are legal — so every profile of one
+// search shares a single key shape, and the X-before-CUBIC order within
+// each RTT group pins the per-flow jitter assignment.
+func (cfg GroupConfig) spec() (sp scenario.Spec, override map[string]cc.Constructor, canonical bool, err error) {
+	if len(cfg.RTTs) == 0 || len(cfg.RTTs) != len(cfg.Sizes) || len(cfg.RTTs) != len(cfg.NumX) {
+		return sp, nil, false, errors.New("exp: RTTs, Sizes and NumX must be equal-length and non-empty")
+	}
+	name, override, canonical := specOf(cfg.X)
+	groups := make([]scenario.Group, 0, 2*len(cfg.RTTs))
+	for g := range cfg.RTTs {
+		if cfg.NumX[g] < 0 || cfg.NumX[g] > cfg.Sizes[g] {
+			return sp, nil, false, fmt.Errorf("exp: group %d has NumX %d of %d", g, cfg.NumX[g], cfg.Sizes[g])
+		}
+		groups = append(groups,
+			scenario.Group{Algorithm: name, Count: cfg.NumX[g], RTT: cfg.RTTs[g]},
+			scenario.Group{Algorithm: "cubic", Count: cfg.Sizes[g] - cfg.NumX[g], RTT: cfg.RTTs[g]},
+		)
+	}
+	sp = scenario.Spec{
+		Capacity:    cfg.Capacity,
+		Buffer:      cfg.Buffer,
+		AckJitter:   scenario.DefaultAckJitter,
+		StartJitter: scenario.DefaultStartJitter,
+		Duration:    cfg.Duration,
+		Seed:        cfg.Seed,
+		Groups:      groups,
+	}
+	return sp, override, canonical, nil
+}
+
+// key is the group run's canonical cache key, or "" when the config is
+// invalid or carries a non-registry X.
+func (cfg GroupConfig) key() string {
+	sp, _, canonical, err := cfg.spec()
+	if err != nil || !canonical {
+		return ""
+	}
+	return sp.Key()
+}
+
+// groupView projects a spec result back into per-RTT-group class averages:
+// spec groups 2g and 2g+1 are RTT group g's X and CUBIC classes.
+func groupView(ngroups int, res SpecResult) GroupResult {
+	out := GroupResult{
+		PerFlowX:     make([]units.Rate, ngroups),
+		PerFlowCubic: make([]units.Rate, ngroups),
+	}
+	for g := 0; g < ngroups; g++ {
+		if xs := res.group(2 * g); len(xs) > 0 {
+			out.PerFlowX[g] = aggRate(xs) / units.Rate(len(xs))
+		}
+		if cs := res.group(2*g + 1); len(cs) > 0 {
+			out.PerFlowCubic[g] = aggRate(cs) / units.Rate(len(cs))
+		}
+	}
+	return out
+}

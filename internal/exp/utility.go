@@ -66,8 +66,7 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 			NumX:     numX,
 			NumCubic: cfg.N - numX,
 		}
-		key, _ := mixKey(mix)
-		return runner.Protect(key, func() (pair, error) {
+		return runner.Protect(mix.key(), func() (pair, error) {
 			res, hit, err := runMixCached(mix, cache, cfg.Audit)
 			if err != nil {
 				return pair{}, err

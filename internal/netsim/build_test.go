@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/units"
+
+	// Build resolves algorithm names through the registry; link the ones
+	// this test's specs name.
+	_ "bbrnash/internal/cc/reno"
+)
+
+// TestBuildRunsSpec: a heterogeneous-RTT mixed-algorithm spec builds and
+// runs, flows come back grouped in spec order, and the groups share the
+// link.
+func TestBuildRunsSpec(t *testing.T) {
+	capacity := 50 * units.Mbps
+	sp := scenario.Spec{
+		Capacity:    capacity,
+		Buffer:      units.BufferBytes(capacity, 40*time.Millisecond, 3),
+		AckJitter:   scenario.DefaultAckJitter,
+		StartJitter: scenario.DefaultStartJitter,
+		Duration:    8 * time.Second,
+		Seed:        3,
+		Groups: []scenario.Group{
+			{Algorithm: "bbr", Count: 2, RTT: 40 * time.Millisecond},
+			{Algorithm: "cubic", Count: 0, RTT: 40 * time.Millisecond},
+			{Algorithm: "reno", Count: 1, RTT: 80 * time.Millisecond},
+		},
+	}
+	n, flows, err := Build(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 3 || len(flows[0]) != 2 || len(flows[1]) != 0 || len(flows[2]) != 1 {
+		t.Fatalf("group shape = %d/%d/%d groups=%d", len(flows[0]), len(flows[1]), len(flows[2]), len(flows))
+	}
+	if got := flows[2][0].Stats().Name; got != "g2.reno0" {
+		t.Errorf("flow name = %q", got)
+	}
+	n.Run(sp.Duration)
+	var agg units.Rate
+	for _, g := range flows {
+		for _, f := range g {
+			st := f.Stats()
+			if st.Throughput <= 0 {
+				t.Errorf("flow %s throughput %v", st.Name, st.Throughput)
+			}
+			agg += st.Throughput
+		}
+	}
+	if agg > capacity {
+		t.Errorf("aggregate %v exceeds capacity %v", agg, capacity)
+	}
+	if util := n.Link().Utilization; util < 0.5 {
+		t.Errorf("utilization %v", util)
+	}
+}
+
+// TestBuildDeterministic: one spec, one simulation — identical stats on
+// every build.
+func TestBuildDeterministic(t *testing.T) {
+	run := func() []FlowStats {
+		sp := scenario.Mix("bbr", 1, 1, 50*units.Mbps,
+			units.BufferBytes(50*units.Mbps, 40*time.Millisecond, 3),
+			40*time.Millisecond, 8*time.Second)
+		sp.Seed = 7
+		n, flows, err := Build(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(sp.Duration)
+		var out []FlowStats
+		for _, g := range flows {
+			for _, f := range g {
+				out = append(out, f.Stats())
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBuildRejectsBadSpecs: topology validation and algorithm resolution
+// both gate construction.
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	sp := scenario.Mix("bbr", 1, 1, 50*units.Mbps, units.MB, 40*time.Millisecond, time.Second)
+	sp.Capacity = 0
+	if _, _, err := Build(sp); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	sp = scenario.Mix("hybla", 1, 1, 50*units.Mbps, units.MB, 40*time.Millisecond, time.Second)
+	if _, _, err := Build(sp); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

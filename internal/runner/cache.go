@@ -3,9 +3,11 @@ package runner
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -37,7 +39,14 @@ func NewCache() *Cache {
 // OpenCache returns a cache backed by the JSON store at path, loading any
 // existing entries. A missing file is an empty cache; Save writes back to
 // the same path. An empty path is equivalent to NewCache.
-func OpenCache(path string) (*Cache, error) {
+//
+// When recognized key versions are given (e.g. scenario.KeyVersion),
+// entries whose key does not carry one of them in its version field — the
+// second |-separated segment, "v2" in "scenario|v2|…" — are skipped and
+// logged instead of silently mixing cache generations: a store written
+// before a key-format or semantics bump must not serve stale results. The
+// skipped entries are dropped from the store on the next Save.
+func OpenCache(path string, recognized ...string) (*Cache, error) {
 	c := NewCache()
 	if path == "" {
 		return c, nil
@@ -53,7 +62,37 @@ func OpenCache(path string) (*Cache, error) {
 	if err := json.Unmarshal(data, &c.m); err != nil {
 		return nil, fmt.Errorf("runner: cache %s is not a JSON object: %w", path, err)
 	}
+	if len(recognized) > 0 {
+		skipped := 0
+		for key := range c.m {
+			if !versionRecognized(key, recognized) {
+				delete(c.m, key)
+				skipped++
+			}
+		}
+		if skipped > 0 {
+			c.dirty = true
+			log.Printf("runner: cache %s: skipped %d entries with unrecognized key version (recognized: %s)",
+				path, skipped, strings.Join(recognized, ", "))
+		}
+	}
 	return c, nil
+}
+
+// versionRecognized reports whether key's version field (the second
+// |-separated segment) is one of the recognized versions. Keys without a
+// version field are never recognized.
+func versionRecognized(key string, recognized []string) bool {
+	parts := strings.SplitN(key, "|", 3)
+	if len(parts) < 3 {
+		return false
+	}
+	for _, v := range recognized {
+		if parts[1] == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Get looks key up and, when present, unmarshals the stored value into out,

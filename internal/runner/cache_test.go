@@ -97,6 +97,49 @@ func TestCacheDiskRoundTrip(t *testing.T) {
 	}
 }
 
+// TestOpenCacheSkipsUnrecognizedVersions: opening a store with a
+// recognized-version set drops entries from other key generations (and
+// keys with no version field at all), and the next Save prunes them from
+// disk.
+func TestOpenCacheSkipsUnrecognizedVersions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("scenario|v2|cap=1|g=bbr:1:1:0", fakeResult{Throughput: 1})
+	c.Put("mix|v1|cap=1|nx=1", fakeResult{Throughput: 2})
+	c.Put("unversioned", fakeResult{Throughput: 3})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCache(path, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", re.Len())
+	}
+	var out fakeResult
+	if !re.Get("scenario|v2|cap=1|g=bbr:1:1:0", &out) || out.Throughput != 1 {
+		t.Errorf("recognized entry lost: %+v", out)
+	}
+	if re.Get("mix|v1|cap=1|nx=1", &out) {
+		t.Error("v1 entry served despite unrecognized version")
+	}
+	if err := re.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Len() != 1 {
+		t.Errorf("Save kept %d entries, want the 1 recognized", re2.Len())
+	}
+}
+
 func TestOpenCacheMissingAndEmptyPath(t *testing.T) {
 	c, err := OpenCache(filepath.Join(t.TempDir(), "absent.json"))
 	if err != nil || c.Len() != 0 {

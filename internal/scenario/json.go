@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/units"
+)
+
+// Scenarios are files: the JSON form below round-trips exactly (base units
+// and nanosecond-exact duration strings), so the spec a run emits re-parses
+// to the same canonical key. Unmarshal additionally accepts two
+// human-friendly input spellings — "capacity_mbps" instead of
+// "capacity_bps", and "buffer_bdp"+"buffer_bdp_rtt" instead of
+// "buffer_bytes" — which Marshal never emits.
+
+type groupJSON struct {
+	Algorithm string `json:"algorithm"`
+	Count     int    `json:"count"`
+	RTT       string `json:"rtt"`
+	Start     string `json:"start,omitempty"`
+}
+
+type specJSON struct {
+	CapacityBps  float64     `json:"capacity_bps,omitempty"`
+	CapacityMbps float64     `json:"capacity_mbps,omitempty"`
+	BufferBytes  float64     `json:"buffer_bytes,omitempty"`
+	BufferBDP    float64     `json:"buffer_bdp,omitempty"`
+	BufferBDPRTT string      `json:"buffer_bdp_rtt,omitempty"`
+	MSSBytes     float64     `json:"mss_bytes,omitempty"`
+	AckJitter    string      `json:"ack_jitter,omitempty"`
+	StartJitter  string      `json:"start_jitter,omitempty"`
+	Duration     string      `json:"duration"`
+	Seed         uint64      `json:"seed"`
+	Groups       []groupJSON `json:"groups"`
+}
+
+func formatDuration(d time.Duration) string {
+	if d == 0 {
+		return ""
+	}
+	return d.String()
+}
+
+func parseDuration(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: %s: %w", field, err)
+	}
+	return d, nil
+}
+
+// MarshalJSON encodes the spec in its canonical file form.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	out := specJSON{
+		CapacityBps: float64(s.Capacity),
+		BufferBytes: float64(s.Buffer),
+		MSSBytes:    float64(s.MSS),
+		AckJitter:   formatDuration(s.AckJitter),
+		StartJitter: formatDuration(s.StartJitter),
+		Duration:    s.Duration.String(),
+		Seed:        s.Seed,
+		Groups:      make([]groupJSON, len(s.Groups)),
+	}
+	for i, g := range s.Groups {
+		out.Groups[i] = groupJSON{
+			Algorithm: g.Algorithm,
+			Count:     g.Count,
+			RTT:       g.RTT.String(),
+			Start:     formatDuration(g.Start),
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes either the canonical file form or the
+// human-friendly input spellings. It only decodes; call Validate to check
+// the result.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var in specJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	switch {
+	case in.CapacityBps != 0 && in.CapacityMbps != 0:
+		return fmt.Errorf("scenario: specify capacity_bps or capacity_mbps, not both")
+	case in.CapacityMbps != 0:
+		s.Capacity = units.Rate(in.CapacityMbps) * units.Mbps
+	default:
+		s.Capacity = units.Rate(in.CapacityBps)
+	}
+	switch {
+	case in.BufferBytes != 0 && in.BufferBDP != 0:
+		return fmt.Errorf("scenario: specify buffer_bytes or buffer_bdp, not both")
+	case in.BufferBDP != 0:
+		rtt, err := parseDuration("buffer_bdp_rtt", in.BufferBDPRTT)
+		if err != nil {
+			return err
+		}
+		if rtt <= 0 {
+			return fmt.Errorf("scenario: buffer_bdp needs a positive buffer_bdp_rtt")
+		}
+		s.Buffer = units.BufferBytes(s.Capacity, rtt, in.BufferBDP)
+	default:
+		s.Buffer = units.Bytes(in.BufferBytes)
+	}
+	s.MSS = units.Bytes(in.MSSBytes)
+	var err error
+	if s.AckJitter, err = parseDuration("ack_jitter", in.AckJitter); err != nil {
+		return err
+	}
+	if s.StartJitter, err = parseDuration("start_jitter", in.StartJitter); err != nil {
+		return err
+	}
+	if s.Duration, err = parseDuration("duration", in.Duration); err != nil {
+		return err
+	}
+	s.Seed = in.Seed
+	s.Groups = make([]Group, len(in.Groups))
+	for i, g := range in.Groups {
+		rtt, err := parseDuration(fmt.Sprintf("groups[%d].rtt", i), g.RTT)
+		if err != nil {
+			return err
+		}
+		start, err := parseDuration(fmt.Sprintf("groups[%d].start", i), g.Start)
+		if err != nil {
+			return err
+		}
+		s.Groups[i] = Group{Algorithm: g.Algorithm, Count: g.Count, RTT: rtt, Start: start}
+	}
+	return nil
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ParseGroups parses the CLIs' comma-separated "name[:count]" flow list,
+// e.g. "bbr:2,cubic:3" or "bbr,cubic", into same-RTT groups. Counts
+// default to 1 and must be positive; names must exist in the algorithm
+// registry.
+func ParseGroups(list string, rtt time.Duration) ([]Group, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("scenario: empty flow list")
+	}
+	var groups []Group
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("scenario: empty element in flow list %q", list)
+		}
+		name, countStr, hasCount := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		count := 1
+		if hasCount {
+			var err error
+			count, err = strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil || count < 1 {
+				return nil, fmt.Errorf("scenario: bad flow count in %q", part)
+			}
+		}
+		if _, err := cc.AlgorithmByName(name); err != nil {
+			return nil, err
+		}
+		groups = append(groups, Group{Algorithm: name, Count: count, RTT: rtt})
+	}
+	return groups, nil
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// KeyVersion is the canonical-encoding generation. Every cache entry, audit
+// violation and UnitError carries it as the second |-separated key field;
+// bump it here — and only here — whenever the encoding or the simulation
+// semantics behind it change, and stores written by older generations are
+// skipped on load (runner.OpenCache) instead of silently mixed in.
+const KeyVersion = "v2"
+
+// KeyPrefix starts every canonical scenario key.
+const KeyPrefix = "scenario|" + KeyVersion + "|"
+
+// fx renders a float64 exactly (hex mantissa), keeping keys canonical.
+func fx(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// Key is the canonical deterministic encoding of the spec — everything a
+// simulation's output is a function of, in one fixed order. It is *the*
+// identity every layer keys by: runner.Cache entries, check.Auditor
+// violations and runner.UnitError all use this exact string, so "which
+// scenario was that" has one answer across the whole stack. Floats are
+// encoded as exact hex mantissas and durations as nanosecond integers; the
+// golden test in key_test.go pins the format.
+func (s Spec) Key() string {
+	s = s.WithDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%scap=%s|buf=%s|mss=%s|aj=%d|sj=%d|dur=%d|seed=%d|g=",
+		KeyPrefix, fx(float64(s.Capacity)), fx(float64(s.Buffer)), fx(float64(s.MSS)),
+		int64(s.AckJitter), int64(s.StartJitter), int64(s.Duration), s.Seed)
+	for i, g := range s.Groups {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%d:%d:%d", g.Algorithm, g.Count, int64(g.RTT), int64(g.Start))
+	}
+	return b.String()
+}

@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"bbrnash/internal/rng"
+	"bbrnash/internal/units"
+
+	// Validate resolves algorithm names through the registry; link the
+	// full built-in set for the tests. (The package itself cannot link
+	// them — see the Algorithms doc comment.)
+	_ "bbrnash/internal/cc/bbr"
+	_ "bbrnash/internal/cc/bbrv2"
+	_ "bbrnash/internal/cc/copa"
+	_ "bbrnash/internal/cc/cubic"
+	_ "bbrnash/internal/cc/reno"
+	_ "bbrnash/internal/cc/vivace"
+)
+
+func validSpec() Spec {
+	sp := Mix("bbr", 3, 2, 100*units.Mbps,
+		units.BufferBytes(100*units.Mbps, 40*time.Millisecond, 2),
+		40*time.Millisecond, 2*time.Minute)
+	sp.Seed = 42
+	return sp
+}
+
+// TestKeyGolden pins the canonical encoding byte for byte. If this test
+// fails, the key format changed: bump KeyVersion and update the golden
+// string — silent drift is exactly what the pin exists to catch.
+func TestKeyGolden(t *testing.T) {
+	const want = "scenario|v2|" +
+		"cap=0x1.7d784p+26|buf=0x1.e848p+19|mss=0x1.6dp+10|" +
+		"aj=1000000|sj=10000000|dur=120000000000|seed=42|" +
+		"g=bbr:3:40000000:0,cubic:2:40000000:0"
+	if got := validSpec().Key(); got != want {
+		t.Errorf("Key() =\n %q\nwant\n %q", got, want)
+	}
+}
+
+// TestKeyDefaultsResolved: an explicit default MSS and a zero MSS are the
+// same scenario and must share a key.
+func TestKeyDefaultsResolved(t *testing.T) {
+	a := validSpec()
+	b := validSpec()
+	b.MSS = units.MSS
+	if a.Key() != b.Key() {
+		t.Errorf("zero-MSS key %q != explicit-default key %q", a.Key(), b.Key())
+	}
+	if !strings.HasPrefix(a.Key(), KeyPrefix) {
+		t.Errorf("key %q lacks prefix %q", a.Key(), KeyPrefix)
+	}
+}
+
+// randomSpec draws a structurally arbitrary spec — including values no
+// experiment would use — to exercise the JSON round-trip.
+func randomSpec(r *rng.Source) Spec {
+	algs := []string{"bbr", "bbrv2", "copa", "cubic", "reno", "vivace"}
+	sp := Spec{
+		Capacity:    units.Rate(r.Float64()*1e9) + 1,
+		Buffer:      units.Bytes(r.Float64() * 1e7),
+		MSS:         units.Bytes(r.Intn(3000)),
+		AckJitter:   time.Duration(r.Intn(int(5 * time.Millisecond))),
+		StartJitter: time.Duration(r.Intn(int(50 * time.Millisecond))),
+		Duration:    time.Duration(r.Intn(int(5*time.Minute))) + 1,
+		Seed:        r.Uint64(),
+	}
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		sp.Groups = append(sp.Groups, Group{
+			Algorithm: algs[r.Intn(len(algs))],
+			Count:     r.Intn(10),
+			RTT:       time.Duration(r.Intn(int(400*time.Millisecond))) + 1,
+			Start:     time.Duration(r.Intn(int(10 * time.Second))),
+		})
+	}
+	return sp
+}
+
+// TestJSONRoundTrip: for arbitrary specs, Marshal→Unmarshal reproduces the
+// spec exactly — same struct, same canonical key — so the spec a run emits
+// reproduces that run.
+func TestJSONRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	for i := 0; i < 200; i++ {
+		sp := randomSpec(r)
+		data, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("spec %d: %v (json %s)", i, err, data)
+		}
+		if back.Key() != sp.Key() {
+			t.Fatalf("spec %d: round-trip key drift\n got %q\nwant %q\njson %s",
+				i, back.Key(), sp.Key(), data)
+		}
+	}
+}
+
+// TestJSONConveniences: the human-friendly input spellings decode to the
+// intended base-unit values.
+func TestJSONConveniences(t *testing.T) {
+	const in = `{
+		"capacity_mbps": 100,
+		"buffer_bdp": 2, "buffer_bdp_rtt": "40ms",
+		"duration": "2m", "seed": 1,
+		"groups": [
+			{"algorithm": "bbr", "count": 3, "rtt": "40ms"},
+			{"algorithm": "cubic", "count": 2, "rtt": "80ms", "start": "1s"}
+		]
+	}`
+	var sp Spec
+	if err := json.Unmarshal([]byte(in), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Capacity != 100*units.Mbps {
+		t.Errorf("Capacity = %v", sp.Capacity)
+	}
+	if want := units.BufferBytes(100*units.Mbps, 40*time.Millisecond, 2); sp.Buffer != want {
+		t.Errorf("Buffer = %v, want %v", sp.Buffer, want)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Groups[1].Start != time.Second || sp.Groups[1].RTT != 80*time.Millisecond {
+		t.Errorf("group 1 = %+v", sp.Groups[1])
+	}
+	// Ambiguous spellings are rejected.
+	for _, bad := range []string{
+		`{"capacity_bps": 1, "capacity_mbps": 1}`,
+		`{"buffer_bytes": 1, "buffer_bdp": 1}`,
+		`{"buffer_bdp": 2}`,
+	} {
+		var s Spec
+		if err := json.Unmarshal([]byte(bad), &s); err == nil {
+			t.Errorf("accepted %s", bad)
+		}
+	}
+}
+
+// TestValidate covers the rejection cases.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero capacity", func(s *Spec) { s.Capacity = 0 }},
+		{"sub-MSS buffer", func(s *Spec) { s.Buffer = 100 }},
+		{"zero duration", func(s *Spec) { s.Duration = 0 }},
+		{"negative ack jitter", func(s *Spec) { s.AckJitter = -1 }},
+		{"negative start jitter", func(s *Spec) { s.StartJitter = -1 }},
+		{"empty groups", func(s *Spec) { s.Groups = nil }},
+		{"unnamed algorithm", func(s *Spec) { s.Groups[0].Algorithm = "" }},
+		{"unknown algorithm", func(s *Spec) { s.Groups[0].Algorithm = "hybla" }},
+		{"negative count", func(s *Spec) { s.Groups[0].Count = -1 }},
+		{"zero RTT", func(s *Spec) { s.Groups[0].RTT = 0 }},
+		{"negative start", func(s *Spec) { s.Groups[0].Start = -time.Second }},
+		{"no flows", func(s *Spec) { s.Groups[0].Count = 0; s.Groups[1].Count = 0 }},
+	}
+	for _, tc := range cases {
+		sp := validSpec()
+		tc.mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	// Zero-count groups are legal as long as some flow exists: sweeps keep
+	// empty classes so group indices stay stable.
+	sp := validSpec()
+	sp.Groups[0].Count = 0
+	if err := sp.Validate(); err != nil {
+		t.Errorf("zero-count group rejected: %v", err)
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	gs, err := ParseGroups("bbr:2, cubic:3", 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 || gs[0].Algorithm != "bbr" || gs[0].Count != 2 ||
+		gs[1].Algorithm != "cubic" || gs[1].Count != 3 ||
+		gs[0].RTT != 40*time.Millisecond {
+		t.Errorf("ParseGroups = %+v", gs)
+	}
+	if gs, err = ParseGroups("vivace,copa", time.Millisecond); err != nil || gs[0].Count != 1 || gs[1].Count != 1 {
+		t.Errorf("bare names: %+v, %v", gs, err)
+	}
+	for _, bad := range []string{"", "  ", "bbr:", "bbr:0", "bbr:-1", "bbr:x", "unknownalg:2", "bbr:2,,cubic:1"} {
+		if _, err := ParseGroups(bad, time.Millisecond); err == nil {
+			t.Errorf("list %q accepted", bad)
+		}
+	}
+}

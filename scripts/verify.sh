@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full tier-1 verification recipe (see ROADMAP.md, "Tier-1 verify").
+# Run from the repository root: ./scripts/verify.sh
+#
+# The race pass covers the concurrent fan-out, cache, invariant-audit and
+# scenario-key code; the exp simulations take ~10 minutes under the race
+# detector, hence the explicit timeout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (runner, exp, check, scenario)"
+go test -race -timeout 1800s \
+	./internal/runner ./internal/exp ./internal/check ./internal/scenario
+
+echo "verify: all green"
