@@ -187,6 +187,12 @@ type (
 	ScenarioSpec = scenario.Spec
 	// ScenarioGroup is one ordered group of identical flows in a spec.
 	ScenarioGroup = scenario.Group
+	// ScenarioFaults is a spec's deterministic fault-injection block:
+	// stochastic forward and ACK-path loss, periodic capacity flaps and
+	// burst-loss episodes, all derived from the spec's seed so a faulted
+	// run is exactly as reproducible as a clean one (and participates in
+	// the spec's canonical key).
+	ScenarioFaults = scenario.Faults
 	// ScenarioResult carries a spec run's per-group and link statistics.
 	ScenarioResult = exp.SpecResult
 )
@@ -198,8 +204,10 @@ var (
 	MixScenario = scenario.Mix
 	// RunScenario executes one scenario spec.
 	RunScenario = exp.RunSpec
-	// RunScenarioCached executes a spec through a ResultCache and an
-	// optional InvariantAuditor, keyed by the spec's canonical key.
+	// RunScenarioCached executes a spec through a ResultCache, an optional
+	// ResumeJournal and an optional InvariantAuditor, keyed by the spec's
+	// canonical key; the context cancels the run at simulated-second
+	// boundaries.
 	RunScenarioCached = exp.RunSpecCached
 )
 
@@ -303,6 +311,16 @@ type (
 	// UnitError identifies the failing unit of a sweep: submission index,
 	// canonical scenario key, and the error or recovered panic + stack.
 	UnitError = runner.UnitError
+	// StallError reports a unit cancelled by the pool's watchdog: it made
+	// no progress for a full window. Stalls are transient — with retries
+	// configured the unit is re-run from the same seed.
+	StallError = runner.StallError
+	// TransientError marks an error as retryable by the pool.
+	TransientError = runner.TransientError
+	// ResumeJournal is the crash-safe write-ahead log of completed
+	// simulation units: each result is appended and fsynced as it
+	// finishes, so a killed sweep resumes from its completed units.
+	ResumeJournal = runner.Journal
 	// InvariantAuditor collects physical-invariant violations; nil
 	// disables auditing.
 	InvariantAuditor = check.Auditor
@@ -313,6 +331,17 @@ type (
 )
 
 var (
+	// OpenResumeJournal loads (or creates) an on-disk resume journal;
+	// attach it to an ExperimentScale's (or search config's) Journal field.
+	OpenResumeJournal = runner.OpenJournal
+	// MarkTransient wraps an error so the pool's retry policy re-runs the
+	// unit; Transient reports whether an error is retryable.
+	MarkTransient = runner.MarkTransient
+	// Transient reports whether an error would be retried by the pool.
+	Transient = runner.Transient
+	// UnitProgress heartbeats the pool's stall watchdog from inside a
+	// long-running unit (no-op outside a watchdogged unit).
+	UnitProgress = runner.Progress
 	// NewInvariantAuditor creates an empty auditor; attach it to an
 	// ExperimentScale's (or search config's) Audit field.
 	NewInvariantAuditor = check.New

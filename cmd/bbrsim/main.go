@@ -25,6 +25,16 @@
 // SIGINT/SIGTERM cancel remaining replicates (in-flight runs drain) and
 // the cache is saved on every exit path. -strict audits every replicate's
 // statistics against physical invariants and fails the run on violation.
+//
+// -resume names a crash-safe journal: every completed replicate is
+// appended and fsynced as it finishes, and rerunning the same command with
+// the same journal skips the completed replicates — output is
+// byte-identical to an uninterrupted run because every replicate is a
+// deterministic function of its scenario key. -timeout arms a per-run
+// stall watchdog (a run making no simulated-time progress for that long is
+// cancelled with a stall error) and -retries retries stalled or
+// transiently failed runs; a retry re-derives the same seed, so it either
+// reproduces the run bit-for-bit or stalls again.
 package main
 
 import (
@@ -67,6 +77,9 @@ func run() int {
 		runs       = flag.Int("runs", 1, "number of replicate runs with distinct derived seeds")
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = no caching)")
+		resumePath = flag.String("resume", "", "path to crash-safe resume journal; an existing journal's completed runs are skipped ('' = no journal)")
+		timeout    = flag.Duration("timeout", 0, "per-run stall watchdog: cancel a run making no progress for this long (0 = off)")
+		retries    = flag.Int("retries", 0, "retry a stalled or transiently failed run up to this many times (retries re-derive the same seed)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		strict     = flag.Bool("strict", false, "audit replicate statistics against physical invariants; violations fail the run")
 		listAlgs   = flag.Bool("list-algorithms", false, "print the algorithm registry and exit")
@@ -99,6 +112,11 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	journal, err := runner.OpenJournal(*resumePath, scenario.KeyVersion)
+	if err != nil {
+		return fail(err)
+	}
+	defer journal.Close()
 	var audit *check.Auditor
 	if *strict {
 		audit = check.New()
@@ -121,13 +139,13 @@ func run() int {
 		seeds[i] = r.Uint64()
 	}
 
-	pool := runner.NewPool(*workers)
+	pool := runner.NewPool(*workers).SetWatchdog(*timeout).SetRetry(*retries, time.Second)
 	start := time.Now()
-	results, err := runner.MapCtx(ctx, pool, *runs, func(_ context.Context, i int) (exp.SpecResult, error) {
+	results, err := runner.MapCtx(ctx, pool, *runs, func(uctx context.Context, i int) (exp.SpecResult, error) {
 		run := sp
 		run.Seed = seeds[i]
 		return runner.Protect(run.Key(), func() (exp.SpecResult, error) {
-			res, _, err := exp.RunSpecCached(run, cache, audit)
+			res, _, err := exp.RunSpecCached(uctx, run, cache, journal, audit)
 			return res, err
 		})
 	})
@@ -169,7 +187,11 @@ func run() int {
 		fmt.Printf("link: utilization %.1f%%, mean queue delay %v, drops %d\n",
 			100*st.Link.Utilization, st.Link.MeanQueueDelay.Round(100*time.Microsecond), st.Link.Drops)
 	}
-	fmt.Printf("(%d runs in %v wall time, %d cache hits)\n", *runs, elapsed.Round(time.Millisecond), cache.Hits())
+	fmt.Printf("(%d runs in %v wall time, %d cache hits", *runs, elapsed.Round(time.Millisecond), cache.Hits())
+	if *resumePath != "" {
+		fmt.Printf(", %d journal hits", journal.Hits())
+	}
+	fmt.Println(")")
 	return auditVerdict(audit)
 }
 
@@ -206,8 +228,14 @@ func buildSpec(path string, capMbps, rttMs, bufBDP float64, flows string,
 // includes its stack.
 func report(ctx context.Context, err error) int {
 	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "bbrsim: interrupted; completed replicates cached")
+		fmt.Fprintln(os.Stderr, "bbrsim: interrupted; completed replicates cached (rerun with -resume to continue)")
 		return 130
+	}
+	var st *runner.StallError
+	if errors.As(err, &st) {
+		fmt.Fprintln(os.Stderr, "bbrsim:", err)
+		fmt.Fprintln(os.Stderr, "bbrsim: raise -timeout or add -retries if the run was merely slow")
+		return 1
 	}
 	var ue *runner.UnitError
 	if errors.As(err, &ue) && ue.Recovered != nil {

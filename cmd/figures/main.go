@@ -25,6 +25,15 @@
 // audits every simulation result against physical invariants (share sums,
 // byte conservation, queue bounds, NaN/Inf) and fails the run if any are
 // violated.
+//
+// -resume names a crash-safe journal: every completed simulation is
+// appended and fsynced as it finishes, so a sweep killed mid-flight —
+// crash, SIGKILL, power loss — resumes from its completed units when the
+// same command is rerun with the same journal, and the resumed output is
+// byte-identical to an uninterrupted run. -timeout arms a per-simulation
+// stall watchdog and -retries retries stalled or transiently failed units
+// with exponential backoff; retries re-derive the same seed, so a retried
+// unit either reproduces bit-for-bit or fails again.
 package main
 
 import (
@@ -59,6 +68,9 @@ func run() int {
 		height     = flag.Int("height", 18, "ASCII chart height")
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
+		resumePath = flag.String("resume", "", "path to crash-safe resume journal; an existing journal's completed simulations are skipped ('' = no journal)")
+		timeout    = flag.Duration("timeout", 0, "per-simulation stall watchdog: cancel a unit making no progress for this long (0 = off)")
+		retries    = flag.Int("retries", 0, "retry a stalled or transiently failed simulation up to this many times (retries re-derive the same seed)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		strict     = flag.Bool("strict", false, "audit every simulation result against physical invariants; violations fail the run")
 	)
@@ -75,12 +87,18 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	scale.Pool = runner.NewPool(*workers)
+	scale.Pool = runner.NewPool(*workers).SetWatchdog(*timeout).SetRetry(*retries, time.Second)
 	cache, err := runner.OpenCache(*cachePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}
 	scale.Cache = cache
+	journal, err := runner.OpenJournal(*resumePath, scenario.KeyVersion)
+	if err != nil {
+		return fail(err)
+	}
+	defer journal.Close()
+	scale.Journal = journal
 	var audit *check.Auditor
 	if *strict {
 		audit = check.New()
@@ -179,8 +197,14 @@ func run() int {
 // simulation panic includes its stack.
 func report(ctx context.Context, err error) int {
 	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "figures: interrupted; in-flight simulations drained, partial figure discarded")
+		fmt.Fprintln(os.Stderr, "figures: interrupted; in-flight simulations drained, partial figure discarded (rerun with -resume to skip completed simulations)")
 		return 130
+	}
+	var st *runner.StallError
+	if errors.As(err, &st) {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		fmt.Fprintln(os.Stderr, "figures: raise -timeout or add -retries if the simulation was merely slow")
+		return 1
 	}
 	var ue *runner.UnitError
 	if errors.As(err, &ue) && ue.Recovered != nil {

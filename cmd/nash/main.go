@@ -15,6 +15,12 @@
 // exhaustive scan keeps its warmed payoff table. -strict audits every
 // payoff simulation against physical invariants and fails the run on any
 // violation.
+//
+// -resume names a crash-safe journal of completed payoff simulations:
+// rerunning the same search with the same journal skips them, even after
+// a crash or SIGKILL that lost the in-memory cache. -timeout arms a
+// per-simulation stall watchdog and -retries retries stalled or
+// transiently failed units; retries re-derive the same seed.
 package main
 
 import (
@@ -52,6 +58,9 @@ func run() int {
 		scaleN     = flag.String("scale", "quick", "verification scale: full, quick or smoke")
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
+		resumePath = flag.String("resume", "", "path to crash-safe resume journal; an existing journal's completed payoff simulations are skipped ('' = no journal)")
+		timeout    = flag.Duration("timeout", 0, "per-simulation stall watchdog: cancel a payoff unit making no progress for this long (0 = off)")
+		retries    = flag.Int("retries", 0, "retry a stalled or transiently failed simulation up to this many times (retries re-derive the same seed)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		strict     = flag.Bool("strict", false, "audit every payoff simulation against physical invariants; violations fail the run")
 		listAlgs   = flag.Bool("list-algorithms", false, "print the algorithm registry and exit")
@@ -94,11 +103,16 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	pool := runner.NewPool(*workers)
+	pool := runner.NewPool(*workers).SetWatchdog(*timeout).SetRetry(*retries, time.Second)
 	cache, err := runner.OpenCache(*cachePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}
+	journal, err := runner.OpenJournal(*resumePath, scenario.KeyVersion)
+	if err != nil {
+		return fail(err)
+	}
+	defer journal.Close()
 	var audit *check.Auditor
 	if *strict {
 		audit = check.New()
@@ -118,7 +132,7 @@ func run() int {
 			Capacity: capacity, Buffer: buffer, RTT: rtt, N: *n,
 			Duration: scale.FlowDuration, Seed: uint64(trial+1) * 1e6,
 			X: ctor, Exhaustive: scale.Exhaustive,
-			Pool: pool, Cache: cache, Ctx: ctx, Audit: audit,
+			Pool: pool, Cache: cache, Journal: journal, Ctx: ctx, Audit: audit,
 		})
 		if err != nil {
 			return report(ctx, fmt.Errorf("trial %d: %w", trial+1, err))
@@ -138,8 +152,14 @@ func run() int {
 // panic includes its stack.
 func report(ctx context.Context, err error) int {
 	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "nash: interrupted; in-flight simulations drained, cache saved")
+		fmt.Fprintln(os.Stderr, "nash: interrupted; in-flight simulations drained, cache saved (rerun with -resume to skip completed simulations)")
 		return 130
+	}
+	var st *runner.StallError
+	if errors.As(err, &st) {
+		fmt.Fprintln(os.Stderr, "nash:", err)
+		fmt.Fprintln(os.Stderr, "nash: raise -timeout or add -retries if the simulation was merely slow")
+		return 1
 	}
 	var ue *runner.UnitError
 	if errors.As(err, &ue) && ue.Recovered != nil {

@@ -44,6 +44,31 @@ type Limits struct {
 	// pipe-full outstanding, so conservation is enforced up to this
 	// slack.
 	Pipe units.Bytes
+	// MinCapacity is the lowest instantaneous service rate the link ever
+	// offers — under a capacity flap, Capacity*(1-depth). Queue drain (and
+	// so the delay bound) must be computed at this rate, not the nominal
+	// one. Zero means Capacity (a steady link).
+	MinCapacity units.Rate
+	// MeanCapacity is the time-averaged service rate over the measurement
+	// window — under a flap, below Capacity — and bounds what flows can
+	// collectively deliver (share-sum, utilization). Zero means Capacity.
+	MeanCapacity units.Rate
+}
+
+// minCapacity is the effective floor rate, defaulting to Capacity.
+func (l Limits) minCapacity() units.Rate {
+	if l.MinCapacity > 0 {
+		return l.MinCapacity
+	}
+	return l.Capacity
+}
+
+// meanCapacity is the effective average rate, defaulting to Capacity.
+func (l Limits) meanCapacity() units.Rate {
+	if l.MeanCapacity > 0 {
+		return l.MeanCapacity
+	}
+	return l.Capacity
 }
 
 // Violation is one failed invariant.
@@ -106,12 +131,13 @@ func Rate(key, what string, r units.Rate) []Violation {
 }
 
 // ShareSum audits that an aggregate of per-flow shares fits the link:
-// flows cannot collectively deliver more than the bottleneck forwards.
+// flows cannot collectively deliver more than the bottleneck forwards —
+// over a flapping link, no more than its time-averaged rate.
 func ShareSum(key string, lim Limits, agg units.Rate) []Violation {
 	a := &violations{key: key}
 	if a.nonNegative("aggregate throughput", float64(agg)) && lim.Capacity > 0 &&
-		float64(agg) > float64(lim.Capacity)*(1+relTol) {
-		a.add("share-sum", "aggregate throughput %v exceeds capacity %v", agg, lim.Capacity)
+		float64(agg) > float64(lim.meanCapacity())*(1+relTol) {
+		a.add("share-sum", "aggregate throughput %v exceeds mean capacity %v", agg, lim.meanCapacity())
 	}
 	return a.vs
 }
@@ -162,9 +188,15 @@ func Flows(key string, lim Limits, flows []netsim.FlowStats, link *netsim.LinkSt
 
 // link audits bottleneck-level statistics.
 func (a *violations) link(lim Limits, l *netsim.LinkStats) {
+	// Utilization is delivered rate over *nominal* capacity, so over a
+	// flapping link it cannot exceed the mean-to-nominal fraction.
+	utilBound := 1.0
+	if lim.Capacity > 0 {
+		utilBound = float64(lim.meanCapacity()) / float64(lim.Capacity)
+	}
 	if a.finite("link utilization", l.Utilization) &&
-		(l.Utilization < 0 || l.Utilization > 1+relTol) {
-		a.add("utilization", "link utilization = %v, want 0..1", l.Utilization)
+		(l.Utilization < 0 || l.Utilization > utilBound*(1+relTol)) {
+		a.add("utilization", "link utilization = %v, want 0..%v", l.Utilization, utilBound)
 	}
 	if a.nonNegative("link mean queue occupancy", float64(l.MeanQueueOccupancy)) &&
 		lim.Buffer > 0 && float64(l.MeanQueueOccupancy) > float64(lim.Buffer)*(1+relTol) {
@@ -176,8 +208,9 @@ func (a *violations) link(lim Limits, l *netsim.LinkStats) {
 	} else if lim.Capacity > 0 && lim.Buffer > 0 {
 		// A drop-tail queue never holds more than the buffer ahead of a
 		// packet, so its delay through the bottleneck is bounded by the
-		// time to transmit buffer + its own size.
-		bound := time.Duration(float64(lim.Buffer+units.MSS) * 8 / float64(lim.Capacity) *
+		// time to transmit buffer + its own size — at the slowest rate the
+		// link ever serves, when it flaps.
+		bound := time.Duration(float64(lim.Buffer+units.MSS) * 8 / float64(lim.minCapacity()) *
 			(1 + relTol) * float64(time.Second))
 		if l.MeanQueueDelay > bound {
 			a.add("delay-bound", "link mean queue delay %v exceeds drain bound %v",

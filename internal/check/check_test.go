@@ -191,3 +191,45 @@ func TestAuditorEmptyRecordIsNoOp(t *testing.T) {
 		t.Error("empty Record changed state")
 	}
 }
+
+// TestFaultAwareLimits: MinCapacity relaxes the drain/delay bound and
+// MeanCapacity tightens the share-sum and utilization bounds, so a flapped
+// link is audited against what it actually offered — and the zero values
+// keep the steady-link behavior.
+func TestFaultAwareLimits(t *testing.T) {
+	lim := testLimits()
+	f := cleanFlow("bbr0", 60*units.Mbps, time.Minute)
+
+	// Drain bound at the nominal rate flags a delay the flapped floor
+	// rate explains; setting MinCapacity to that floor accepts it.
+	drainAtNominal := time.Duration(float64(lim.Buffer+units.MSS) * 8 / float64(lim.Capacity) * float64(time.Second))
+	link := &netsim.LinkStats{Utilization: 0.6, MeanQueueDelay: 3 * drainAtNominal}
+	requireInvariant(t, Flows("key", lim, []netsim.FlowStats{f}, link), "delay-bound")
+	relaxed := lim
+	relaxed.MinCapacity = lim.Capacity / 4
+	if vs := Flows("key", relaxed, []netsim.FlowStats{f}, link); len(vs) != 0 {
+		t.Errorf("delay within flapped drain bound flagged: %v", vs)
+	}
+
+	// A share sum legal for the nominal rate violates the flapped mean.
+	tight := lim
+	tight.MeanCapacity = lim.Capacity / 2
+	requireInvariant(t, ShareSum("key", tight, lim.Capacity*3/4), "share-sum")
+	if vs := ShareSum("key", tight, lim.Capacity*2/5); len(vs) != 0 {
+		t.Errorf("aggregate under mean capacity flagged: %v", vs)
+	}
+
+	// Utilization is measured against nominal capacity, so its ceiling
+	// under a flap is the mean fraction.
+	link = &netsim.LinkStats{Utilization: 0.8}
+	requireInvariant(t, Flows("key", tight, []netsim.FlowStats{cleanFlow("bbr0", 40*units.Mbps, time.Minute)}, link), "utilization")
+	link = &netsim.LinkStats{Utilization: 0.45}
+	if vs := Flows("key", tight, []netsim.FlowStats{cleanFlow("bbr0", 40*units.Mbps, time.Minute)}, link); len(vs) != 0 {
+		t.Errorf("utilization under mean fraction flagged: %v", vs)
+	}
+
+	// Zero values mean a steady link: defaults preserved.
+	if lim.minCapacity() != lim.Capacity || lim.meanCapacity() != lim.Capacity {
+		t.Error("zero Min/MeanCapacity must default to Capacity")
+	}
+}

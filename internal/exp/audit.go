@@ -18,13 +18,35 @@ import (
 // slack is one pipe-full: the buffer plus the path's bandwidth-delay
 // product at the longest RTT (jitter included), the most a flow can have
 // in flight when a measurement window opens.
+//
+// Fault injection reshapes the bounds. A capacity flap lowers the drain
+// floor to Capacity*(1-depth) — the delay bound must use it — and caps what
+// the link can deliver at its time-averaged rate; that mean gets one
+// segment of slack per flap phase boundary, because a packet in service
+// when the link flaps down completes at the rate it started with. Burst
+// episodes widen the conservation slack by one burst's worth of segments.
 func specLimits(sp scenario.Spec) check.Limits {
 	sp = sp.WithDefaults()
-	return check.Limits{
+	lim := check.Limits{
 		Capacity: sp.Capacity,
 		Buffer:   sp.Buffer,
 		Pipe:     sp.Buffer + units.BDP(sp.Capacity, sp.MaxRTT()+sp.StartJitter+sp.AckJitter),
 	}
+	f := sp.Faults
+	if f.FlapDepth > 0 && f.FlapPeriod > 0 && sp.Duration > 0 {
+		lim.MinCapacity = f.MinCapacity(sp.Capacity)
+		mean := f.MeanCapacityOver(sp.Capacity, sp.Duration)
+		boundaries := units.Bytes(sp.Duration/(f.FlapPeriod/2)) + 1
+		mean += units.RateOver(boundaries*sp.MSS, sp.Duration)
+		if mean > sp.Capacity {
+			mean = sp.Capacity
+		}
+		lim.MeanCapacity = mean
+	}
+	if f.BurstLen > 0 {
+		lim.Pipe += units.Bytes(f.BurstLen) * sp.MSS
+	}
+	return lim
 }
 
 // auditSpec validates one SpecResult against its scenario's invariants:

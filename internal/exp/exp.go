@@ -50,6 +50,13 @@ type Scale struct {
 	// Cache memoizes simulation results under canonical scenario keys
 	// across a run; nil disables memoization.
 	Cache *runner.Cache
+	// Journal, when non-nil, write-ahead-logs every completed simulation
+	// unit (fsynced per record) so a sweep killed mid-flight resumes from
+	// its completed units instead of restarting; see runner.Journal. Since
+	// every unit is a deterministic function of its key, a resumed sweep's
+	// output is byte-identical to an uninterrupted one. Nil disables
+	// journaling.
+	Journal *runner.Journal
 	// Ctx cancels experiment execution: once it is done, no further
 	// simulation units are dispatched, in-flight units drain, and sweeps
 	// return the context's error (the CLIs wire SIGINT here). Nil means
@@ -151,7 +158,7 @@ type MixResult struct {
 // compiled to its scenario.Spec and run through the shared spec path.
 func RunMix(cfg MixConfig) (MixResult, error) {
 	sp, override, _ := cfg.spec()
-	res, err := runSpecOverride(sp, override)
+	res, err := runSpecOverride(context.Background(), sp, override)
 	if err != nil {
 		return MixResult{}, err
 	}
@@ -205,7 +212,7 @@ func RunGroups(cfg GroupConfig) (GroupResult, error) {
 	if err != nil {
 		return GroupResult{}, err
 	}
-	res, err := runSpecOverride(sp, override)
+	res, err := runSpecOverride(context.Background(), sp, override)
 	if err != nil {
 		return GroupResult{}, err
 	}

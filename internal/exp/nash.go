@@ -80,6 +80,9 @@ type NESearchConfig struct {
 	// evaluations within this call; a shared cache additionally carries
 	// results across trials and figures.
 	Cache *runner.Cache
+	// Journal write-ahead-logs completed payoff simulations for crash
+	// resumption (see Scale.Journal); nil disables journaling.
+	Journal *runner.Journal
 	// Ctx cancels the search: no further payoff simulations are
 	// dispatched once it is done. Nil means context.Background().
 	Ctx context.Context
@@ -132,11 +135,13 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 	}
 	type pair struct{ x, c units.Rate }
 	// evalErr is the fallible payoff evaluation: panic-protected and
-	// reported under the distribution's canonical scenario key.
-	evalErr := func(numX int) (pair, error) {
+	// reported under the distribution's canonical scenario key. ctx is the
+	// executing unit's context when the evaluation runs through MapCtx (so
+	// the watchdog sees its heartbeats) and the search context otherwise.
+	evalErr := func(ctx context.Context, numX int) (pair, error) {
 		mix := mixAt(numX)
 		return runner.Protect(mix.key(), func() (pair, error) {
-			res, hit, err := runMixCached(mix, cache, cfg.Audit)
+			res, hit, err := runMixCached(ctx, mix, cache, cfg.Journal, cfg.Audit)
 			if err != nil {
 				return pair{}, err
 			}
@@ -146,9 +151,10 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 			return pair{res.PerFlowX, res.PerFlowCubic}, nil
 		})
 	}
+	searchCtx := ctxOr(cfg.Ctx)
 	var failed evalFailure
 	eval := func(numX int) pair {
-		p, err := evalErr(numX)
+		p, err := evalErr(searchCtx, numX)
 		failed.note(err)
 		return p
 	}
@@ -163,8 +169,8 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 		// An exhaustive scan evaluates every distribution anyway, so
 		// build the whole payoff table up front through the pool; the
 		// enumeration below is then pure cache hits.
-		if _, err := runner.MapCtx(ctxOr(cfg.Ctx), cfg.Pool, cfg.N+1, func(_ context.Context, numX int) (struct{}, error) {
-			_, err := evalErr(numX)
+		if _, err := runner.MapCtx(searchCtx, cfg.Pool, cfg.N+1, func(uctx context.Context, numX int) (struct{}, error) {
+			_, err := evalErr(uctx, numX)
 			return struct{}{}, err
 		}); err != nil {
 			return NESearchResult{}, err
@@ -237,11 +243,12 @@ type GroupNEConfig struct {
 	// Exhaustive enumerates the whole Π(Size+1) profile space; otherwise
 	// a greedy incentive walk is used.
 	Exhaustive bool
-	// Pool, Cache, Ctx and Audit as in NESearchConfig.
-	Pool  *runner.Pool
-	Cache *runner.Cache
-	Ctx   context.Context
-	Audit *check.Auditor
+	// Pool, Cache, Journal, Ctx and Audit as in NESearchConfig.
+	Pool    *runner.Pool
+	Cache   *runner.Cache
+	Journal *runner.Journal
+	Ctx     context.Context
+	Audit   *check.Auditor
 }
 
 // GroupNEResult is the outcome of a multi-RTT search.
@@ -270,7 +277,7 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	type pair struct {
 		x, c []units.Rate
 	}
-	evalErr := func(k []int) (pair, error) {
+	evalErr := func(ctx context.Context, k []int) (pair, error) {
 		gcfg := GroupConfig{
 			Capacity: cfg.Capacity,
 			Buffer:   cfg.Buffer,
@@ -282,7 +289,7 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 			NumX:     append([]int(nil), k...),
 		}
 		return runner.Protect(gcfg.key(), func() (pair, error) {
-			res, hit, err := runGroupsCached(gcfg, cache, cfg.Audit)
+			res, hit, err := runGroupsCached(ctx, gcfg, cache, cfg.Journal, cfg.Audit)
 			if err != nil {
 				return pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}, err
 			}
@@ -292,9 +299,10 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 			return pair{x: res.PerFlowX, c: res.PerFlowCubic}, nil
 		})
 	}
+	searchCtx := ctxOr(cfg.Ctx)
 	var failed evalFailure
 	eval := func(k []int) pair {
-		p, err := evalErr(k)
+		p, err := evalErr(searchCtx, k)
 		failed.note(err)
 		if p.x == nil || p.c == nil {
 			p = pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}
@@ -318,8 +326,8 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 		// The exhaustive enumeration touches every profile, so build the
 		// whole payoff table up front through the pool.
 		profiles := enumerateProfiles(cfg.Sizes)
-		if _, err := runner.MapCtx(ctxOr(cfg.Ctx), cfg.Pool, len(profiles), func(_ context.Context, i int) (struct{}, error) {
-			_, err := evalErr(profiles[i])
+		if _, err := runner.MapCtx(searchCtx, cfg.Pool, len(profiles), func(uctx context.Context, i int) (struct{}, error) {
+			_, err := evalErr(uctx, profiles[i])
 			return struct{}{}, err
 		}); err != nil {
 			return GroupNEResult{}, err

@@ -45,26 +45,27 @@ func profileSeed(base uint64, k []int) uint64 {
 	return rng.New(base ^ h).Uint64()
 }
 
-// runMixCached is RunMix behind the memoizing cache and the invariant
-// auditor: the config compiles to its scenario.Spec, and cache entries,
-// audit records and failures all use the spec's canonical key.
-func runMixCached(cfg MixConfig, cache *runner.Cache, audit *check.Auditor) (MixResult, bool, error) {
+// runMixCached is RunMix behind the memoizing cache, the resumption
+// journal and the invariant auditor: the config compiles to its
+// scenario.Spec, and cache entries, journal records, audit records and
+// failures all use the spec's canonical key.
+func runMixCached(ctx context.Context, cfg MixConfig, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor) (MixResult, bool, error) {
 	sp, override, canonical := cfg.spec()
-	res, hit, err := runSpecCachedOverride(sp, override, canonical, cache, audit)
+	res, hit, err := runSpecCachedOverride(ctx, sp, override, canonical, cache, journal, audit)
 	if err != nil {
 		return MixResult{}, false, err
 	}
 	return mixView(res), hit, nil
 }
 
-// runGroupsCached is RunGroups behind the memoizing cache and the
-// invariant auditor.
-func runGroupsCached(cfg GroupConfig, cache *runner.Cache, audit *check.Auditor) (GroupResult, bool, error) {
+// runGroupsCached is RunGroups behind the memoizing cache, the resumption
+// journal and the invariant auditor.
+func runGroupsCached(ctx context.Context, cfg GroupConfig, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor) (GroupResult, bool, error) {
 	sp, override, canonical, err := cfg.spec()
 	if err != nil {
 		return GroupResult{}, false, err
 	}
-	res, hit, err := runSpecCachedOverride(sp, override, canonical, cache, audit)
+	res, hit, err := runSpecCachedOverride(ctx, sp, override, canonical, cache, journal, audit)
 	if err != nil {
 		return GroupResult{}, false, err
 	}
@@ -105,11 +106,11 @@ func (s Scale) Sweep(seed uint64, n int, specAt func(i int) scenario.Spec) ([]Sw
 		trials = 1
 	}
 	seeds := trialSeeds(seed, trials)
-	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(_ context.Context, j int) (SpecResult, error) {
+	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(uctx context.Context, j int) (SpecResult, error) {
 		sp := specAt(j / trials)
 		sp.Seed = seeds[j%trials]
 		return runner.Protect(sp.Key(), func() (SpecResult, error) {
-			res, _, err := RunSpecCached(sp, s.Cache, s.Audit)
+			res, _, err := RunSpecCached(uctx, sp, s.Cache, s.Journal, s.Audit)
 			return res, err
 		})
 	})
@@ -133,11 +134,11 @@ func (s Scale) SweepMix(seed uint64, n int, cfgAt func(i int) MixConfig) ([]MixR
 		trials = 1
 	}
 	seeds := trialSeeds(seed, trials)
-	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(_ context.Context, j int) (MixResult, error) {
+	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(uctx context.Context, j int) (MixResult, error) {
 		cfg := cfgAt(j / trials)
 		cfg.Seed = seeds[j%trials]
 		return runner.Protect(cfg.key(), func() (MixResult, error) {
-			res, _, err := runMixCached(cfg, s.Cache, s.Audit)
+			res, _, err := runMixCached(uctx, cfg, s.Cache, s.Journal, s.Audit)
 			return res, err
 		})
 	})

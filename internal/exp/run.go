@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"bbrnash/internal/cc"
 	"bbrnash/internal/check"
@@ -50,17 +52,38 @@ func aggRate(stats []netsim.FlowStats) units.Rate {
 
 // RunSpec executes one scenario and reports per-group statistics.
 func RunSpec(sp scenario.Spec) (SpecResult, error) {
-	return runSpecOverride(sp, nil)
+	return runSpecOverride(context.Background(), sp, nil)
 }
 
+// progressSlice is how much simulated time one execution chunk covers. The
+// event loop's RunFor is exactly resumable, so chunking changes nothing
+// about the result; between chunks the run checks for cancellation and
+// heartbeats the runner's watchdog with the simulated time reached, which
+// is what lets a stalled simulation be distinguished from a slow one.
+const progressSlice = time.Second
+
 // runSpecOverride is RunSpec with constructor substitution for algorithm
-// variants outside the registry (see netsim.BuildOverride).
-func runSpecOverride(sp scenario.Spec, override map[string]cc.Constructor) (SpecResult, error) {
+// variants outside the registry (see netsim.BuildOverride). The simulation
+// executes in progressSlice chunks under ctx: cancellation is observed at
+// chunk boundaries and each boundary reports progress (see runner.Progress).
+func runSpecOverride(ctx context.Context, sp scenario.Spec, override map[string]cc.Constructor) (SpecResult, error) {
 	n, flows, err := netsim.BuildOverride(sp, override)
 	if err != nil {
 		return SpecResult{}, err
 	}
-	n.Run(sp.Duration)
+	sp = sp.WithDefaults()
+	for done := time.Duration(0); done < sp.Duration; {
+		if err := ctx.Err(); err != nil {
+			return SpecResult{}, err
+		}
+		step := progressSlice
+		if rem := sp.Duration - done; rem < step {
+			step = rem
+		}
+		n.Run(step)
+		done += step
+		runner.Progress(ctx, done)
+	}
 	res := SpecResult{Groups: make([][]netsim.FlowStats, len(flows)), Link: n.Link()}
 	for gi, fs := range flows {
 		for _, f := range fs {
@@ -70,33 +93,54 @@ func runSpecOverride(sp scenario.Spec, override map[string]cc.Constructor) (Spec
 	return res, nil
 }
 
-// RunSpecCached is RunSpec behind the memoizing cache and the invariant
-// auditor, keyed by the spec's canonical key. hit reports whether the
-// result came from the cache; errors are never cached. Cached replays are
-// audited too: a store written by an older build should not smuggle a bad
-// result past a strict run.
-func RunSpecCached(sp scenario.Spec, cache *runner.Cache, audit *check.Auditor) (SpecResult, bool, error) {
-	return runSpecCachedOverride(sp, nil, true, cache, audit)
+// RunSpecCached is RunSpec behind the memoizing cache, the resumption
+// journal and the invariant auditor, keyed by the spec's canonical key. hit
+// reports whether the result came from either store; errors are never
+// cached or journaled. Cached replays are audited too: a store written by
+// an older build should not smuggle a bad result past a strict run.
+func RunSpecCached(ctx context.Context, sp scenario.Spec, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor) (SpecResult, bool, error) {
+	return runSpecCachedOverride(ctx, sp, nil, true, cache, journal, audit)
 }
 
 // runSpecCachedOverride threads an uncanonical spec (one whose constructors
 // come from an override map, so its key does not identify the run) past the
-// cache: it is executed fresh and audited under the empty key.
-func runSpecCachedOverride(sp scenario.Spec, override map[string]cc.Constructor, canonical bool, cache *runner.Cache, audit *check.Auditor) (res SpecResult, hit bool, err error) {
+// cache and journal: it is executed fresh and audited under the empty key.
+//
+// Store discipline: the cache is consulted first, then the journal (a
+// journal hit is promoted into the cache); a fresh result lands in both.
+// Either store satisfying a lookup also ensures the journal holds the key,
+// so a resumed run skips it even when the cache file was lost. Journal
+// write failures fail the unit — a journal that cannot persist must not let
+// the operator believe the sweep is resumable — while cache failures stay
+// silent as before.
+func runSpecCachedOverride(ctx context.Context, sp scenario.Spec, override map[string]cc.Constructor, canonical bool, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor) (res SpecResult, hit bool, err error) {
 	key := ""
 	if canonical {
 		key = sp.Key()
 		if cache.Get(key, &res) {
 			auditSpec(audit, key, sp, res)
+			if !journal.Has(key) {
+				if err := journal.Record(key, res); err != nil {
+					return SpecResult{}, false, err
+				}
+			}
+			return res, true, nil
+		}
+		if journal.Get(key, &res) {
+			cache.Put(key, res)
+			auditSpec(audit, key, sp, res)
 			return res, true, nil
 		}
 	}
-	res, err = runSpecOverride(sp, override)
+	res, err = runSpecOverride(ctx, sp, override)
 	if err != nil {
 		return SpecResult{}, false, err
 	}
 	if canonical {
 		cache.Put(key, res)
+		if err := journal.Record(key, res); err != nil {
+			return SpecResult{}, false, err
+		}
 	}
 	auditSpec(audit, key, sp, res)
 	return res, false, nil

@@ -55,7 +55,7 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 	type pair struct{ x, c float64 }
 	// What is memoized is the underlying MixResult — shared with FindNE's
 	// throughput-only searches — and the utility is recomputed per lookup.
-	evalErr := func(numX int) (pair, error) {
+	evalErr := func(ctx context.Context, numX int) (pair, error) {
 		mix := MixConfig{
 			Capacity: cfg.Capacity,
 			Buffer:   cfg.Buffer,
@@ -67,7 +67,7 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 			NumCubic: cfg.N - numX,
 		}
 		return runner.Protect(mix.key(), func() (pair, error) {
-			res, hit, err := runMixCached(mix, cache, cfg.Audit)
+			res, hit, err := runMixCached(ctx, mix, cache, cfg.Journal, cfg.Audit)
 			if err != nil {
 				return pair{}, err
 			}
@@ -80,9 +80,10 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 			}, nil
 		})
 	}
+	searchCtx := ctxOr(cfg.Ctx)
 	var failed evalFailure
 	eval := func(numX int) pair {
-		p, err := evalErr(numX)
+		p, err := evalErr(searchCtx, numX)
 		failed.note(err)
 		return p
 	}
@@ -100,8 +101,8 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 	eps := cfg.EpsFraction * fairUtil
 
 	if cfg.Exhaustive {
-		if _, err := runner.MapCtx(ctxOr(cfg.Ctx), cfg.Pool, cfg.N+1, func(_ context.Context, numX int) (struct{}, error) {
-			_, err := evalErr(numX)
+		if _, err := runner.MapCtx(searchCtx, cfg.Pool, cfg.N+1, func(uctx context.Context, numX int) (struct{}, error) {
+			_, err := evalErr(uctx, numX)
 			return struct{}{}, err
 		}); err != nil {
 			return NESearchResult{}, err

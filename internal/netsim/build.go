@@ -46,6 +46,7 @@ func BuildOverride(sp scenario.Spec, override map[string]cc.Constructor) (*Netwo
 		MSS:       sp.MSS,
 		AckJitter: sp.AckJitter,
 		Seed:      sp.Seed,
+		Faults:    sp.Faults,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -14,7 +14,8 @@ import (
 // mirrors how a router's output queue feeds its transmitter.
 type link struct {
 	net      *Network
-	capacity units.Rate
+	capacity units.Rate // nominal rate
+	rate     units.Rate // effective service rate (capacity, or reduced during a flap's low phase)
 	buffer   units.Bytes
 
 	waiting      []*packet // FIFO; head at index `head`
@@ -25,25 +26,37 @@ type link struct {
 	occupancy metrics.TimeWeighted
 	delay     metrics.Summary
 	drops     metrics.Counter
+	injected  metrics.Counter
+	ackLost   metrics.Counter
 	departed  metrics.Counter
 }
 
 func newLink(n *Network, capacity units.Rate, buffer units.Bytes) *link {
-	return &link{net: n, capacity: capacity, buffer: buffer}
+	return &link{net: n, capacity: capacity, rate: capacity, buffer: buffer}
 }
 
 // queueDelay is the time a packet arriving now would wait before its own
-// transmission begins.
+// transmission begins, at the current effective rate.
 func (l *link) queueDelay() time.Duration {
-	return l.capacity.TimeToSend(l.waitingBytes)
+	return l.rate.TimeToSend(l.waitingBytes)
 }
 
 // enqueue accepts or drops an arriving packet.
 func (l *link) enqueue(p *packet) {
 	now := l.net.loop.Now()
+	if l.net.injectDrop() {
+		// Fault injection claims the packet before it reaches the queue;
+		// the sender detects the loss through the same duplicate-ACK path
+		// as an overflow drop.
+		l.injected.Add(1)
+		l.observeDrop(now, p, true)
+		p.flow.packetDropped(p, l.queueDelay())
+		return
+	}
 	if l.waitingBytes+p.size > l.buffer {
 		// Drop-tail.
 		l.drops.Add(1)
+		l.observeDrop(now, p, false)
 		p.flow.packetDropped(p, l.queueDelay())
 		return
 	}
@@ -71,7 +84,10 @@ func (l *link) startService() {
 	l.occupancy.Set(now, float64(l.waitingBytes))
 	p.flow.queued.Add(now, -float64(p.size))
 	l.busy = true
-	l.net.loop.After(l.capacity.TimeToSend(p.size), func() { l.serviceDone(p) })
+	// The effective rate is sampled at service start: a packet in flight
+	// when a flap toggles completes at the rate it started with, like a
+	// transmission already on the wire.
+	l.net.loop.After(l.rate.TimeToSend(p.size), func() { l.serviceDone(p) })
 }
 
 // serviceDone fires when a packet finishes transmission: it departs the
@@ -87,6 +103,16 @@ func (l *link) serviceDone(p *packet) {
 	if j := l.net.cfg.AckJitter; j > 0 {
 		ackDelay += l.net.rng.Duration(j)
 	}
+	if alr := l.net.cfg.Faults.AckLossRate; alr > 0 {
+		// A lost ACK's cumulative information is recovered by the next
+		// ACK one segment's serialization later; consecutive losses
+		// compound. Draws happen here, in departure order, keeping the
+		// RNG stream deterministic.
+		for l.net.rng.Float64() < alr {
+			l.ackLost.Add(1)
+			ackDelay += l.rate.TimeToSend(p.size)
+		}
+	}
 	l.net.loop.After(ackDelay, func() { p.flow.ackArrived(p) })
 	if l.head < len(l.waiting) {
 		l.startService()
@@ -96,9 +122,18 @@ func (l *link) serviceDone(p *packet) {
 	}
 }
 
+// observeDrop feeds the network's drop hook, when one is registered.
+func (l *link) observeDrop(now eventsim.Time, p *packet, injected bool) {
+	if h := l.net.dropHook; h != nil {
+		h(DropEvent{Time: now, Flow: p.flow.name, Seq: p.seq, Injected: injected})
+	}
+}
+
 func (l *link) resetMeasurement(now eventsim.Time) {
 	l.occupancy.Reset(now)
 	l.delay.Reset()
 	l.drops.Reset(now)
+	l.injected.Reset(now)
+	l.ackLost.Reset(now)
 	l.departed.Reset(now)
 }

@@ -25,6 +25,7 @@ import (
 	"bbrnash/internal/cc"
 	"bbrnash/internal/eventsim"
 	"bbrnash/internal/rng"
+	"bbrnash/internal/scenario"
 	"bbrnash/internal/units"
 )
 
@@ -48,6 +49,12 @@ type Config struct {
 	// Seed drives AckJitter randomness; runs are reproducible for a
 	// given seed.
 	Seed uint64
+	// Faults injects deterministic adverse-link conditions — stochastic
+	// data-packet loss, ACK-path loss, capacity flaps, burst-loss
+	// episodes — driven off the same seeded RNG stream as AckJitter, so a
+	// faulted run is exactly as reproducible as a clean one. The zero
+	// value is a clean link and draws nothing from the RNG.
+	Faults scenario.Faults
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +71,9 @@ func (c Config) validate() error {
 	}
 	if c.Buffer < c.MSS {
 		return fmt.Errorf("netsim: Buffer (%v) must hold at least one segment (%v)", c.Buffer, c.MSS)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("netsim: %w", err)
 	}
 	return nil
 }
@@ -99,6 +109,10 @@ type Network struct {
 	flows []*Flow
 	free  []*packet
 	rng   *rng.Source
+
+	// Fault-injection state (see Config.Faults).
+	burstRemaining int
+	dropHook       func(DropEvent)
 }
 
 // New creates a network with the given bottleneck configuration.
@@ -109,8 +123,72 @@ func New(cfg Config) (*Network, error) {
 	cfg = cfg.withDefaults()
 	n := &Network{cfg: cfg, rng: rng.New(cfg.Seed)}
 	n.link = newLink(n, cfg.Capacity, cfg.Buffer)
+	n.scheduleFaults()
 	return n, nil
 }
+
+// scheduleFaults arms the time-driven fault machinery: the capacity flap's
+// square wave and the burst-loss episode clock. Both are self-rescheduling
+// event chains driven purely by simulated time, so they consume no RNG
+// draws and a fault-free configuration changes nothing at all.
+func (n *Network) scheduleFaults() {
+	f := n.cfg.Faults
+	if f.FlapDepth > 0 && f.FlapPeriod > 0 {
+		half := f.FlapPeriod / 2
+		low := units.Rate(float64(n.cfg.Capacity) * (1 - f.FlapDepth))
+		up := true
+		var toggle func()
+		toggle = func() {
+			up = !up
+			if up {
+				n.link.rate = n.cfg.Capacity
+			} else {
+				n.link.rate = low
+			}
+			n.loop.After(half, toggle)
+		}
+		n.loop.After(half, toggle)
+	}
+	if f.BurstLen > 0 && f.BurstEvery > 0 {
+		var episode func()
+		episode = func() {
+			n.burstRemaining = f.BurstLen
+			n.loop.After(f.BurstEvery, episode)
+		}
+		n.loop.After(f.BurstEvery, episode)
+	}
+}
+
+// injectDrop decides whether an arriving data packet is claimed by fault
+// injection: an open burst episode consumes it unconditionally (no RNG
+// draw); otherwise the stochastic loss rate draws once. Called only from
+// the single-threaded event loop, in arrival order, so the draw sequence —
+// and therefore the drop trace — is a pure function of spec and seed.
+func (n *Network) injectDrop() bool {
+	if n.burstRemaining > 0 {
+		n.burstRemaining--
+		return true
+	}
+	r := n.cfg.Faults.LossRate
+	return r > 0 && n.rng.Float64() < r
+}
+
+// DropEvent describes one packet dropped at the bottleneck, for drop-trace
+// observation in tests and tools.
+type DropEvent struct {
+	// Time is the simulated drop instant.
+	Time eventsim.Time
+	// Flow is the owning flow's name; Seq its sequence number.
+	Flow string
+	Seq  uint64
+	// Injected distinguishes fault-injected drops (stochastic or burst)
+	// from drop-tail buffer overflow.
+	Injected bool
+}
+
+// OnDrop registers fn to observe every drop at the bottleneck, in drop
+// order. Set it before Run; a nil fn disables observation.
+func (n *Network) OnDrop(fn func(DropEvent)) { n.dropHook = fn }
 
 // AddFlow attaches a sender to the bottleneck. All flows must be added
 // before Run is first called.
@@ -191,6 +269,8 @@ func (n *Network) Link() LinkStats {
 		MeanQueueDelay:     l.delay.MeanDuration(),
 		MaxQueueDelay:      time.Duration(l.delay.Max()),
 		Drops:              int(l.drops.Windowed()),
+		InjectedDrops:      int(l.injected.Windowed()),
+		AckLosses:          int(l.ackLost.Windowed()),
 	}
 }
 
@@ -210,6 +290,11 @@ type LinkStats struct {
 	MaxQueueDelay time.Duration
 	// Drops counts packets lost to buffer overflow.
 	Drops int
+	// InjectedDrops counts packets dropped by fault injection (stochastic
+	// loss and burst episodes), disjoint from Drops.
+	InjectedDrops int
+	// AckLosses counts ACKs lost on the return path by fault injection.
+	AckLosses int
 }
 
 // packet is an in-flight segment. Packets are pooled per network.

@@ -42,7 +42,7 @@ func NewCache() *Cache {
 //
 // When recognized key versions are given (e.g. scenario.KeyVersion),
 // entries whose key does not carry one of them in its version field — the
-// second |-separated segment, "v2" in "scenario|v2|…" — are skipped and
+// second |-separated segment, "v3" in "scenario|v3|…" — are skipped and
 // logged instead of silently mixing cache generations: a store written
 // before a key-format or semantics bump must not serve stale results. The
 // skipped entries are dropped from the store on the next Save.

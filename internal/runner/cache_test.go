@@ -3,8 +3,11 @@ package runner
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+
+	"bbrnash/internal/scenario"
 )
 
 type fakeResult struct {
@@ -302,5 +305,50 @@ func TestCacheSaveFileMode(t *testing.T) {
 	}
 	if fi.Mode().Perm() != 0o600 {
 		t.Errorf("tightened store mode = %o, want 0600 preserved", fi.Mode().Perm())
+	}
+}
+
+// TestOpenCacheV2PrunedUnderV3: the concrete migration this repo shipped —
+// a store written under key generation v2 (before fault-injection fields
+// entered the canonical key) opened by a binary recognizing only
+// scenario.KeyVersion (v3) serves nothing, and the next Save prunes the v2
+// entries from disk. Guards against v2 results (simulated without fault
+// semantics) silently answering v3 queries.
+func TestOpenCacheV2PrunedUnderV3(t *testing.T) {
+	if scenario.KeyVersion != "v3" {
+		t.Fatalf("scenario.KeyVersion = %q; update this migration test", scenario.KeyVersion)
+	}
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Key := "scenario|v2|cap=0x1.908b1p+25|buf=0x1p+20|mss=0x1.77p+10|aj=0|sj=0|dur=10000000000|seed=1|g=bbr:1:40000000:0"
+	c.Put(v2Key, fakeResult{Throughput: 5})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCache(path, scenario.KeyVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out fakeResult
+	if re.Get(v2Key, &out) {
+		t.Error("v2 entry served under v3")
+	}
+	if re.Len() != 0 {
+		t.Errorf("reopened Len = %d, want 0", re.Len())
+	}
+	re.Put("scenario|v3|fresh", fakeResult{Throughput: 6})
+	if err := re.Save(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "scenario|v2|") {
+		t.Error("Save left v2 entries on disk")
 	}
 }

@@ -1,0 +1,230 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// Journal is a crash-safe write-ahead log of completed experiment units:
+// one JSON line {"key":…,"value":…} per unit, fsynced as it is recorded, so
+// a sweep killed mid-flight — SIGKILL included — loses at most the unit in
+// progress. Re-opening the journal and passing it back into the sweep
+// replays the completed units without re-simulating them; because every
+// unit is a deterministic function of its key, the resumed run's output is
+// byte-identical to an uninterrupted one.
+//
+// The Journal differs from Cache where their jobs differ: a cache is an
+// optimization whose failures must never fail the experiment, while the
+// journal is a durability promise — Record reports write errors so the
+// caller knows resumption is no longer covered. Methods are safe for
+// concurrent use; a nil *Journal is valid and never hits.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+	m  map[string]json.RawMessage
+
+	hits atomic.Int64
+}
+
+// journalLine is the on-disk record format.
+type journalLine struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// OpenJournal opens (or creates) the journal at path and loads its
+// completed entries. A torn final line — the signature of a crash mid-write
+// — is tolerated: entries up to it load and the tail is truncated away.
+// When recognized key versions are given (see OpenCache), entries from
+// other key generations are dropped. After filtering, the file is
+// compacted in place (atomically, temp file + rename) so stale and torn
+// bytes do not accumulate across resumes. An empty path returns a nil
+// journal, which is valid and inert.
+func OpenJournal(path string, recognized ...string) (*Journal, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runner: reading journal: %w", err)
+	}
+	j := &Journal{m: make(map[string]json.RawMessage)}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalLine
+		if json.Unmarshal(line, &rec) != nil || rec.Key == "" {
+			// A torn or foreign line; everything before it already
+			// loaded, and compaction below drops it.
+			continue
+		}
+		if len(recognized) > 0 && !versionRecognized(rec.Key, recognized) {
+			continue
+		}
+		// Last entry wins: a unit recorded twice (e.g. across a resume
+		// that re-verified it) keeps its most recent bytes.
+		j.m[rec.Key] = rec.Value
+	}
+
+	// Compact: rewrite only the surviving entries, then reopen for append.
+	// Like Cache.Save, an existing file keeps its permission bits.
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*.jsonl")
+	if err != nil {
+		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for key, val := range j.m {
+		if err := enc.Encode(journalLine{Key: key, Value: val}); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("runner: compacting journal: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening journal for append: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Has reports whether key has a completed entry.
+func (j *Journal) Has(key string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.m[key]
+	return ok
+}
+
+// Get looks key up and, when present, unmarshals the recorded value into
+// out, returning true and counting a hit. Like Cache.Get it decodes through
+// a scratch value so a schema mismatch never leaves out half-filled — but
+// unlike the cache a mismatched entry is left in place, since dropping
+// journal entries silently would undermine the resumption promise.
+func (j *Journal) Get(key string, out any) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	raw, ok := j.m[key]
+	j.mu.Unlock()
+	if !ok {
+		return false
+	}
+	dst := reflect.ValueOf(out)
+	if dst.Kind() != reflect.Pointer || dst.IsNil() {
+		return false
+	}
+	scratch := reflect.New(dst.Type().Elem())
+	if json.Unmarshal(raw, scratch.Interface()) != nil {
+		return false
+	}
+	dst.Elem().Set(scratch.Elem())
+	j.hits.Add(1)
+	return true
+}
+
+// Record appends key's completed value to the log and fsyncs before
+// returning, so a process killed any time after Record returns will find
+// the entry on resume. Errors are reported, not swallowed: a journal that
+// cannot persist must fail the unit rather than let the operator believe
+// the sweep is resumable.
+func (j *Journal) Record(key string, v any) error {
+	if j == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: journal: encoding %s: %w", key, err)
+	}
+	line, err := json.Marshal(journalLine{Key: key, Value: raw})
+	if err != nil {
+		return fmt.Errorf("runner: journal: encoding %s: %w", key, err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		if _, err := j.f.Write(line); err != nil {
+			return fmt.Errorf("runner: journal: writing %s: %w", key, err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("runner: journal: syncing %s: %w", key, err)
+		}
+	}
+	j.m[key] = raw
+	return nil
+}
+
+// Len reports how many completed entries the journal holds.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.m)
+}
+
+// Hits reports how many Gets were served from the journal.
+func (j *Journal) Hits() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.hits.Load()
+}
+
+// Close releases the underlying file. Entries already recorded stay
+// durable; Record after Close updates only the in-memory view.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

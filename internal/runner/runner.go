@@ -112,6 +112,11 @@ func Protect[T any](key string, work func() (T, error)) (out T, err error) {
 type Pool struct {
 	workers int
 
+	// Resilience knobs, both off by default; see SetWatchdog and SetRetry.
+	watchdogWindow time.Duration
+	retries        int
+	backoff        time.Duration
+
 	jobs atomic.Int64
 	busy atomic.Int64 // accumulated per-unit execution time, nanoseconds
 }
@@ -203,10 +208,60 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 	unitCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// When the pool has a watchdog window, one monitor goroutine polls the
+	// in-flight attempts' heartbeats and cancels any that stall.
+	var mon *monitor
+	if window := p.watchdogOf(); window > 0 {
+		mon = startMonitor(window)
+		defer mon.shut()
+	}
+
+	// runAttempt executes unit i once. With a watchdog armed, the attempt
+	// runs under its own cancellable context carrying a heartbeat cell; a
+	// stall cancellation surfaces as a *UnitError wrapping the *StallError
+	// cause (copying the scenario key from Protect when the body attached
+	// one) rather than as a bare context error.
+	runAttempt := func(i int) (T, error) {
+		actx := unitCtx
+		var disarm func()
+		if mon != nil {
+			actx, _, disarm = mon.arm(unitCtx, i)
+		}
+		v, err := protectUnit(actx, i, fn)
+		if disarm != nil {
+			disarm()
+		}
+		if err != nil && mon != nil {
+			var st *StallError
+			if errors.As(context.Cause(actx), &st) {
+				st.Index = i
+				var ue *UnitError
+				if errors.As(err, &ue) && ue.Key != "" {
+					st.Key = ue.Key
+				}
+				err = &UnitError{Index: i, Key: st.Key, Err: st}
+			}
+		}
+		return v, err
+	}
+
 	errs := make([]error, n)
 	runUnit := func(i int) {
 		start := time.Now()
-		v, err := protectUnit(unitCtx, i, fn)
+		v, err := runAttempt(i)
+		// Transient failures — stalls, errors marked with MarkTransient —
+		// are retried with exponential backoff. Inputs are pre-derived, so
+		// a retried unit recomputes the identical result; a permanent
+		// failure, a cancelled run or an exhausted budget breaks out.
+		for attempt := 0; err != nil && attempt < p.retriesOf(); attempt++ {
+			if unitCtx.Err() != nil || !Transient(err) {
+				break
+			}
+			if !sleepCtx(unitCtx, p.retryDelay(attempt)) {
+				break
+			}
+			v, err = runAttempt(i)
+		}
 		if err != nil {
 			errs[i] = err
 			cancel()

@@ -1,0 +1,260 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StallError reports a unit cancelled by the pool's watchdog: no heartbeat
+// (see Progress) arrived within the configured window. It is not a
+// cancellation in the sense of isCancellation — a stall is a real failure
+// that wins MapCtx's deterministic error selection — and it is transient:
+// with retries configured the unit is re-run from its pre-derived seed, so
+// a retry that succeeds is bit-identical to a first attempt that did.
+type StallError struct {
+	// Index is the unit's submission index within its Map/MapCtx call.
+	Index int
+	// Key is the unit's canonical scenario key when the unit body supplied
+	// one through Protect, "" otherwise.
+	Key string
+	// LastProgress is the last value the unit reported through Progress
+	// (for simulations, simulated time reached), zero if it never did.
+	LastProgress time.Duration
+	// Window is the watchdog window the unit exceeded.
+	Window time.Duration
+}
+
+func (e *StallError) Error() string {
+	at := "before first progress report"
+	if e.LastProgress > 0 {
+		at = fmt.Sprintf("at progress %v", e.LastProgress)
+	}
+	if e.Key != "" {
+		return fmt.Sprintf("runner: unit %d (%s) stalled %s: no heartbeat within %v", e.Index, e.Key, at, e.Window)
+	}
+	return fmt.Sprintf("runner: unit %d stalled %s: no heartbeat within %v", e.Index, at, e.Window)
+}
+
+// TransientError marks an error as worth retrying; see MarkTransient.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/errors.As chains.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient wraps err so Transient reports it retryable. Unit bodies
+// use it for failures that a fresh attempt can plausibly clear (resource
+// exhaustion, a flaky external store); deterministic failures — a spec that
+// cannot validate, an invariant violation — must stay permanent, because
+// retrying a pure function of (spec, seed) reproduces them exactly.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// Transient reports whether err is worth retrying: a watchdog stall or an
+// error marked with MarkTransient. Cancellations and ordinary unit failures
+// are permanent.
+func Transient(err error) bool {
+	var st *StallError
+	var tr *TransientError
+	return errors.As(err, &st) || errors.As(err, &tr)
+}
+
+// SetWatchdog arms a per-unit progress watchdog on subsequent Map/MapCtx
+// calls: a unit that goes longer than window without calling Progress (or
+// starting/finishing) is cancelled with a *StallError cause. Zero — the
+// default — disables the watchdog, so existing callers are unaffected.
+// Returns the pool for chaining; must not be called concurrently with Map.
+func (p *Pool) SetWatchdog(window time.Duration) *Pool {
+	if window < 0 {
+		window = 0
+	}
+	p.watchdogWindow = window
+	return p
+}
+
+// SetRetry makes subsequent Map/MapCtx calls re-run a unit that failed with
+// a Transient error up to retries more times, sleeping backoff<<attempt
+// between attempts (exponential, capped at one minute). Because every
+// unit's inputs — spec and pre-derived seed — are attempt-independent, a
+// retry that succeeds produces exactly the bytes the first attempt would
+// have. The default is zero retries. Returns the pool for chaining; must
+// not be called concurrently with Map.
+func (p *Pool) SetRetry(retries int, backoff time.Duration) *Pool {
+	if retries < 0 {
+		retries = 0
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	p.retries = retries
+	p.backoff = backoff
+	return p
+}
+
+// watchdogOf reports the configured watchdog window; nil-safe.
+func (p *Pool) watchdogOf() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.watchdogWindow
+}
+
+// retriesOf reports the configured retry budget; nil-safe.
+func (p *Pool) retriesOf() int {
+	if p == nil {
+		return 0
+	}
+	return p.retries
+}
+
+// retryDelay is the pause before retry attempt+1: backoff<<attempt, capped.
+func (p *Pool) retryDelay(attempt int) time.Duration {
+	const maxDelay = time.Minute
+	d := p.backoff
+	if d <= 0 {
+		return 0
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= maxDelay {
+			return maxDelay
+		}
+	}
+	return d
+}
+
+// progressKey carries a unit's heartbeat cell through the context passed to
+// its body.
+type progressKey struct{}
+
+// Progress records a heartbeat for the watchdog monitoring the unit that
+// ctx belongs to, with p as an arbitrary monotone progress position (for
+// simulations, simulated time completed). It is a no-op — and safe — when
+// no watchdog is armed or ctx is not a unit context, so unit bodies can
+// call it unconditionally.
+func Progress(ctx context.Context, p time.Duration) {
+	if c, ok := ctx.Value(progressKey{}).(*heartbeat); ok {
+		c.beat(p)
+	}
+}
+
+// heartbeat is one unit attempt's liveness cell.
+type heartbeat struct {
+	mu       sync.Mutex
+	last     time.Time // wall-clock time of the most recent beat
+	progress time.Duration
+	index    int
+	cancel   context.CancelCauseFunc
+	fired    bool
+}
+
+func (h *heartbeat) beat(p time.Duration) {
+	h.mu.Lock()
+	h.last = time.Now()
+	h.progress = p
+	h.mu.Unlock()
+}
+
+// expire cancels the attempt with a *StallError cause if it has gone longer
+// than window without a beat.
+func (h *heartbeat) expire(now time.Time, window time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fired || now.Sub(h.last) <= window {
+		return
+	}
+	h.fired = true
+	h.cancel(&StallError{Index: h.index, LastProgress: h.progress, Window: window})
+}
+
+// monitor watches the heartbeat cells of one Map/MapCtx call. One goroutine
+// polls at a fraction of the window; cells are armed per attempt, so a
+// retried unit restarts its clock.
+type monitor struct {
+	window time.Duration
+	mu     sync.Mutex
+	cells  map[*heartbeat]struct{}
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// startMonitor launches the polling goroutine; callers must call shut.
+func startMonitor(window time.Duration) *monitor {
+	m := &monitor{
+		window: window,
+		cells:  make(map[*heartbeat]struct{}),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	tick := window / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case now := <-t.C:
+				m.mu.Lock()
+				for h := range m.cells {
+					h.expire(now, m.window)
+				}
+				m.mu.Unlock()
+			}
+		}
+	}()
+	return m
+}
+
+// arm registers a fresh heartbeat for one attempt of unit i and returns the
+// attempt context (carrying the cell for Progress) plus a disarm function
+// that must run when the attempt finishes.
+func (m *monitor) arm(ctx context.Context, i int) (context.Context, *heartbeat, func()) {
+	actx, cancel := context.WithCancelCause(ctx)
+	h := &heartbeat{last: time.Now(), index: i, cancel: cancel}
+	actx = context.WithValue(actx, progressKey{}, h)
+	m.mu.Lock()
+	m.cells[h] = struct{}{}
+	m.mu.Unlock()
+	disarm := func() {
+		m.mu.Lock()
+		delete(m.cells, h)
+		m.mu.Unlock()
+		cancel(nil) // release the attempt context's resources
+	}
+	return actx, h, disarm
+}
+
+// shut stops the polling goroutine and waits for it.
+func (m *monitor) shut() {
+	close(m.stop)
+	<-m.done
+}
+
+// sleepCtx pauses for d or until ctx is done, reporting whether the full
+// pause elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

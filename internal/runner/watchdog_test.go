@@ -1,0 +1,225 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchdogCancelsStalledUnit: a unit that spins without reporting
+// progress is cancelled, and the reported error is a *StallError carrying
+// the submission index, the Protect-attached scenario key and the last
+// progress it managed to report.
+func TestWatchdogCancelsStalledUnit(t *testing.T) {
+	p := NewPool(2).SetWatchdog(50 * time.Millisecond)
+	_, err := MapCtx(context.Background(), p, 3, func(ctx context.Context, i int) (int, error) {
+		return Protect(fmt.Sprintf("scenario|v3|unit%d", i), func() (int, error) {
+			if i != 1 {
+				return i, nil
+			}
+			Progress(ctx, 7*time.Second)
+			// An "infinite loop": no further heartbeats, only the
+			// cooperative cancellation check every simulation chunk has.
+			for {
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(time.Millisecond):
+				}
+			}
+		})
+	})
+	if err == nil {
+		t.Fatal("stalled unit not cancelled")
+	}
+	var st *StallError
+	if !errors.As(err, &st) {
+		t.Fatalf("error %v is not a StallError", err)
+	}
+	if st.Index != 1 || st.Key != "scenario|v3|unit1" || st.LastProgress != 7*time.Second {
+		t.Errorf("StallError = %+v", st)
+	}
+	var ue *UnitError
+	if !errors.As(err, &ue) || ue.Index != 1 {
+		t.Errorf("stall not wrapped as UnitError for unit 1: %v", err)
+	}
+	if isCancellation(err) {
+		t.Error("StallError must not count as a cancellation")
+	}
+	if !Transient(err) {
+		t.Error("StallError must be transient")
+	}
+}
+
+// TestWatchdogOffByDefault: with no window configured a slow, silent unit
+// is left alone — existing callers see no behavior change.
+func TestWatchdogOffByDefault(t *testing.T) {
+	p := NewPool(2)
+	out, err := Map(p, 2, func(i int) (int, error) {
+		if i == 0 {
+			time.Sleep(80 * time.Millisecond) // never calls Progress
+		}
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if out[0] != 0 || out[1] != 10 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+// TestWatchdogSparedByHeartbeats: a unit slower than the window in total
+// but beating regularly is not a stall.
+func TestWatchdogSparedByHeartbeats(t *testing.T) {
+	p := NewPool(1).SetWatchdog(60 * time.Millisecond)
+	out, err := MapCtx(context.Background(), p, 1, func(ctx context.Context, i int) (string, error) {
+		for step := 0; step < 10; step++ {
+			time.Sleep(20 * time.Millisecond) // total 200ms >> window
+			Progress(ctx, time.Duration(step)*time.Second)
+		}
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatalf("heartbeating unit killed: %v", err)
+	}
+	if out[0] != "done" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+// TestRetryStallThenSucceed: a unit that stalls on its first attempt and
+// completes on the second succeeds overall, and the result is what a clean
+// first attempt would have produced.
+func TestRetryStallThenSucceed(t *testing.T) {
+	var attempts atomic.Int32
+	p := NewPool(1).SetWatchdog(40 * time.Millisecond).SetRetry(2, time.Millisecond)
+	out, err := MapCtx(context.Background(), p, 1, func(ctx context.Context, i int) (int, error) {
+		if attempts.Add(1) == 1 {
+			<-ctx.Done() // stall until the watchdog fires
+			return 0, ctx.Err()
+		}
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatalf("retried unit failed: %v", err)
+	}
+	if out[0] != 42 {
+		t.Errorf("out = %v", out)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+}
+
+// TestRetryTransientExhausted: a persistently transient failure is retried
+// exactly the budgeted number of times, then reported.
+func TestRetryTransientExhausted(t *testing.T) {
+	var attempts atomic.Int32
+	boom := errors.New("flaky store")
+	p := NewPool(1).SetRetry(3, 0)
+	_, err := Map(p, 1, func(i int) (int, error) {
+		attempts.Add(1)
+		return 0, MarkTransient(boom)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if got := attempts.Load(); got != 4 { // 1 initial + 3 retries
+		t.Errorf("attempts = %d, want 4", got)
+	}
+}
+
+// TestRetryPermanentNotRetried: ordinary failures are not retried — a
+// deterministic unit would only fail identically again.
+func TestRetryPermanentNotRetried(t *testing.T) {
+	var attempts atomic.Int32
+	p := NewPool(1).SetRetry(5, 0)
+	_, err := Map(p, 1, func(i int) (int, error) {
+		attempts.Add(1)
+		return 0, errors.New("spec invalid")
+	})
+	if err == nil {
+		t.Fatal("permanent failure swallowed")
+	}
+	if Transient(err) {
+		t.Error("plain error reported transient")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1", got)
+	}
+}
+
+// TestRetryStopsOnCancel: cancelling the parent context interrupts the
+// backoff sleep — MapCtx returns promptly, reporting the unit's failure
+// after exactly one attempt, instead of sitting out the retry budget.
+func TestRetryStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts atomic.Int32
+	flaky := errors.New("flaky")
+	p := NewPool(1).SetRetry(100, time.Hour) // would take forever if not cancelled
+	done := make(chan error, 1)
+	go func() {
+		_, err := MapCtx(ctx, p, 1, func(ctx context.Context, i int) (int, error) {
+			attempts.Add(1)
+			return 0, MarkTransient(flaky)
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, flaky) {
+			t.Fatalf("err = %v, want the unit's own failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("MapCtx did not return after cancel; backoff sleep ignored the context")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (cancel must stop retrying)", got)
+	}
+}
+
+// TestRetryDelayExponential: retryDelay doubles per attempt and caps.
+func TestRetryDelayExponential(t *testing.T) {
+	p := NewPool(1).SetRetry(10, 10*time.Millisecond)
+	for i, want := range []time.Duration{10, 20, 40, 80} {
+		if got := p.retryDelay(i); got != want*time.Millisecond {
+			t.Errorf("retryDelay(%d) = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+	if got := p.retryDelay(40); got != time.Minute {
+		t.Errorf("retryDelay(40) = %v, want capped at 1m", got)
+	}
+}
+
+// TestProgressNoopOutsideUnit: Progress on a bare context does nothing.
+func TestProgressNoopOutsideUnit(t *testing.T) {
+	Progress(context.Background(), time.Second) // must not panic
+}
+
+// TestTransientClassification: only stalls and marked errors are transient.
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) {
+		t.Error("nil transient")
+	}
+	if Transient(context.Canceled) {
+		t.Error("cancellation transient")
+	}
+	if !Transient(&StallError{}) {
+		t.Error("StallError not transient")
+	}
+	if !Transient(MarkTransient(errors.New("x"))) {
+		t.Error("marked error not transient")
+	}
+	if !Transient(&UnitError{Err: &StallError{}}) {
+		t.Error("wrapped StallError not transient")
+	}
+	if MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) != nil")
+	}
+}

@@ -26,6 +26,15 @@ type groupJSON struct {
 	Start     string `json:"start,omitempty"`
 }
 
+type faultsJSON struct {
+	LossRate    float64 `json:"loss_rate,omitempty"`
+	AckLossRate float64 `json:"ack_loss_rate,omitempty"`
+	FlapPeriod  string  `json:"flap_period,omitempty"`
+	FlapDepth   float64 `json:"flap_depth,omitempty"`
+	BurstEvery  string  `json:"burst_every,omitempty"`
+	BurstLen    int     `json:"burst_len,omitempty"`
+}
+
 type specJSON struct {
 	CapacityBps  float64     `json:"capacity_bps,omitempty"`
 	CapacityMbps float64     `json:"capacity_mbps,omitempty"`
@@ -37,6 +46,7 @@ type specJSON struct {
 	StartJitter  string      `json:"start_jitter,omitempty"`
 	Duration     string      `json:"duration"`
 	Seed         uint64      `json:"seed"`
+	Faults       *faultsJSON `json:"faults,omitempty"`
 	Groups       []groupJSON `json:"groups"`
 }
 
@@ -69,6 +79,16 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		Duration:    s.Duration.String(),
 		Seed:        s.Seed,
 		Groups:      make([]groupJSON, len(s.Groups)),
+	}
+	if s.Faults != (Faults{}) {
+		out.Faults = &faultsJSON{
+			LossRate:    s.Faults.LossRate,
+			AckLossRate: s.Faults.AckLossRate,
+			FlapPeriod:  formatDuration(s.Faults.FlapPeriod),
+			FlapDepth:   s.Faults.FlapDepth,
+			BurstEvery:  formatDuration(s.Faults.BurstEvery),
+			BurstLen:    s.Faults.BurstLen,
+		}
 	}
 	for i, g := range s.Groups {
 		out.Groups[i] = groupJSON{
@@ -124,6 +144,19 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	s.Seed = in.Seed
+	s.Faults = Faults{}
+	if in.Faults != nil {
+		s.Faults.LossRate = in.Faults.LossRate
+		s.Faults.AckLossRate = in.Faults.AckLossRate
+		s.Faults.FlapDepth = in.Faults.FlapDepth
+		s.Faults.BurstLen = in.Faults.BurstLen
+		if s.Faults.FlapPeriod, err = parseDuration("faults.flap_period", in.Faults.FlapPeriod); err != nil {
+			return err
+		}
+		if s.Faults.BurstEvery, err = parseDuration("faults.burst_every", in.Faults.BurstEvery); err != nil {
+			return err
+		}
+	}
 	s.Groups = make([]Group, len(in.Groups))
 	for i, g := range in.Groups {
 		rtt, err := parseDuration(fmt.Sprintf("groups[%d].rtt", i), g.RTT)

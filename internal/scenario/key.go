@@ -11,7 +11,11 @@ import (
 // bump it here — and only here — whenever the encoding or the simulation
 // semantics behind it change, and stores written by older generations are
 // skipped on load (runner.OpenCache) instead of silently mixed in.
-const KeyVersion = "v2"
+//
+// v3 added the fault-injection fields (fl/al/fp/fd/be/bl); v2 stores are
+// accepted by OpenCache's version filter in the sense that opening them is
+// not an error — their entries are skipped and pruned on the next save.
+const KeyVersion = "v3"
 
 // KeyPrefix starts every canonical scenario key.
 const KeyPrefix = "scenario|" + KeyVersion + "|"
@@ -29,9 +33,13 @@ func fx(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
 func (s Spec) Key() string {
 	s = s.WithDefaults()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%scap=%s|buf=%s|mss=%s|aj=%d|sj=%d|dur=%d|seed=%d|g=",
+	fmt.Fprintf(&b, "%scap=%s|buf=%s|mss=%s|aj=%d|sj=%d|dur=%d|seed=%d|",
 		KeyPrefix, fx(float64(s.Capacity)), fx(float64(s.Buffer)), fx(float64(s.MSS)),
 		int64(s.AckJitter), int64(s.StartJitter), int64(s.Duration), s.Seed)
+	f := s.Faults
+	fmt.Fprintf(&b, "fl=%s|al=%s|fp=%d|fd=%s|be=%d|bl=%d|g=",
+		fx(f.LossRate), fx(f.AckLossRate), int64(f.FlapPeriod),
+		fx(f.FlapDepth), int64(f.BurstEvery), f.BurstLen)
 	for i, g := range s.Groups {
 		if i > 0 {
 			b.WriteByte(',')

@@ -59,7 +59,10 @@ type Spec struct {
 	StartJitter time.Duration
 	Duration    time.Duration
 	Seed        uint64
-	Groups      []Group
+	// Faults injects deterministic adverse-link conditions (loss, ACK
+	// loss, capacity flaps, loss bursts); the zero value is a clean link.
+	Faults Faults
+	Groups []Group
 }
 
 // WithDefaults fills the zero-value fields that have canonical defaults.
@@ -101,6 +104,9 @@ func (s Spec) ValidateTopology() error {
 	}
 	if s.StartJitter < 0 {
 		return fmt.Errorf("scenario: negative start jitter %v", s.StartJitter)
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
 	}
 	if len(s.Groups) == 0 {
 		return fmt.Errorf("scenario: no flow groups")

@@ -32,12 +32,39 @@ func validSpec() Spec {
 // fails, the key format changed: bump KeyVersion and update the golden
 // string — silent drift is exactly what the pin exists to catch.
 func TestKeyGolden(t *testing.T) {
-	const want = "scenario|v2|" +
+	const want = "scenario|v3|" +
 		"cap=0x1.7d784p+26|buf=0x1.e848p+19|mss=0x1.6dp+10|" +
 		"aj=1000000|sj=10000000|dur=120000000000|seed=42|" +
+		"fl=0x0p+00|al=0x0p+00|fp=0|fd=0x0p+00|be=0|bl=0|" +
 		"g=bbr:3:40000000:0,cubic:2:40000000:0"
 	if got := validSpec().Key(); got != want {
 		t.Errorf("Key() =\n %q\nwant\n %q", got, want)
+	}
+}
+
+// TestKeyGoldenFaults pins the fault fields' encoding: exact hex rates and
+// depth, nanosecond periods, integer burst length.
+func TestKeyGoldenFaults(t *testing.T) {
+	sp := validSpec()
+	sp.Faults = Faults{
+		LossRate:    0.02,
+		AckLossRate: 0.01,
+		FlapPeriod:  2 * time.Second,
+		FlapDepth:   0.5,
+		BurstEvery:  30 * time.Second,
+		BurstLen:    8,
+	}
+	const want = "scenario|v3|" +
+		"cap=0x1.7d784p+26|buf=0x1.e848p+19|mss=0x1.6dp+10|" +
+		"aj=1000000|sj=10000000|dur=120000000000|seed=42|" +
+		"fl=0x1.47ae147ae147bp-06|al=0x1.47ae147ae147bp-07|" +
+		"fp=2000000000|fd=0x1p-01|be=30000000000|bl=8|" +
+		"g=bbr:3:40000000:0,cubic:2:40000000:0"
+	if got := sp.Key(); got != want {
+		t.Errorf("Key() =\n %q\nwant\n %q", got, want)
+	}
+	if sp.Key() == validSpec().Key() {
+		t.Error("faulted and clean specs share a key")
 	}
 }
 
@@ -67,6 +94,16 @@ func randomSpec(r *rng.Source) Spec {
 		StartJitter: time.Duration(r.Intn(int(50 * time.Millisecond))),
 		Duration:    time.Duration(r.Intn(int(5*time.Minute))) + 1,
 		Seed:        r.Uint64(),
+	}
+	if r.Float64() < 0.5 {
+		sp.Faults = Faults{
+			LossRate:    r.Float64() * 0.5,
+			AckLossRate: r.Float64() * 0.5,
+			FlapPeriod:  time.Duration(r.Intn(int(10*time.Second))) + 1,
+			FlapDepth:   r.Float64() * 0.9,
+			BurstEvery:  time.Duration(r.Intn(int(time.Minute))) + 1,
+			BurstLen:    r.Intn(20),
+		}
 	}
 	n := 1 + r.Intn(5)
 	for i := 0; i < n; i++ {
@@ -161,6 +198,15 @@ func TestValidate(t *testing.T) {
 		{"zero RTT", func(s *Spec) { s.Groups[0].RTT = 0 }},
 		{"negative start", func(s *Spec) { s.Groups[0].Start = -time.Second }},
 		{"no flows", func(s *Spec) { s.Groups[0].Count = 0; s.Groups[1].Count = 0 }},
+		{"loss rate one", func(s *Spec) { s.Faults.LossRate = 1 }},
+		{"negative loss rate", func(s *Spec) { s.Faults.LossRate = -0.1 }},
+		{"ack loss rate one", func(s *Spec) { s.Faults.AckLossRate = 1 }},
+		{"flap depth one", func(s *Spec) { s.Faults.FlapDepth = 1; s.Faults.FlapPeriod = time.Second }},
+		{"flap depth without period", func(s *Spec) { s.Faults.FlapDepth = 0.5 }},
+		{"negative flap period", func(s *Spec) { s.Faults.FlapPeriod = -time.Second }},
+		{"burst length without interval", func(s *Spec) { s.Faults.BurstLen = 4 }},
+		{"negative burst length", func(s *Spec) { s.Faults.BurstLen = -1; s.Faults.BurstEvery = time.Second }},
+		{"negative burst interval", func(s *Spec) { s.Faults.BurstEvery = -time.Second }},
 	}
 	for _, tc := range cases {
 		sp := validSpec()
@@ -199,4 +245,54 @@ func TestParseGroups(t *testing.T) {
 			t.Errorf("list %q accepted", bad)
 		}
 	}
+}
+
+// TestFaultsHelpers covers the audit-bound helpers: the lowest effective
+// rate under a flap and the exact time-average over a window.
+func TestFaultsHelpers(t *testing.T) {
+	f := Faults{FlapPeriod: 2 * time.Second, FlapDepth: 0.5}
+	c := 100 * units.Mbps
+	if got := f.MinCapacity(c); got != 50*units.Mbps {
+		t.Errorf("MinCapacity = %v, want 50Mbps", got)
+	}
+	if got := (Faults{}).MinCapacity(c); got != c {
+		t.Errorf("clean MinCapacity = %v, want %v", got, c)
+	}
+	cases := []struct {
+		dur  time.Duration
+		want units.Rate
+	}{
+		// Whole periods average to (1 − depth/2)·C.
+		{4 * time.Second, 75 * units.Mbps},
+		// Half a period is all up-phase.
+		{time.Second, 100 * units.Mbps},
+		// 1.5 periods: 2s up, 1s down → (2·100 + 1·50)/3.
+		{3 * time.Second, units.Rate(float64(250*units.Mbps) / 3)},
+	}
+	for _, tc := range cases {
+		if got := f.MeanCapacityOver(c, tc.dur); !closeRate(got, tc.want) {
+			t.Errorf("MeanCapacityOver(%v) = %v, want %v", tc.dur, got, tc.want)
+		}
+	}
+	if got := (Faults{}).MeanCapacityOver(c, time.Minute); got != c {
+		t.Errorf("clean MeanCapacityOver = %v, want %v", got, c)
+	}
+	// A valid faulted spec passes Validate, and Active distinguishes the
+	// clean zero value.
+	sp := validSpec()
+	sp.Faults = Faults{LossRate: 0.02, FlapPeriod: 2 * time.Second, FlapDepth: 0.5}
+	if err := sp.Validate(); err != nil {
+		t.Errorf("valid faulted spec rejected: %v", err)
+	}
+	if !sp.Faults.Active() || (Faults{}).Active() {
+		t.Errorf("Active: faulted %v, clean %v", sp.Faults.Active(), (Faults{}).Active())
+	}
+}
+
+func closeRate(a, b units.Rate) bool {
+	d := float64(a - b)
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*float64(b)
 }

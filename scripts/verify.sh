@@ -17,8 +17,11 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner, exp, check, scenario)"
+echo "== go test -race (runner, exp, check, scenario, netsim)"
 go test -race -timeout 1800s \
-	./internal/runner ./internal/exp ./internal/check ./internal/scenario
+	./internal/runner ./internal/exp ./internal/check ./internal/scenario ./internal/netsim
+
+echo "== journal-replay smoke test (kill a sweep mid-flight, resume, diff)"
+./scripts/resume_smoke.sh
 
 echo "verify: all green"
