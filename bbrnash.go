@@ -32,18 +32,19 @@ package bbrnash
 import (
 	"bbrnash/internal/cc"
 	"bbrnash/internal/cc/bbr"
-	"bbrnash/internal/check"
 	"bbrnash/internal/cc/bbrv2"
 	"bbrnash/internal/cc/copa"
 	"bbrnash/internal/cc/cubic"
 	"bbrnash/internal/cc/reno"
 	"bbrnash/internal/cc/vivace"
+	"bbrnash/internal/check"
 	"bbrnash/internal/core"
 	"bbrnash/internal/exp"
 	"bbrnash/internal/game"
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/scenario"
+	"bbrnash/internal/telemetry"
 	"bbrnash/internal/units"
 )
 
@@ -161,6 +162,17 @@ type FlowSample = netsim.Sample
 // NewSampler attaches a Sampler to a flow.
 var NewSampler = netsim.NewSampler
 
+// LinkSampler records periodic bottleneck time series (queue depth,
+// delivered throughput, effective rate); attach with NewLinkSampler before
+// running the simulation.
+type LinkSampler = netsim.LinkSampler
+
+// LinkSample is one link-sampler observation.
+type LinkSample = netsim.LinkSample
+
+// NewLinkSampler attaches a LinkSampler to a network.
+var NewLinkSampler = netsim.NewLinkSampler
+
 // Congestion-control constructors, each usable as FlowConfig.Algorithm.
 var (
 	CUBIC   AlgorithmConstructor = cubic.New
@@ -209,6 +221,12 @@ var (
 	// canonical key; the context cancels the run at simulated-second
 	// boundaries.
 	RunScenarioCached = exp.RunSpecCached
+	// RunScenarioTraced is RunScenario with an optional TraceRecorder
+	// capturing the run's trace under its canonical key.
+	RunScenarioTraced = exp.RunSpecTraced
+	// RunScenarioCachedTraced is RunScenarioCached with an optional
+	// TraceRecorder; cache and journal hits skip re-tracing.
+	RunScenarioCachedTraced = exp.RunSpecCachedTraced
 )
 
 // ScenarioKeyVersion is the canonical-key format generation used by
@@ -348,4 +366,36 @@ var (
 	// AuditFlows audits one simulation's per-flow and link statistics
 	// against a scenario's physical bounds.
 	AuditFlows = check.Flows
+)
+
+// Run telemetry (internal/telemetry). A TraceRecorder attached to an
+// ExperimentScale (or NE search config, or passed to RunScenarioTraced)
+// captures every fresh simulation's per-flow and link time series plus
+// discrete events as deterministic JSONL + CSV trace files keyed by
+// canonical scenario key; a RunReport summarizes a sweep's execution
+// (worker occupancy, retries, stalls, cache effectiveness). Tracing never
+// changes a result or a cache key.
+type (
+	// TraceRecorder writes run traces into a directory; nil disables
+	// tracing everywhere one is accepted.
+	TraceRecorder = telemetry.Recorder
+	// TraceCapture is one simulation's in-progress trace.
+	TraceCapture = telemetry.Capture
+	// TraceEvent is one discrete trace event (drop, cc state change,
+	// capacity change).
+	TraceEvent = telemetry.Event
+	// RunReport is the machine-readable summary of one command's execution.
+	RunReport = telemetry.Report
+)
+
+var (
+	// NewTraceRecorder creates a recorder writing into dir.
+	NewTraceRecorder = telemetry.NewRecorder
+	// TraceID derives the trace file identifier for a canonical scenario
+	// key; TracePaths maps a directory and key to the trace file paths.
+	TraceID    = telemetry.TraceID
+	TracePaths = telemetry.TracePaths
+	// CollectReport assembles a RunReport from a run's (nil-safe)
+	// components.
+	CollectReport = telemetry.Collect
 )

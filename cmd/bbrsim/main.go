@@ -56,6 +56,7 @@ import (
 	"bbrnash/internal/rng"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/scenario"
+	"bbrnash/internal/telemetry"
 	"bbrnash/internal/units"
 )
 
@@ -63,7 +64,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		capMbps    = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
 		rttMs      = flag.Float64("rtt", 40, "base RTT in milliseconds")
@@ -82,6 +83,10 @@ func run() int {
 		retries    = flag.Int("retries", 0, "retry a stalled or transiently failed run up to this many times (retries re-derive the same seed)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		strict     = flag.Bool("strict", false, "audit replicate statistics against physical invariants; violations fail the run")
+		traceDir   = flag.String("trace", "", "write a per-replicate run trace (JSONL + CSV time series and events) into this directory ('' = no tracing)")
+		traceEvery = flag.Duration("trace-interval", 0, "trace sampling interval (0 = default 100ms)")
+		reportPath = flag.String("report", "", "write a machine-readable JSON run report to this file on exit ('' = no report)")
+		progress   = flag.Duration("progress", 0, "print a progress line to stderr this often during the run (0 = off)")
 		listAlgs   = flag.Bool("list-algorithms", false, "print the algorithm registry and exit")
 	)
 	flag.Parse()
@@ -101,18 +106,43 @@ func run() int {
 	if *runs < 1 {
 		*runs = 1
 	}
-	if *cpuProfile != "" {
-		stopProfile, err := runner.StartCPUProfile(*cpuProfile)
-		if err != nil {
+
+	// The -report defer is registered before any component is built and
+	// reads the (nil-safe) components at exit, so interrupted and failed
+	// runs still leave a machine-readable record.
+	var (
+		rec     *telemetry.Recorder
+		cache   *runner.Cache
+		journal *runner.Journal
+		pool    *runner.Pool
+	)
+	begin := time.Now()
+	if *reportPath != "" {
+		defer func() {
+			writeReport(*reportPath, outcomeOf(code), time.Since(begin), pool, cache, journal, rec)
+		}()
+	}
+	if *traceDir != "" {
+		if rec, err = telemetry.NewRecorder(*traceDir); err != nil {
 			return fail(err)
 		}
-		defer stopProfile()
+		rec.SetInterval(*traceEvery)
 	}
-	cache, err := runner.OpenCache(*cachePath, scenario.KeyVersion)
+	var prof *runner.CPUProfile
+	if *cpuProfile != "" {
+		if prof, err = runner.StartCPUProfile(*cpuProfile); err != nil {
+			return fail(err)
+		}
+	}
+	// Stop the profile through the same deferred single-exit cleanup that
+	// saves the cache: an exit path that skips it (audit failure, interrupt)
+	// would leave a truncated profile.
+	defer stopProfile(prof)
+	cache, err = runner.OpenCache(*cachePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}
-	journal, err := runner.OpenJournal(*resumePath, scenario.KeyVersion)
+	journal, err = runner.OpenJournal(*resumePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}
@@ -139,13 +169,19 @@ func run() int {
 		seeds[i] = r.Uint64()
 	}
 
-	pool := runner.NewPool(*workers).SetWatchdog(*timeout).SetRetry(*retries, time.Second)
+	pool = runner.NewPool(*workers).SetWatchdog(*timeout).SetRetry(*retries, time.Second)
+	if *progress > 0 {
+		pool.SetProgress(*progress, func(p runner.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "bbrsim: %d/%d replicates in %v (%d retries, %d stalls)\n",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.Retries, p.Stalls)
+		})
+	}
 	start := time.Now()
 	results, err := runner.MapCtx(ctx, pool, *runs, func(uctx context.Context, i int) (exp.SpecResult, error) {
 		run := sp
 		run.Seed = seeds[i]
 		return runner.Protect(run.Key(), func() (exp.SpecResult, error) {
-			res, _, err := exp.RunSpecCached(uctx, run, cache, journal, audit)
+			res, _, err := exp.RunSpecCachedTraced(uctx, run, cache, journal, audit, rec)
 			return res, err
 		})
 	})
@@ -268,6 +304,35 @@ func auditVerdict(audit *check.Auditor) int {
 func saveCache(cache *runner.Cache) {
 	if err := cache.Save(); err != nil {
 		fmt.Fprintln(os.Stderr, "bbrsim: saving cache:", err)
+	}
+}
+
+// stopProfile flushes and closes the -cpuprofile file; deferred alongside
+// saveCache so every exit path leaves a readable profile.
+func stopProfile(prof *runner.CPUProfile) {
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "bbrsim:", err)
+	}
+}
+
+// outcomeOf maps the process exit code to the run report's outcome field.
+func outcomeOf(code int) string {
+	switch {
+	case code == 0:
+		return "ok"
+	case code == 130:
+		return "interrupted"
+	default:
+		return "failed"
+	}
+}
+
+// writeReport persists the -report JSON; deferred so interrupted and failed
+// runs still leave a record.
+func writeReport(path, outcome string, wall time.Duration,
+	pool *runner.Pool, cache *runner.Cache, journal *runner.Journal, rec *telemetry.Recorder) {
+	if err := telemetry.Collect("bbrsim", outcome, wall, pool, cache, journal, rec).Write(path); err != nil {
+		fmt.Fprintln(os.Stderr, "bbrsim:", err)
 	}
 }
 

@@ -52,13 +52,14 @@ import (
 	"bbrnash/internal/exp"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/scenario"
+	"bbrnash/internal/telemetry"
 )
 
 func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		figFlag    = flag.String("fig", "all", "comma-separated figure IDs (e.g. 1,3a,9f) or 'all'")
 		scaleFlag  = flag.String("scale", "quick", "experiment scale: full, quick or smoke")
@@ -73,6 +74,10 @@ func run() int {
 		retries    = flag.Int("retries", 0, "retry a stalled or transiently failed simulation up to this many times (retries re-derive the same seed)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		strict     = flag.Bool("strict", false, "audit every simulation result against physical invariants; violations fail the run")
+		traceDir   = flag.String("trace", "", "write per-simulation run traces (JSONL + CSV time series and events) into this directory ('' = no tracing)")
+		traceEvery = flag.Duration("trace-interval", 0, "trace sampling interval (0 = default 100ms)")
+		reportPath = flag.String("report", "", "write a machine-readable JSON run report to this file on exit ('' = no report)")
+		progress   = flag.Duration("progress", 0, "print a progress line to stderr this often during each figure (0 = off)")
 	)
 	flag.Parse()
 
@@ -87,7 +92,32 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	// The -report defer is registered before any component is built and
+	// reads the (nil-safe) components at exit, so interrupted and failed
+	// runs still leave a machine-readable record.
+	begin := time.Now()
+	if *reportPath != "" {
+		defer func() {
+			if err := telemetry.Collect("figures", outcomeOf(code), time.Since(begin),
+				scale.Pool, scale.Cache, scale.Journal, scale.Trace).Write(*reportPath); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+			}
+		}()
+	}
+	if *traceDir != "" {
+		rec, err := telemetry.NewRecorder(*traceDir)
+		if err != nil {
+			return fail(err)
+		}
+		scale.Trace = rec.SetInterval(*traceEvery)
+	}
 	scale.Pool = runner.NewPool(*workers).SetWatchdog(*timeout).SetRetry(*retries, time.Second)
+	if *progress > 0 {
+		scale.Pool.SetProgress(*progress, func(p runner.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "figures: %d/%d simulations in %v (%d retries, %d stalls)\n",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.Retries, p.Stalls)
+		})
+	}
 	cache, err := runner.OpenCache(*cachePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
@@ -116,13 +146,16 @@ func run() int {
 	// interrupt — so a failed multi-hour sweep keeps its warmed payoffs.
 	defer saveCache(cache, *cachePath)
 
+	var prof *runner.CPUProfile
 	if *cpuProfile != "" {
-		stopProfile, err := runner.StartCPUProfile(*cpuProfile)
-		if err != nil {
+		if prof, err = runner.StartCPUProfile(*cpuProfile); err != nil {
 			return fail(err)
 		}
-		defer stopProfile()
 	}
+	// Stop the profile through the same deferred single-exit cleanup that
+	// saves the cache: an exit path that skips it (audit failure, interrupt)
+	// would leave a truncated profile.
+	defer stopProfile(prof)
 
 	var figs []exp.Figure
 	if *figFlag == "all" {
@@ -242,6 +275,26 @@ func saveCache(cache *runner.Cache, path string) {
 	}
 	if path != "" && cache.Misses() > 0 {
 		fmt.Printf("cache saved to %s (%d entries)\n", path, cache.Len())
+	}
+}
+
+// stopProfile flushes and closes the -cpuprofile file; deferred alongside
+// saveCache so every exit path leaves a readable profile.
+func stopProfile(prof *runner.CPUProfile) {
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+	}
+}
+
+// outcomeOf maps the process exit code to the run report's outcome field.
+func outcomeOf(code int) string {
+	switch {
+	case code == 0:
+		return "ok"
+	case code == 130:
+		return "interrupted"
+	default:
+		return "failed"
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"bbrnash/internal/exp"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/scenario"
+	"bbrnash/internal/telemetry"
 	"bbrnash/internal/units"
 )
 
@@ -47,7 +48,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		capMbps    = flag.Float64("capacity", 100, "bottleneck capacity in Mbps")
 		rttMs      = flag.Float64("rtt", 40, "base RTT in milliseconds")
@@ -63,6 +64,10 @@ func run() int {
 		retries    = flag.Int("retries", 0, "retry a stalled or transiently failed simulation up to this many times (retries re-derive the same seed)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		strict     = flag.Bool("strict", false, "audit every payoff simulation against physical invariants; violations fail the run")
+		traceDir   = flag.String("trace", "", "write per-payoff-simulation run traces (JSONL + CSV time series and events) into this directory ('' = no tracing; needs -verify)")
+		traceEvery = flag.Duration("trace-interval", 0, "trace sampling interval (0 = default 100ms)")
+		reportPath = flag.String("report", "", "write a machine-readable JSON run report to this file on exit ('' = no report; needs -verify)")
+		progress   = flag.Duration("progress", 0, "print a progress line to stderr this often during verification (0 = off)")
 		listAlgs   = flag.Bool("list-algorithms", false, "print the algorithm registry and exit")
 	)
 	flag.Parse()
@@ -88,13 +93,40 @@ func run() int {
 	if !*verify {
 		return 0
 	}
-	if *cpuProfile != "" {
-		stopProfile, err := runner.StartCPUProfile(*cpuProfile)
-		if err != nil {
+	// The -report defer is registered before any component is built and
+	// reads the (nil-safe) components at exit, so interrupted and failed
+	// searches still leave a machine-readable record.
+	var (
+		rec     *telemetry.Recorder
+		cache   *runner.Cache
+		journal *runner.Journal
+		pool    *runner.Pool
+	)
+	begin := time.Now()
+	if *reportPath != "" {
+		defer func() {
+			if err := telemetry.Collect("nash", outcomeOf(code), time.Since(begin),
+				pool, cache, journal, rec).Write(*reportPath); err != nil {
+				fmt.Fprintln(os.Stderr, "nash:", err)
+			}
+		}()
+	}
+	if *traceDir != "" {
+		if rec, err = telemetry.NewRecorder(*traceDir); err != nil {
 			return fail(err)
 		}
-		defer stopProfile()
+		rec.SetInterval(*traceEvery)
 	}
+	var prof *runner.CPUProfile
+	if *cpuProfile != "" {
+		if prof, err = runner.StartCPUProfile(*cpuProfile); err != nil {
+			return fail(err)
+		}
+	}
+	// Stop the profile through the same deferred single-exit cleanup that
+	// saves the cache: an exit path that skips it (audit failure, interrupt)
+	// would leave a truncated profile.
+	defer stopProfile(prof)
 	scale, err := exp.ScaleByName(*scaleN)
 	if err != nil {
 		return fail(err)
@@ -103,12 +135,18 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	pool := runner.NewPool(*workers).SetWatchdog(*timeout).SetRetry(*retries, time.Second)
-	cache, err := runner.OpenCache(*cachePath, scenario.KeyVersion)
+	pool = runner.NewPool(*workers).SetWatchdog(*timeout).SetRetry(*retries, time.Second)
+	if *progress > 0 {
+		pool.SetProgress(*progress, func(p runner.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "nash: %d/%d payoff simulations in %v (%d retries, %d stalls)\n",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.Retries, p.Stalls)
+		})
+	}
+	cache, err = runner.OpenCache(*cachePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}
-	journal, err := runner.OpenJournal(*resumePath, scenario.KeyVersion)
+	journal, err = runner.OpenJournal(*resumePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)
 	}
@@ -132,7 +170,7 @@ func run() int {
 			Capacity: capacity, Buffer: buffer, RTT: rtt, N: *n,
 			Duration: scale.FlowDuration, Seed: uint64(trial+1) * 1e6,
 			X: ctor, Exhaustive: scale.Exhaustive,
-			Pool: pool, Cache: cache, Journal: journal, Ctx: ctx, Audit: audit,
+			Pool: pool, Cache: cache, Journal: journal, Ctx: ctx, Audit: audit, Trace: rec,
 		})
 		if err != nil {
 			return report(ctx, fmt.Errorf("trial %d: %w", trial+1, err))
@@ -196,6 +234,26 @@ func saveCache(cache *runner.Cache, path string) {
 	}
 	if path != "" && cache.Misses() > 0 {
 		fmt.Printf("cache saved to %s (%d entries)\n", path, cache.Len())
+	}
+}
+
+// stopProfile flushes and closes the -cpuprofile file; deferred alongside
+// saveCache so every exit path leaves a readable profile.
+func stopProfile(prof *runner.CPUProfile) {
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "nash:", err)
+	}
+}
+
+// outcomeOf maps the process exit code to the run report's outcome field.
+func outcomeOf(code int) string {
+	switch {
+	case code == 0:
+		return "ok"
+	case code == 130:
+		return "interrupted"
+	default:
+		return "failed"
 	}
 }
 

@@ -181,6 +181,9 @@ func (b *BBR) Name() string { return "bbr" }
 // State returns the current state-machine state (for tests and tracing).
 func (b *BBR) State() State { return b.state }
 
+// StateName implements cc.StateReporter.
+func (b *BBR) StateName() string { return b.state.String() }
+
 // BtlBw returns the current bottleneck-bandwidth estimate.
 func (b *BBR) BtlBw() units.Rate {
 	v, ok := b.btlBw.Get(eventsim.Time(b.roundCount))

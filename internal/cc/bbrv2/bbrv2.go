@@ -174,6 +174,9 @@ func (b *BBR2) Name() string { return "bbrv2" }
 // State returns the current state (for tests and tracing).
 func (b *BBR2) State() State { return b.state }
 
+// StateName implements cc.StateReporter.
+func (b *BBR2) StateName() string { return b.state.String() }
+
 // InflightHi returns the current loss-bounded in-flight ceiling (0 when
 // unset).
 func (b *BBR2) InflightHi() units.Bytes { return b.inflightHi }

@@ -87,6 +87,15 @@ type Algorithm interface {
 	PacingRate() units.Rate
 }
 
+// StateReporter is an optional interface for algorithms with a named
+// internal state machine (BBR's Startup/Drain/ProbeBW/ProbeRTT). The
+// simulator's state-transition hook observes flows whose algorithm
+// implements it; loss-based algorithms without phases simply don't.
+type StateReporter interface {
+	// StateName returns the current state's name (e.g. "ProbeRTT").
+	StateName() string
+}
+
 // Params carries the per-flow constants every algorithm receives at
 // construction time.
 type Params struct {

@@ -22,6 +22,7 @@ import (
 	"bbrnash/internal/check"
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/runner"
+	"bbrnash/internal/telemetry"
 	"bbrnash/internal/units"
 )
 
@@ -67,6 +68,11 @@ type Scale struct {
 	// NaN/Inf) and records violations under the canonical scenario key;
 	// see internal/check. Nil disables auditing.
 	Audit *check.Auditor
+	// Trace, when non-nil, records every fresh simulation's run trace
+	// (per-flow and link time series plus discrete events) under its
+	// canonical scenario key; see internal/telemetry. Tracing never changes
+	// a result or a cache key. Nil disables tracing.
+	Trace *telemetry.Recorder
 }
 
 // ctx resolves the scale's context, defaulting to Background.
@@ -158,7 +164,7 @@ type MixResult struct {
 // compiled to its scenario.Spec and run through the shared spec path.
 func RunMix(cfg MixConfig) (MixResult, error) {
 	sp, override, _ := cfg.spec()
-	res, err := runSpecOverride(context.Background(), sp, override)
+	res, err := runSpecOverride(context.Background(), sp, override, nil)
 	if err != nil {
 		return MixResult{}, err
 	}
@@ -212,7 +218,7 @@ func RunGroups(cfg GroupConfig) (GroupResult, error) {
 	if err != nil {
 		return GroupResult{}, err
 	}
-	res, err := runSpecOverride(context.Background(), sp, override)
+	res, err := runSpecOverride(context.Background(), sp, override, nil)
 	if err != nil {
 		return GroupResult{}, err
 	}

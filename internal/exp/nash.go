@@ -12,6 +12,7 @@ import (
 	"bbrnash/internal/core"
 	"bbrnash/internal/game"
 	"bbrnash/internal/runner"
+	"bbrnash/internal/telemetry"
 	"bbrnash/internal/units"
 )
 
@@ -89,6 +90,9 @@ type NESearchConfig struct {
 	// Audit, when non-nil, validates every payoff simulation against
 	// physical invariants (see internal/check).
 	Audit *check.Auditor
+	// Trace, when non-nil, records every fresh payoff simulation's run
+	// trace under its canonical scenario key (see internal/telemetry).
+	Trace *telemetry.Recorder
 }
 
 // NESearchResult is the outcome of one trial's search.
@@ -141,7 +145,7 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 	evalErr := func(ctx context.Context, numX int) (pair, error) {
 		mix := mixAt(numX)
 		return runner.Protect(mix.key(), func() (pair, error) {
-			res, hit, err := runMixCached(ctx, mix, cache, cfg.Journal, cfg.Audit)
+			res, hit, err := runMixCached(ctx, mix, cache, cfg.Journal, cfg.Audit, cfg.Trace)
 			if err != nil {
 				return pair{}, err
 			}
@@ -243,12 +247,13 @@ type GroupNEConfig struct {
 	// Exhaustive enumerates the whole Π(Size+1) profile space; otherwise
 	// a greedy incentive walk is used.
 	Exhaustive bool
-	// Pool, Cache, Journal, Ctx and Audit as in NESearchConfig.
+	// Pool, Cache, Journal, Ctx, Audit and Trace as in NESearchConfig.
 	Pool    *runner.Pool
 	Cache   *runner.Cache
 	Journal *runner.Journal
 	Ctx     context.Context
 	Audit   *check.Auditor
+	Trace   *telemetry.Recorder
 }
 
 // GroupNEResult is the outcome of a multi-RTT search.
@@ -289,7 +294,7 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 			NumX:     append([]int(nil), k...),
 		}
 		return runner.Protect(gcfg.key(), func() (pair, error) {
-			res, hit, err := runGroupsCached(ctx, gcfg, cache, cfg.Journal, cfg.Audit)
+			res, hit, err := runGroupsCached(ctx, gcfg, cache, cfg.Journal, cfg.Audit, cfg.Trace)
 			if err != nil {
 				return pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}, err
 			}

@@ -8,6 +8,7 @@ import (
 	"bbrnash/internal/rng"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/scenario"
+	"bbrnash/internal/telemetry"
 	"bbrnash/internal/units"
 )
 
@@ -49,9 +50,9 @@ func profileSeed(base uint64, k []int) uint64 {
 // journal and the invariant auditor: the config compiles to its
 // scenario.Spec, and cache entries, journal records, audit records and
 // failures all use the spec's canonical key.
-func runMixCached(ctx context.Context, cfg MixConfig, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor) (MixResult, bool, error) {
+func runMixCached(ctx context.Context, cfg MixConfig, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor, rec *telemetry.Recorder) (MixResult, bool, error) {
 	sp, override, canonical := cfg.spec()
-	res, hit, err := runSpecCachedOverride(ctx, sp, override, canonical, cache, journal, audit)
+	res, hit, err := runSpecCachedOverride(ctx, sp, override, canonical, cache, journal, audit, rec)
 	if err != nil {
 		return MixResult{}, false, err
 	}
@@ -60,12 +61,12 @@ func runMixCached(ctx context.Context, cfg MixConfig, cache *runner.Cache, journ
 
 // runGroupsCached is RunGroups behind the memoizing cache, the resumption
 // journal and the invariant auditor.
-func runGroupsCached(ctx context.Context, cfg GroupConfig, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor) (GroupResult, bool, error) {
+func runGroupsCached(ctx context.Context, cfg GroupConfig, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor, rec *telemetry.Recorder) (GroupResult, bool, error) {
 	sp, override, canonical, err := cfg.spec()
 	if err != nil {
 		return GroupResult{}, false, err
 	}
-	res, hit, err := runSpecCachedOverride(ctx, sp, override, canonical, cache, journal, audit)
+	res, hit, err := runSpecCachedOverride(ctx, sp, override, canonical, cache, journal, audit, rec)
 	if err != nil {
 		return GroupResult{}, false, err
 	}
@@ -110,7 +111,7 @@ func (s Scale) Sweep(seed uint64, n int, specAt func(i int) scenario.Spec) ([]Sw
 		sp := specAt(j / trials)
 		sp.Seed = seeds[j%trials]
 		return runner.Protect(sp.Key(), func() (SpecResult, error) {
-			res, _, err := RunSpecCached(uctx, sp, s.Cache, s.Journal, s.Audit)
+			res, _, err := RunSpecCachedTraced(uctx, sp, s.Cache, s.Journal, s.Audit, s.Trace)
 			return res, err
 		})
 	})
@@ -138,7 +139,7 @@ func (s Scale) SweepMix(seed uint64, n int, cfgAt func(i int) MixConfig) ([]MixR
 		cfg := cfgAt(j / trials)
 		cfg.Seed = seeds[j%trials]
 		return runner.Protect(cfg.key(), func() (MixResult, error) {
-			res, _, err := runMixCached(uctx, cfg, s.Cache, s.Journal, s.Audit)
+			res, _, err := runMixCached(uctx, cfg, s.Cache, s.Journal, s.Audit, s.Trace)
 			return res, err
 		})
 	})

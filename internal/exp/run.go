@@ -11,6 +11,7 @@ import (
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/scenario"
+	"bbrnash/internal/telemetry"
 	"bbrnash/internal/units"
 )
 
@@ -52,7 +53,14 @@ func aggRate(stats []netsim.FlowStats) units.Rate {
 
 // RunSpec executes one scenario and reports per-group statistics.
 func RunSpec(sp scenario.Spec) (SpecResult, error) {
-	return runSpecOverride(context.Background(), sp, nil)
+	return runSpecOverride(context.Background(), sp, nil, nil)
+}
+
+// RunSpecTraced is RunSpec with a telemetry recorder: the run is
+// instrumented and its trace written under the spec's canonical key before
+// returning. A nil recorder degrades to RunSpec exactly.
+func RunSpecTraced(ctx context.Context, sp scenario.Spec, rec *telemetry.Recorder) (SpecResult, error) {
+	return runSpecOverride(ctx, sp, nil, rec)
 }
 
 // progressSlice is how much simulated time one execution chunk covers. The
@@ -66,12 +74,26 @@ const progressSlice = time.Second
 // variants outside the registry (see netsim.BuildOverride). The simulation
 // executes in progressSlice chunks under ctx: cancellation is observed at
 // chunk boundaries and each boundary reports progress (see runner.Progress).
-func runSpecOverride(ctx context.Context, sp scenario.Spec, override map[string]cc.Constructor) (SpecResult, error) {
+//
+// With a recorder, the run is instrumented before it starts and its trace
+// is written — atomically, under the spec's canonical key — before this
+// function returns, which is what lets the cached path order trace files
+// ahead of journal records (see runSpecCachedOverride). Observation never
+// mutates simulation state, so a traced run's SpecResult is byte-identical
+// to an untraced one. Override runs have no canonical key and are never
+// traced.
+func runSpecOverride(ctx context.Context, sp scenario.Spec, override map[string]cc.Constructor, rec *telemetry.Recorder) (SpecResult, error) {
 	n, flows, err := netsim.BuildOverride(sp, override)
 	if err != nil {
 		return SpecResult{}, err
 	}
 	sp = sp.WithDefaults()
+	var cap *telemetry.Capture
+	traceKey := ""
+	if rec != nil && override == nil {
+		traceKey = sp.Key()
+		cap = rec.Attach(n, sp)
+	}
 	for done := time.Duration(0); done < sp.Duration; {
 		if err := ctx.Err(); err != nil {
 			return SpecResult{}, err
@@ -90,6 +112,9 @@ func runSpecOverride(ctx context.Context, sp scenario.Spec, override map[string]
 			res.Groups[gi] = append(res.Groups[gi], f.Stats())
 		}
 	}
+	if err := cap.Finish(traceKey); err != nil {
+		return SpecResult{}, err
+	}
 	return res, nil
 }
 
@@ -99,7 +124,17 @@ func runSpecOverride(ctx context.Context, sp scenario.Spec, override map[string]
 // cached or journaled. Cached replays are audited too: a store written by
 // an older build should not smuggle a bad result past a strict run.
 func RunSpecCached(ctx context.Context, sp scenario.Spec, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor) (SpecResult, bool, error) {
-	return runSpecCachedOverride(ctx, sp, nil, true, cache, journal, audit)
+	return runSpecCachedOverride(ctx, sp, nil, true, cache, journal, audit, nil)
+}
+
+// RunSpecCachedTraced is RunSpecCached with a telemetry recorder: a fresh
+// run's trace is written before its journal record, so any journaled unit's
+// trace is already on disk when a resumed sweep skips the unit. Cache and
+// journal hits skip re-tracing (the files were written by whichever run
+// populated the store; a store warmed before tracing existed has no traces
+// for its prior entries). A nil recorder degrades to RunSpecCached exactly.
+func RunSpecCachedTraced(ctx context.Context, sp scenario.Spec, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor, rec *telemetry.Recorder) (SpecResult, bool, error) {
+	return runSpecCachedOverride(ctx, sp, nil, true, cache, journal, audit, rec)
 }
 
 // runSpecCachedOverride threads an uncanonical spec (one whose constructors
@@ -113,7 +148,7 @@ func RunSpecCached(ctx context.Context, sp scenario.Spec, cache *runner.Cache, j
 // write failures fail the unit — a journal that cannot persist must not let
 // the operator believe the sweep is resumable — while cache failures stay
 // silent as before.
-func runSpecCachedOverride(ctx context.Context, sp scenario.Spec, override map[string]cc.Constructor, canonical bool, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor) (res SpecResult, hit bool, err error) {
+func runSpecCachedOverride(ctx context.Context, sp scenario.Spec, override map[string]cc.Constructor, canonical bool, cache *runner.Cache, journal *runner.Journal, audit *check.Auditor, rec *telemetry.Recorder) (res SpecResult, hit bool, err error) {
 	key := ""
 	if canonical {
 		key = sp.Key()
@@ -132,7 +167,10 @@ func runSpecCachedOverride(ctx context.Context, sp scenario.Spec, override map[s
 			return res, true, nil
 		}
 	}
-	res, err = runSpecOverride(ctx, sp, override)
+	if !canonical {
+		rec = nil // an override run has no canonical identity to trace under
+	}
+	res, err = runSpecOverride(ctx, sp, override, rec)
 	if err != nil {
 		return SpecResult{}, false, err
 	}

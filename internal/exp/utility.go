@@ -67,7 +67,7 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 			NumCubic: cfg.N - numX,
 		}
 		return runner.Protect(mix.key(), func() (pair, error) {
-			res, hit, err := runMixCached(ctx, mix, cache, cfg.Journal, cfg.Audit)
+			res, hit, err := runMixCached(ctx, mix, cache, cfg.Journal, cfg.Audit, cfg.Trace)
 			if err != nil {
 				return pair{}, err
 			}

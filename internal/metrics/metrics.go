@@ -58,10 +58,16 @@ func (w *TimeWeighted) Add(now eventsim.Time, delta float64) {
 func (w *TimeWeighted) Value() float64 { return w.value }
 
 // Average returns the time-weighted mean over [start, now]. It returns the
-// current value when no time has elapsed.
+// current value when no time has elapsed. A now earlier than the last
+// recorded change — possible when a Reset or Set lands after the instant
+// being queried — is clamped to that change, so the mean is taken over the
+// observed window instead of subtracting a negative final segment.
 func (w *TimeWeighted) Average(now eventsim.Time) float64 {
 	if !w.started || now <= w.start {
 		return w.value
+	}
+	if now < w.last {
+		now = w.last
 	}
 	area := w.area + w.value*float64(now-w.last)
 	return area / float64(now-w.start)
@@ -84,10 +90,19 @@ func (w *TimeWeighted) Reset(now eventsim.Time) {
 }
 
 // Counter counts a quantity (bytes, packets) over a measurement window.
+//
+// The window start is explicit: until Reset establishes one, the window
+// implicitly begins at simulation time zero, which is only correct for
+// signals that exist from the start of the run. Anything that comes to life
+// later — a flow with a start offset, a jittered sender — must Reset at its
+// own start time, or RateSince divides its bytes over dead time it never
+// sent in and understates the rate (conversely, a counter recycled across
+// windows without a Reset reports inflated windowed sums).
 type Counter struct {
-	total  float64
-	window float64
-	since  eventsim.Time
+	total   float64
+	window  float64
+	since   eventsim.Time
+	started bool
 }
 
 // Add increments the counter.
@@ -102,14 +117,24 @@ func (c *Counter) Total() float64 { return c.total }
 // Windowed returns the sum since the last Reset.
 func (c *Counter) Windowed() float64 { return c.window }
 
-// Reset starts a new measurement window at time now.
+// Reset starts a new measurement window at time now, making the window
+// start explicit.
 func (c *Counter) Reset(now eventsim.Time) {
 	c.window = 0
 	c.since = now
+	c.started = true
+}
+
+// WindowStart reports when the current measurement window began and whether
+// that start was set explicitly by a Reset. A false second return means the
+// window is the implicit [0, now) of a counter that was never Reset.
+func (c *Counter) WindowStart() (eventsim.Time, bool) {
+	return c.since, c.started
 }
 
 // RateSince returns the windowed sum expressed as a per-second rate of bits,
-// interpreting the counted quantity as bytes.
+// interpreting the counted quantity as bytes. The rate is taken over
+// [WindowStart, now].
 func (c *Counter) RateSince(now eventsim.Time) units.Rate {
 	d := now.Sub(c.since)
 	if d <= 0 {

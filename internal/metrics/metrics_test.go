@@ -85,6 +85,40 @@ func TestCounterRateSince(t *testing.T) {
 	}
 }
 
+// A counter that was never Reset has no measurement window: WindowStart
+// must say so instead of implying a window anchored at time 0 — the
+// implicit-zero-start reading understates every rate computed for a
+// counter whose flow started late.
+func TestCounterWindowStart(t *testing.T) {
+	var c Counter
+	if _, ok := c.WindowStart(); ok {
+		t.Error("fresh counter should report no window")
+	}
+	c.Reset(at(3 * time.Second))
+	since, ok := c.WindowStart()
+	if !ok || since != at(3*time.Second) {
+		t.Errorf("WindowStart = %v,%v want 3s,true", since, ok)
+	}
+	// RateSince measures from the explicit window start, not from 0: 1.25MB
+	// over the 1s window is 10 Mbps, not 2.5 Mbps over 4s.
+	c.Add(1.25e6)
+	if got := c.RateSince(at(4 * time.Second)); got != 10*units.Mbps {
+		t.Errorf("RateSince after late Reset = %v, want 10Mbps", got)
+	}
+}
+
+// Average asked about an instant before the last observation (a late Reset
+// racing a stale caller) must clamp to the observation, not divide by a
+// negative interval.
+func TestTimeWeightedAverageBeforeLast(t *testing.T) {
+	var w TimeWeighted
+	w.Set(at(0), 10)
+	w.Reset(at(2 * time.Second))
+	if got := w.Average(at(time.Second)); got != 10 {
+		t.Errorf("Average before last observation = %v, want clamp to 10", got)
+	}
+}
+
 func TestSummary(t *testing.T) {
 	var s Summary
 	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {

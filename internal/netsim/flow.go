@@ -18,6 +18,11 @@ type Flow struct {
 	rtt  time.Duration
 	alg  cc.Algorithm
 
+	// State-transition observation (see Network.OnStateChange): reporter is
+	// alg's cc.StateReporter side, asserted once at construction, or nil.
+	reporter  cc.StateReporter
+	lastState string
+
 	started  bool
 	nextSeq  uint64
 	inflight units.Bytes
@@ -55,6 +60,14 @@ func (f *Flow) start() {
 	f.deliveredTime = now
 	f.firstSent = now
 	f.queued.Set(now, 0)
+	// Begin the measurement windows at the flow's own start instant. With
+	// jittered starts a flow may come to life well after t=0; leaving the
+	// counter windows at their implicit zero start would divide the flow's
+	// bytes over dead time it never sent in and understate its rate whenever
+	// StartMeasurement is never called (measurement from t=0).
+	f.arrived.Reset(now)
+	f.sent.Reset(now)
+	f.lost.Reset(now)
 	f.trySend()
 }
 
@@ -153,6 +166,7 @@ func (f *Flow) ackArrived(p *packet) {
 		Delivered: f.delivered,
 		Rate:      rate,
 	})
+	f.noteState(now)
 	f.net.freePacket(p)
 	f.trySend()
 }
@@ -175,8 +189,23 @@ func (f *Flow) lossDetected(p *packet) {
 		SentAt:   p.sentAt,
 		Inflight: f.inflight,
 	})
+	f.noteState(now)
 	f.net.freePacket(p)
 	f.trySend()
+}
+
+// noteState emits a StateEvent when the flow's congestion-control state
+// changed across the last OnAck/OnLoss. With no hook registered (or no
+// StateReporter) this is a pointer compare and costs nothing on the hot
+// path.
+func (f *Flow) noteState(now eventsim.Time) {
+	if f.net.stateHook == nil || f.reporter == nil {
+		return
+	}
+	if s := f.reporter.StateName(); s != f.lastState {
+		f.lastState = s
+		f.net.stateHook(StateEvent{Time: now, Flow: f.name, State: s})
+	}
 }
 
 // finishTransfer pauses a finite flow at the end of its transfer and, if
@@ -227,6 +256,14 @@ func (f *Flow) Inflight() units.Bytes { return f.inflight }
 // Transfers reports how many finite transfers the flow has completed (0
 // for infinite bulk flows).
 func (f *Flow) Transfers() int { return f.transfers }
+
+// Finished reports whether the flow has completed its final transfer and
+// will never send again: a finite flow with no restart configured whose
+// transfer is done. Infinite bulk flows and flows with a restart interval
+// never finish.
+func (f *Flow) Finished() bool {
+	return !f.started && f.transferSize > 0 && f.restartAfter <= 0 && f.transfers > 0
+}
 
 // Stats snapshots the flow's statistics over the current measurement window.
 func (f *Flow) Stats() FlowStats {

@@ -112,7 +112,12 @@ type Network struct {
 
 	// Fault-injection state (see Config.Faults).
 	burstRemaining int
-	dropHook       func(DropEvent)
+
+	// Observation hooks (see OnDrop, OnStateChange, OnRateChange). All are
+	// nil by default; a nil hook costs one pointer compare on its path.
+	dropHook  func(DropEvent)
+	stateHook func(StateEvent)
+	rateHook  func(RateEvent)
 }
 
 // New creates a network with the given bottleneck configuration.
@@ -144,6 +149,9 @@ func (n *Network) scheduleFaults() {
 				n.link.rate = n.cfg.Capacity
 			} else {
 				n.link.rate = low
+			}
+			if h := n.rateHook; h != nil {
+				h(RateEvent{Time: n.loop.Now(), Rate: n.link.rate})
 			}
 			n.loop.After(half, toggle)
 		}
@@ -190,6 +198,38 @@ type DropEvent struct {
 // order. Set it before Run; a nil fn disables observation.
 func (n *Network) OnDrop(fn func(DropEvent)) { n.dropHook = fn }
 
+// StateEvent describes one congestion-control state transition of a flow
+// whose algorithm implements cc.StateReporter (e.g. BBR entering ProbeRTT).
+type StateEvent struct {
+	// Time is the simulated instant the transition was observed — the ACK
+	// or loss event that caused it.
+	Time eventsim.Time
+	// Flow is the owning flow's name.
+	Flow string
+	// State is the name of the state entered.
+	State string
+}
+
+// OnStateChange registers fn to observe congestion-control state
+// transitions, in event order. Only flows whose algorithm implements
+// cc.StateReporter produce events; the first event for a flow reports the
+// state observed at its first ACK or loss. Set it before Run; a nil fn
+// disables observation at zero cost on the ACK path.
+func (n *Network) OnStateChange(fn func(StateEvent)) { n.stateHook = fn }
+
+// RateEvent describes one change of the bottleneck's effective service rate
+// (a capacity flap edge).
+type RateEvent struct {
+	// Time is the simulated instant of the rate change.
+	Time eventsim.Time
+	// Rate is the new effective service rate.
+	Rate units.Rate
+}
+
+// OnRateChange registers fn to observe effective-rate changes, in event
+// order. Set it before Run; a nil fn disables observation.
+func (n *Network) OnRateChange(fn func(RateEvent)) { n.rateHook = fn }
+
 // AddFlow attaches a sender to the bottleneck. All flows must be added
 // before Run is first called.
 func (n *Network) AddFlow(fc FlowConfig) (*Flow, error) {
@@ -215,6 +255,8 @@ func (n *Network) AddFlow(fc FlowConfig) (*Flow, error) {
 		transferSize: fc.TransferBytes,
 		restartAfter: fc.RestartAfter,
 	}
+	// The type assertion happens once here, not per event.
+	f.reporter, _ = alg.(cc.StateReporter)
 	f.pacer = eventsim.NewTimer(&n.loop, f.trySend)
 	n.flows = append(n.flows, f)
 	n.loop.Schedule(eventsim.At(fc.Start), f.start)
@@ -253,6 +295,13 @@ func (n *Network) Buffer() units.Bytes { return n.cfg.Buffer }
 
 // MSS returns the segment size in use.
 func (n *Network) MSS() units.Bytes { return n.cfg.MSS }
+
+// QueueBytes returns the bytes currently waiting in the bottleneck buffer.
+func (n *Network) QueueBytes() units.Bytes { return n.link.waitingBytes }
+
+// EffectiveRate returns the bottleneck's current service rate: Capacity, or
+// less during a capacity flap's low phase.
+func (n *Network) EffectiveRate() units.Rate { return n.link.rate }
 
 // Link returns statistics for the bottleneck.
 func (n *Network) Link() LinkStats {

@@ -25,16 +25,20 @@ type Sample struct {
 //
 // The experiment harness reports run-wide averages; samplers exist for
 // inspecting dynamics (e.g. BBR's ProbeRTT dips or CUBIC's sawtooth) in
-// tests, examples and debugging sessions.
+// traces, tests, examples and debugging sessions.
 type Sampler struct {
 	flow     *Flow
 	interval time.Duration
 	lastSeen float64
+	detached bool
 	samples  []Sample
 }
 
 // NewSampler attaches a sampler to f with the given interval. The first
-// sample is taken one interval after the current simulation time.
+// sample is taken one interval after the current simulation time. The tick
+// stops once the flow has finished its final transfer (after one closing
+// sample of the drained state) or after Detach, so a sampler cannot grow
+// without bound past its flow's lifetime.
 func NewSampler(f *Flow, interval time.Duration) *Sampler {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
@@ -42,12 +46,22 @@ func NewSampler(f *Flow, interval time.Duration) *Sampler {
 	s := &Sampler{flow: f, interval: interval, lastSeen: f.arrived.Total()}
 	var tick func()
 	tick = func() {
+		if s.detached {
+			return
+		}
 		s.take()
+		if f.Finished() {
+			return
+		}
 		f.net.loop.After(interval, tick)
 	}
 	f.net.loop.After(interval, tick)
 	return s
 }
+
+// Detach stops the sampler: the next pending tick becomes a no-op and
+// nothing further is recorded. The collected series stays available.
+func (s *Sampler) Detach() { s.detached = true }
 
 func (s *Sampler) take() {
 	now := s.flow.net.loop.Now()
@@ -67,9 +81,17 @@ func (s *Sampler) Samples() []Sample { return s.samples }
 
 // MinThroughput returns the smallest interval throughput recorded after
 // skipping the first skip samples (useful for ignoring slow start).
+// Trailing zero-throughput samples are excluded: they record a flow that
+// has stopped sending (finished, or idle between transfers at the end of
+// the run), not a congestion-control dip, and counting them would make any
+// finished flow appear to hit zero like a bogus ProbeRTT.
 func (s *Sampler) MinThroughput(skip int) units.Rate {
+	samples := s.samples
+	for len(samples) > 0 && samples[len(samples)-1].Throughput == 0 {
+		samples = samples[:len(samples)-1]
+	}
 	min := units.Rate(-1)
-	for i, smp := range s.samples {
+	for i, smp := range samples {
 		if i < skip {
 			continue
 		}
@@ -93,3 +115,67 @@ func (s *Sampler) MaxInflight() units.Bytes {
 	}
 	return max
 }
+
+// LinkSample is one periodic observation of the bottleneck.
+type LinkSample struct {
+	// At is the simulation time of the observation.
+	At eventsim.Time
+	// QueueBytes is the occupancy of the drop-tail buffer.
+	QueueBytes units.Bytes
+	// Throughput is the aggregate departure rate over the sampling
+	// interval.
+	Throughput units.Rate
+	// Rate is the effective service rate at sampling time (capacity, or
+	// reduced during a flap's low phase).
+	Rate units.Rate
+}
+
+// LinkSampler records a periodic time series for the bottleneck: buffer
+// occupancy, aggregate departure throughput and the effective service rate.
+// Attach with NewLinkSampler before running the simulation.
+type LinkSampler struct {
+	net      *Network
+	interval time.Duration
+	lastSeen float64
+	detached bool
+	samples  []LinkSample
+}
+
+// NewLinkSampler attaches a link sampler to n with the given interval. The
+// first sample is taken one interval after the current simulation time; the
+// tick runs until Detach.
+func NewLinkSampler(n *Network, interval time.Duration) *LinkSampler {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	s := &LinkSampler{net: n, interval: interval, lastSeen: n.link.departed.Total()}
+	var tick func()
+	tick = func() {
+		if s.detached {
+			return
+		}
+		s.take()
+		n.loop.After(interval, tick)
+	}
+	n.loop.After(interval, tick)
+	return s
+}
+
+// Detach stops the link sampler; the collected series stays available.
+func (s *LinkSampler) Detach() { s.detached = true }
+
+func (s *LinkSampler) take() {
+	l := s.net.link
+	total := l.departed.Total()
+	delta := units.Bytes(total - s.lastSeen)
+	s.lastSeen = total
+	s.samples = append(s.samples, LinkSample{
+		At:         s.net.loop.Now(),
+		QueueBytes: l.waitingBytes,
+		Throughput: units.RateOver(delta, s.interval),
+		Rate:       l.rate,
+	})
+}
+
+// Samples returns the recorded series.
+func (s *LinkSampler) Samples() []LinkSample { return s.samples }

@@ -79,6 +79,131 @@ func TestSamplerHelpers(t *testing.T) {
 	}
 }
 
+// A sampler attached to a finite flow must stop ticking once the flow's
+// final transfer completes: one closing sample of the drained state, then
+// nothing — a long post-completion run must not grow the series.
+func TestSamplerStopsAfterFlowFinishes(t *testing.T) {
+	cfg := Config{Capacity: 50 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(50*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{
+		RTT: 20 * time.Millisecond, Algorithm: ctor,
+		TransferBytes: 200 * units.MSS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(f, 100*time.Millisecond)
+	n.Run(2 * time.Second)
+	if !f.Finished() {
+		t.Fatal("flow should have finished its transfer within 2s")
+	}
+	got := len(s.Samples())
+	if got == 0 {
+		t.Fatal("sampler recorded nothing before the flow finished")
+	}
+	n.Run(60 * time.Second)
+	if after := len(s.Samples()); after != got {
+		t.Errorf("sampler kept ticking after flow finished: %d samples grew to %d", got, after)
+	}
+}
+
+// Detach must make the pending tick a no-op while keeping the collected
+// series readable.
+func TestSamplerDetach(t *testing.T) {
+	cfg := Config{Capacity: 10 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(100*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(f, 100*time.Millisecond)
+	ls := NewLinkSampler(n, 100*time.Millisecond)
+	n.Run(1 * time.Second)
+	s.Detach()
+	ls.Detach()
+	got, lgot := len(s.Samples()), len(ls.Samples())
+	if got == 0 || lgot == 0 {
+		t.Fatal("samplers recorded nothing before Detach")
+	}
+	n.Run(5 * time.Second)
+	if after := len(s.Samples()); after != got {
+		t.Errorf("flow sampler kept ticking after Detach: %d grew to %d", got, after)
+	}
+	if after := len(ls.Samples()); after != lgot {
+		t.Errorf("link sampler kept ticking after Detach: %d grew to %d", lgot, after)
+	}
+}
+
+// Trailing zero-throughput samples record a stopped sender, not a
+// congestion-control dip; MinThroughput must exclude them (and only them —
+// an interior zero is a real dip).
+func TestMinThroughputIgnoresTrailingZeros(t *testing.T) {
+	mk := func(rates ...float64) *Sampler {
+		s := &Sampler{}
+		for _, r := range rates {
+			s.samples = append(s.samples, Sample{Throughput: units.Rate(r)})
+		}
+		return s
+	}
+	if got := mk(5, 3, 0, 0).MinThroughput(0); got != 3 {
+		t.Errorf("trailing zeros counted: MinThroughput = %v, want 3", got)
+	}
+	if got := mk(5, 0, 3, 0).MinThroughput(0); got != 0 {
+		t.Errorf("interior zero must still count: MinThroughput = %v, want 0", got)
+	}
+	if got := mk(0, 0).MinThroughput(0); got != 0 {
+		t.Errorf("all-zero series: MinThroughput = %v, want 0", got)
+	}
+}
+
+// The link sampler's throughput integral must match the link's delivered
+// byte count, mirroring the per-flow sampler property.
+func TestLinkSamplerTracksDeliveredBytes(t *testing.T) {
+	cfg := Config{Capacity: 20 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(50*units.MSS, 0)
+	if _, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewLinkSampler(n, 50*time.Millisecond)
+	n.Run(3 * time.Second)
+	var sum units.Bytes
+	for _, smp := range s.Samples() {
+		sum += smp.Throughput.BytesIn(50 * time.Millisecond)
+	}
+	delivered := units.Bytes(n.link.departed.Total())
+	if relErr(float64(sum), float64(delivered)) > 0.01 {
+		t.Errorf("link sample integral %v != delivered %v", sum, delivered)
+	}
+	last := s.Samples()[len(s.Samples())-1]
+	if last.Rate != cfg.Capacity {
+		t.Errorf("effective rate sample %v, want capacity %v", last.Rate, cfg.Capacity)
+	}
+}
+
+// A flow's measurement window begins at its own start instant, not at
+// time 0: a flow starting halfway through the run must report the link
+// rate over its active period, not half of it.
+func TestLateStartingFlowThroughputWindow(t *testing.T) {
+	cfg := Config{Capacity: 10 * units.Mbps, Buffer: 1e6}
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(100*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{
+		RTT: 20 * time.Millisecond, Algorithm: ctor,
+		Start: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(20 * time.Second)
+	got := f.Stats().Throughput
+	if relErr(float64(got), float64(cfg.Capacity)) > 0.05 {
+		t.Errorf("late-start throughput %v, want about %v (window must start at flow start, not t=0)", got, cfg.Capacity)
+	}
+}
+
 // BBR's ProbeRTT dips must be visible in a sampled inflight series when
 // competing traffic keeps the estimate stale: inflight periodically drops
 // to a handful of packets.

@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A profile stopped through Stop must be complete and flushed: the pprof
+// writer emits a gzip stream, so a non-empty file starting with the gzip
+// magic distinguishes a usable profile from the truncated zero-byte file a
+// skipped cleanup leaves behind.
+func TestCPUProfileStopFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.prof")
+	prof, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = NewPool(1).Workers()
+	}
+	if err := prof.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("profile is not a complete gzip stream (%d bytes)", len(data))
+	}
+}
+
+// Stop is deferred from multiple cleanup paths; later calls must be no-ops
+// returning the first outcome, and a nil profile (no -cpuprofile flag) must
+// be callable unconditionally.
+func TestCPUProfileStopIdempotentAndNilSafe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.prof")
+	prof, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.Stop(); err != nil {
+		t.Fatalf("first Stop: %v", err)
+	}
+	if err := prof.Stop(); err != nil {
+		t.Fatalf("second Stop should repeat the first outcome: %v", err)
+	}
+	var nilProf *CPUProfile
+	if err := nilProf.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+}
+
+// StartCPUProfile must fail cleanly on an unwritable path instead of
+// leaving a dangling profile session.
+func TestCPUProfileStartBadPath(t *testing.T) {
+	if _, err := StartCPUProfile(filepath.Join(t.TempDir(), "no-such-dir", "cpu.prof")); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+	// The global profiler must be free for a subsequent Start.
+	path := filepath.Join(t.TempDir(), "cpu.prof")
+	prof, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatalf("profiler left busy after failed Start: %v", err)
+	}
+	prof.Stop()
+}

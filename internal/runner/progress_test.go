@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky unit")
+
+// The periodic progress reporter must observe a running map: monotonic
+// completion counts bounded by the total, with the pool's cumulative
+// counters along for the ride.
+func TestPoolProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var infos []ProgressInfo
+	p := NewPool(2).SetProgress(5*time.Millisecond, func(pi ProgressInfo) {
+		mu.Lock()
+		infos = append(infos, pi)
+		mu.Unlock()
+	})
+	const n = 8
+	_, err := MapCtx(context.Background(), p, n, func(context.Context, int) (int, error) {
+		time.Sleep(20 * time.Millisecond)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(infos) == 0 {
+		t.Fatal("progress callback never fired during a ~80ms map")
+	}
+	last := -1
+	for _, pi := range infos {
+		if pi.Total != n {
+			t.Errorf("Total = %d, want %d", pi.Total, n)
+		}
+		if pi.Done < last || pi.Done > n {
+			t.Errorf("Done = %d not monotonic in [0,%d]", pi.Done, n)
+		}
+		last = pi.Done
+		if pi.Elapsed <= 0 {
+			t.Error("Elapsed not positive")
+		}
+	}
+}
+
+// Retries and MaxUnitWall must count what actually happened: one transient
+// failure retried once, and a longest-unit wall time covering the slowest
+// unit.
+func TestPoolRetryAndWallCounters(t *testing.T) {
+	p := NewPool(2).SetRetry(2, time.Millisecond)
+	var failed atomic.Bool
+	_, err := MapCtx(context.Background(), p, 4, func(_ context.Context, i int) (int, error) {
+		if i == 1 && !failed.Swap(true) {
+			return 0, MarkTransient(errFlaky)
+		}
+		if i == 2 {
+			time.Sleep(30 * time.Millisecond)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Retries(); got != 1 {
+		t.Errorf("Retries = %d, want 1", got)
+	}
+	if got := p.MaxUnitWall(); got < 30*time.Millisecond {
+		t.Errorf("MaxUnitWall = %v, want >= 30ms", got)
+	}
+	if p.Stalls() != 0 {
+		t.Errorf("Stalls = %d, want 0", p.Stalls())
+	}
+}
+
+// All instrumentation accessors must be nil-safe: the CLIs call them from
+// report collection even when no pool was built.
+func TestPoolCountersNilSafe(t *testing.T) {
+	var p *Pool
+	if p.Retries() != 0 || p.Stalls() != 0 || p.MaxUnitWall() != 0 {
+		t.Error("nil pool counters should be zero")
+	}
+}

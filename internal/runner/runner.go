@@ -117,8 +117,15 @@ type Pool struct {
 	retries        int
 	backoff        time.Duration
 
-	jobs atomic.Int64
-	busy atomic.Int64 // accumulated per-unit execution time, nanoseconds
+	// Progress reporting, off by default; see SetProgress.
+	progressEvery time.Duration
+	progressFn    func(ProgressInfo)
+
+	jobs    atomic.Int64
+	busy    atomic.Int64 // accumulated per-unit execution time, nanoseconds
+	maxUnit atomic.Int64 // longest successful unit execution, nanoseconds
+	redone  atomic.Int64 // retry attempts actually executed
+	stalled atomic.Int64 // watchdog stall cancellations observed
 }
 
 // NewPool returns a pool running at most workers units at once; workers <= 0
@@ -158,12 +165,45 @@ func (p *Pool) Busy() time.Duration {
 	return time.Duration(p.busy.Load())
 }
 
+// MaxUnitWall reports the longest wall-clock time any successfully
+// completed unit took (including its retries), for telemetry reports.
+func (p *Pool) MaxUnitWall() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.maxUnit.Load())
+}
+
+// Retries reports how many retry attempts the pool has executed (an initial
+// attempt is not a retry).
+func (p *Pool) Retries() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.redone.Load()
+}
+
+// Stalls reports how many unit attempts were cancelled by the watchdog.
+func (p *Pool) Stalls() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.stalled.Load()
+}
+
 func (p *Pool) account(start time.Time) {
 	if p == nil {
 		return
 	}
 	p.jobs.Add(1)
-	p.busy.Add(int64(time.Since(start)))
+	took := int64(time.Since(start))
+	p.busy.Add(took)
+	for {
+		cur := p.maxUnit.Load()
+		if took <= cur || p.maxUnit.CompareAndSwap(cur, took) {
+			break
+		}
+	}
 }
 
 // Map runs fn(0) … fn(n-1) through the pool and returns the results indexed
@@ -216,6 +256,37 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 		defer mon.shut()
 	}
 
+	// When the pool has a progress reporter, one goroutine snapshots the
+	// call's completion state every interval. It observes counters only —
+	// never results — so reporting cannot perturb determinism.
+	var done atomic.Int64
+	if p != nil && p.progressEvery > 0 && p.progressFn != nil {
+		begin := time.Now()
+		stopProg := make(chan struct{})
+		progDone := make(chan struct{})
+		go func() {
+			defer close(progDone)
+			t := time.NewTicker(p.progressEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopProg:
+					return
+				case <-t.C:
+					p.progressFn(ProgressInfo{
+						Done:    int(done.Load()),
+						Total:   n,
+						Elapsed: time.Since(begin),
+						Jobs:    p.Jobs(),
+						Retries: p.Retries(),
+						Stalls:  p.Stalls(),
+					})
+				}
+			}
+		}()
+		defer func() { close(stopProg); <-progDone }()
+	}
+
 	// runAttempt executes unit i once. With a watchdog armed, the attempt
 	// runs under its own cancellable context carrying a heartbeat cell; a
 	// stall cancellation surfaces as a *UnitError wrapping the *StallError
@@ -234,6 +305,9 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 		if err != nil && mon != nil {
 			var st *StallError
 			if errors.As(context.Cause(actx), &st) {
+				if p != nil {
+					p.stalled.Add(1)
+				}
 				st.Index = i
 				var ue *UnitError
 				if errors.As(err, &ue) && ue.Key != "" {
@@ -247,6 +321,7 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 
 	errs := make([]error, n)
 	runUnit := func(i int) {
+		defer done.Add(1)
 		start := time.Now()
 		v, err := runAttempt(i)
 		// Transient failures — stalls, errors marked with MarkTransient —
@@ -260,6 +335,7 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 			if !sleepCtx(unitCtx, p.retryDelay(attempt)) {
 				break
 			}
+			p.redone.Add(1)
 			v, err = runAttempt(i)
 		}
 		if err != nil {

@@ -99,6 +99,36 @@ func (p *Pool) SetRetry(retries int, backoff time.Duration) *Pool {
 	return p
 }
 
+// ProgressInfo is one periodic snapshot of a Map/MapCtx call's execution
+// state, delivered to the reporter installed with SetProgress.
+type ProgressInfo struct {
+	// Done and Total count units finished (successfully or not) and
+	// submitted in the current Map/MapCtx call.
+	Done, Total int
+	// Elapsed is the wall-clock time since the call began.
+	Elapsed time.Duration
+	// Jobs, Retries and Stalls are the pool-lifetime counters at snapshot
+	// time (see Pool.Jobs, Pool.Retries, Pool.Stalls).
+	Jobs    int64
+	Retries int64
+	Stalls  int64
+}
+
+// SetProgress makes subsequent Map/MapCtx calls invoke fn every interval
+// with a snapshot of the call's completion state, so a multi-hour sweep can
+// report liveness without its units cooperating. fn runs on a dedicated
+// goroutine and must be safe to call concurrently with unit execution; the
+// zero interval or a nil fn (the defaults) disables reporting. Returns the
+// pool for chaining; must not be called concurrently with Map.
+func (p *Pool) SetProgress(interval time.Duration, fn func(ProgressInfo)) *Pool {
+	if interval < 0 {
+		interval = 0
+	}
+	p.progressEvery = interval
+	p.progressFn = fn
+	return p
+}
+
 // watchdogOf reports the configured watchdog window; nil-safe.
 func (p *Pool) watchdogOf() time.Duration {
 	if p == nil {

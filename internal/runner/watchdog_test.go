@@ -96,7 +96,7 @@ func TestWatchdogSparedByHeartbeats(t *testing.T) {
 // first attempt would have produced.
 func TestRetryStallThenSucceed(t *testing.T) {
 	var attempts atomic.Int32
-	p := NewPool(1).SetWatchdog(40 * time.Millisecond).SetRetry(2, time.Millisecond)
+	p := NewPool(1).SetWatchdog(40*time.Millisecond).SetRetry(2, time.Millisecond)
 	out, err := MapCtx(context.Background(), p, 1, func(ctx context.Context, i int) (int, error) {
 		if attempts.Add(1) == 1 {
 			<-ctx.Done() // stall until the watchdog fires

@@ -16,8 +16,8 @@ go build -o "$tmp/bbrsim" ./cmd/bbrsim
 args=(-flows bbr:2,cubic:2 -capacity 50 -rtt 40 -buffer 2
       -duration 90s -runs 16 -workers 2 -seed 7)
 
-# Uninterrupted reference run (no journal).
-"$tmp/bbrsim" "${args[@]}" > "$tmp/reference.out"
+# Uninterrupted reference run (no journal), with traces.
+"$tmp/bbrsim" "${args[@]}" -trace "$tmp/trace-ref" > "$tmp/reference.out"
 
 journaled() {
     if [ -f "$tmp/journal.jsonl" ]; then wc -l < "$tmp/journal.jsonl"; else echo 0; fi
@@ -26,7 +26,7 @@ journaled() {
 # The same sweep with a journal, SIGKILLed once a few replicates have
 # been journaled. If the sweep wins the race and finishes first, the
 # resume below simply replays everything — the assertions still hold.
-"$tmp/bbrsim" "${args[@]}" -resume "$tmp/journal.jsonl" > "$tmp/killed.out" &
+"$tmp/bbrsim" "${args[@]}" -resume "$tmp/journal.jsonl" -trace "$tmp/trace-journal" > "$tmp/killed.out" &
 pid=$!
 for _ in $(seq 1 300); do
     [ "$(journaled)" -ge 2 ] && break
@@ -43,8 +43,12 @@ if [ "$completed" -eq 0 ]; then
     exit 1
 fi
 
-# Resume and compare, ignoring only the timing/hit-count summary line.
-"$tmp/bbrsim" "${args[@]}" -resume "$tmp/journal.jsonl" > "$tmp/resumed.out"
+# Resume and compare, ignoring only the timing/hit-count summary line. The
+# resumed run writes into the same trace directory: journal hits skip
+# re-tracing (their traces were written before their journal records, so
+# they are already on disk), fresh replicates fill in the rest.
+"$tmp/bbrsim" "${args[@]}" -resume "$tmp/journal.jsonl" -trace "$tmp/trace-journal" \
+    -report "$tmp/report.json" > "$tmp/resumed.out"
 
 filter() { grep -v "wall time" "$1"; }
 if ! diff <(filter "$tmp/reference.out") <(filter "$tmp/resumed.out"); then
@@ -57,3 +61,25 @@ if [ "${hits:-0}" -eq 0 ]; then
     exit 1
 fi
 echo "resume smoke: resumed output identical to uninterrupted run ($hits journal hits)"
+
+# Trace determinism through the kill/resume cycle: every trace file from the
+# uninterrupted reference run must exist, byte-identical, in the journaled
+# run's trace directory — whether it was written before the SIGKILL or by
+# the resumed sweep.
+ref_count=$(ls "$tmp/trace-ref"/trace-* | wc -l)
+jrn_count=$(ls "$tmp/trace-journal"/trace-* | wc -l)
+if [ "$ref_count" -eq 0 ] || [ "$ref_count" -ne "$jrn_count" ]; then
+    echo "resume smoke: FAILED — trace file counts differ (reference $ref_count, journaled $jrn_count)" >&2
+    exit 1
+fi
+for ref in "$tmp/trace-ref"/trace-*; do
+    if ! cmp -s "$ref" "$tmp/trace-journal/$(basename "$ref")"; then
+        echo "resume smoke: FAILED — trace $(basename "$ref") differs after kill/resume" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"outcome": "ok"' "$tmp/report.json"; then
+    echo "resume smoke: FAILED — run report missing ok outcome" >&2
+    exit 1
+fi
+echo "resume smoke: $ref_count trace files byte-identical across kill/resume, run report ok"

@@ -17,9 +17,10 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner, exp, check, scenario, netsim)"
+echo "== go test -race (runner, exp, check, scenario, netsim, telemetry)"
 go test -race -timeout 1800s \
-	./internal/runner ./internal/exp ./internal/check ./internal/scenario ./internal/netsim
+	./internal/runner ./internal/exp ./internal/check ./internal/scenario ./internal/netsim \
+	./internal/telemetry
 
 echo "== journal-replay smoke test (kill a sweep mid-flight, resume, diff)"
 ./scripts/resume_smoke.sh
