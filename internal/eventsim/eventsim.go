@@ -4,11 +4,30 @@
 // Events scheduled for the same instant fire in scheduling order (FIFO
 // tie-break by sequence number), which makes simulations reproducible
 // independent of map iteration or scheduler behaviour.
+//
+// The queue is typed and allocation-free: events are flat records in a
+// pooled arena, and hot-path events dispatch through a (Kind, Handler)
+// pair instead of a heap-allocated closure. Scheduling a typed event
+// allocates nothing once the arena has reached its steady-state size; the
+// closure form (Schedule, After) remains for cold paths that fire a
+// handful of times per run.
+//
+// Ordering is maintained by a two-tier structure chosen by benchmark (see
+// DESIGN §13): events within the near horizon — the vast majority: packet
+// service completions, ACK arrivals, loss detections, pacer fires — live
+// in a calendar queue (a timing wheel of per-bucket lists kept sorted by
+// (at, seq), with an occupancy bitmap for O(1) next-bucket scans), while
+// the few far-future events (fault chains, flow restarts) live in an
+// indexed 4-ary min-heap. Both tiers support in-place cancellation, so
+// stale timer generations are removed rather than left to no-op and
+// Pending and Processed count live events only. Dequeue compares the two
+// tiers' minima on the full (at, seq) key, so the execution order is
+// exactly the single-queue order.
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -45,59 +64,457 @@ func (t Time) String() string {
 	return t.Duration().String()
 }
 
-type event struct {
+// Kind discriminates typed events for a Handler's dispatch switch.
+// Non-negative kinds belong to the caller; negative values are reserved by
+// the engine (closure events, timers).
+type Kind int32
+
+const (
+	kindFunc  Kind = -1 // record carries a fn closure
+	kindTimer Kind = -2 // record's target is a *Timer
+)
+
+// Handler receives typed events. Implementations are typically small
+// pooled objects (a packet, a flow) that switch on the kind; storing a
+// pointer implementation in an event record does not allocate.
+type Handler interface {
+	OnEvent(k Kind)
+}
+
+// Wheel geometry. Bucket width is 1<<wheelShift nanoseconds (~33µs), and
+// wheelBuckets of them span a ~268ms horizon — comfortably past the
+// largest ACK delay a WAN-scale scenario schedules, so per-packet events
+// essentially never fall through to the far heap. The wheel costs 36KB, a
+// fraction of L2, and with packet-level event densities of tens of
+// thousands per simulated second the mean bucket occupancy stays around
+// one, keeping sorted insertion O(1) in practice.
+const (
+	wheelShift   = 15
+	wheelBuckets = 8192
+)
+
+// Location sentinels for record.pos (non-negative values are far-heap
+// positions).
+const (
+	posWheel int32 = -2
+	posFree  int32 = -3
+)
+
+// entry is one far-heap element. The (at, seq) sort key lives in the heap
+// itself so sifting compares contiguous memory instead of chasing arena
+// indices.
+type entry struct {
 	at  Time
 	seq uint64
-	fn  func()
+	idx int32 // arena slot
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (event, bool) {
-	if len(h) == 0 {
-		return event{}, false
-	}
-	return h[0], true
+// record is one scheduled event in the arena. Records are recycled through
+// an internal free list. pos tracks where the record lives — a far-heap
+// position, or posWheel with prev/next linking it into its bucket's sorted
+// list — so cancellation and re-arming find it in O(1).
+type record struct {
+	at     Time
+	seq    uint64
+	target Handler
+	fn     func()
+	kind   Kind
+	pos    int32
+	prev   int32 // bucket-list links (wheel residents only); -1 terminates
+	next   int32
 }
 
 // Loop is a discrete-event simulation loop. The zero value is ready to use.
 // It is not safe for concurrent use; a simulation is single-threaded by
 // design and parallelism belongs at the whole-simulation level.
 type Loop struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	count  uint64
+	now   Time
+	seq   uint64
+	count uint64
+	recs  []record // event arena; referenced by wheel lists, heap and free list
+	free  []int32  // recycled arena slots
+	heap  []entry  // far events (beyond the wheel horizon), 4-ary min-heap by (at, seq)
+
+	// Calendar queue for near events.
+	buckets   []int32  // head arena slot per bucket, -1 when empty
+	tails     []int32  // tail arena slot per bucket; keys arrive mostly in ascending order, so inserts append in O(1)
+	bits      []uint64 // bucket occupancy bitmap
+	wheelLive int      // events currently in the wheel
+	minVB     int64    // cached smallest at>>wheelShift among wheel residents (valid when minValid)
+	minValid  bool     // invalidated when the minimum bucket empties; wheelMin rescans lazily
+
+	// Single-slot fast lane (see ScheduleNext): the one event class that is
+	// both the most frequent and guaranteed unique — a link's next service
+	// completion — bypasses the wheel and the arena entirely.
+	fastAt     Time
+	fastSeq    uint64
+	fastKind   Kind
+	fastTarget Handler
+	fastLive   bool
+
+	// heapOnly forces every event into the far heap; benchmarks use it to
+	// compare the pure-heap and calendar configurations on equal terms.
+	heapOnly bool
 }
 
 // Now returns the current simulation time.
 func (l *Loop) Now() Time { return l.now }
 
-// Processed reports how many events have been executed so far.
+// Processed reports how many events have been executed so far. Cancelled
+// events (stopped timers, superseded re-arms) are removed in place and are
+// never counted.
 func (l *Loop) Processed() uint64 { return l.count }
 
-// Pending reports how many events are waiting in the queue.
-func (l *Loop) Pending() int { return len(l.events) }
+// Pending reports how many live events are waiting in the queue.
+func (l *Loop) Pending() int {
+	n := l.wheelLive + len(l.heap)
+	if l.fastLive {
+		n++
+	}
+	return n
+}
 
-// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
-// always a logic error in the caller, and silently reordering time would
-// corrupt a simulation.
-func (l *Loop) Schedule(at Time, fn func()) {
+// Reserve grows the queue's internal storage to hold at least n pending
+// events without further allocation, and brings the wheel into existence.
+// Call it before a run whose steady-state event population is known (e.g.
+// from a scenario's bandwidth-delay product), so the hot loop never grows
+// the arena mid-simulation.
+func (l *Loop) Reserve(n int) {
+	if n > cap(l.recs) {
+		recs := make([]record, len(l.recs), n)
+		copy(recs, l.recs)
+		l.recs = recs
+	}
+	if n > cap(l.heap) {
+		heap := make([]entry, len(l.heap), n)
+		copy(heap, l.heap)
+		l.heap = heap
+	}
+	if n > cap(l.free) {
+		free := make([]int32, len(l.free), n)
+		copy(free, l.free)
+		l.free = free
+	}
+	if l.buckets == nil && !l.heapOnly {
+		l.initWheel()
+	}
+}
+
+func (l *Loop) initWheel() {
+	l.buckets = make([]int32, wheelBuckets)
+	l.tails = make([]int32, wheelBuckets)
+	for i := range l.buckets {
+		l.buckets[i] = -1
+		l.tails[i] = -1
+	}
+	l.bits = make([]uint64, wheelBuckets/64)
+}
+
+// alloc takes a free arena slot (or grows the arena) and stamps its payload.
+func (l *Loop) alloc(kind Kind, target Handler, fn func()) int32 {
+	var idx int32
+	if n := len(l.free); n > 0 {
+		idx = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		idx = int32(len(l.recs))
+		l.recs = append(l.recs, record{})
+	}
+	r := &l.recs[idx]
+	r.kind = kind
+	r.target = target
+	r.fn = fn
+	return idx
+}
+
+// release returns a slot to the free list. The slot's target and fn are
+// left in place — alloc overwrites them on reuse, and the free list is LIFO
+// so a released slot is the next one recycled. A handler can be retained at
+// most until the queue next reaches the slot, which in a running simulation
+// is the very next schedule.
+func (l *Loop) release(idx int32) {
+	l.recs[idx].pos = posFree
+	l.free = append(l.free, idx)
+}
+
+// insert places the already-stamped slot idx at deadline at: in the wheel
+// when the deadline is within the horizon, in the far heap otherwise. The
+// horizon test is against the bucket of the current time, so a wheel
+// resident's bucket is always within one rotation of the clock and maps to
+// a unique physical bucket.
+func (l *Loop) insert(idx int32, at Time) {
+	r := &l.recs[idx]
+	r.at = at
+	r.seq = l.seq
+	if !l.heapOnly {
+		if l.buckets == nil {
+			l.initWheel()
+		}
+		if (at>>wheelShift)-(l.now>>wheelShift) < wheelBuckets {
+			l.wheelInsert(idx, r)
+			return
+		}
+	}
+	l.heapPush(entry{at: at, seq: r.seq, idx: idx})
+}
+
+// wheelInsert links slot idx into its bucket's (at, seq)-sorted list.
+// Sequence numbers grow monotonically and deadlines cluster forward, so
+// most arrivals sort after the bucket's tail; checking the tail first
+// makes those (including a burst of same-instant events) O(1) instead of
+// a walk of the whole list.
+func (l *Loop) wheelInsert(idx int32, r *record) {
+	vb := int64(r.at >> wheelShift)
+	b := int(vb & (wheelBuckets - 1))
+	r.pos = posWheel
+	// Track the minimum virtual bucket so wheelMin is a single load in the
+	// common case. A resident's virtual bucket maps to a unique physical
+	// bucket (all residents sit within one rotation of the clock), so the
+	// cache pins both. When the cache is stale (minValid false) it stays
+	// stale — only a full scan may re-establish it.
+	if l.wheelLive == 0 {
+		l.minVB, l.minValid = vb, true
+	} else if l.minValid && vb < l.minVB {
+		l.minVB = vb
+	}
+	head := l.buckets[b]
+	if head < 0 {
+		r.prev, r.next = -1, -1
+		l.buckets[b] = idx
+		l.tails[b] = idx
+		l.bits[b>>6] |= 1 << (b & 63)
+		l.wheelLive++
+		return
+	}
+	tail := l.tails[b]
+	if t := &l.recs[tail]; t.at < r.at || (t.at == r.at && t.seq < r.seq) {
+		r.prev, r.next = tail, -1
+		t.next = idx
+		l.tails[b] = idx
+		l.wheelLive++
+		return
+	}
+	h := &l.recs[head]
+	if r.at < h.at || (r.at == h.at && r.seq < h.seq) {
+		r.prev, r.next = -1, head
+		h.prev = idx
+		l.buckets[b] = idx
+		l.wheelLive++
+		return
+	}
+	p := head
+	for {
+		pn := l.recs[p].next
+		if pn < 0 {
+			break
+		}
+		n := &l.recs[pn]
+		if r.at < n.at || (r.at == n.at && r.seq < n.seq) {
+			break
+		}
+		p = pn
+	}
+	r.prev, r.next = p, l.recs[p].next
+	if r.next >= 0 {
+		l.recs[r.next].prev = idx
+	} else {
+		l.tails[b] = idx
+	}
+	l.recs[p].next = idx
+	l.wheelLive++
+}
+
+// wheelRemove unlinks slot idx from its bucket list.
+func (l *Loop) wheelRemove(idx int32) {
+	r := &l.recs[idx]
+	vb := int64(r.at >> wheelShift)
+	b := int(vb & (wheelBuckets - 1))
+	if r.prev >= 0 {
+		l.recs[r.prev].next = r.next
+	} else {
+		l.buckets[b] = r.next
+		if r.next < 0 {
+			l.bits[b>>6] &^= 1 << (b & 63)
+			if vb == l.minVB {
+				// The minimum bucket just emptied; the next wheelMin rescans.
+				l.minValid = false
+			}
+		}
+	}
+	if r.next >= 0 {
+		l.recs[r.next].prev = r.prev
+	} else {
+		l.tails[b] = r.prev
+	}
+	l.wheelLive--
+}
+
+// wheelMin returns the arena slot of the earliest wheel event, or -1 when
+// the wheel is empty. Wheel residents are always within one rotation ahead
+// of the clock, so the first occupied bucket in ring order from the
+// current bucket holds the minimum, and its sorted head is the event. The
+// bitmap turns the ring scan into a handful of word reads.
+func (l *Loop) wheelMin() int32 {
+	if l.wheelLive == 0 {
+		return -1
+	}
+	if l.minValid {
+		return l.buckets[int(l.minVB&(wheelBuckets-1))]
+	}
+	start := int((l.now >> wheelShift) & (wheelBuckets - 1))
+	w0 := start >> 6
+	word := l.bits[w0] & (^uint64(0) << (start & 63))
+	w := w0
+	for {
+		if word != 0 {
+			b := w<<6 + bits.TrailingZeros64(word)
+			idx := l.buckets[b]
+			l.minVB = int64(l.recs[idx].at >> wheelShift)
+			l.minValid = true
+			return idx
+		}
+		w++
+		if w == len(l.bits) {
+			w = 0
+		}
+		if w == w0 {
+			// Wrapped all the way: only the skipped low bits of the start
+			// word remain.
+			word = l.bits[w0] &^ (^uint64(0) << (start & 63))
+			if word == 0 {
+				return -1
+			}
+			continue
+		}
+		word = l.bits[w]
+	}
+}
+
+// heapPush appends e to the far heap and restores order.
+func (l *Loop) heapPush(e entry) {
+	i := len(l.heap)
+	l.heap = append(l.heap, e)
+	l.recs[e.idx].pos = int32(i)
+	l.siftUp(i)
+}
+
+// siftUp moves the entry at heap position i toward the root until its
+// parent orders before it. The moved entry is held in a hole while parents
+// shift down, so each step writes one entry and one position.
+func (l *Loop) siftUp(i int) {
+	h := l.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		pe := h[p]
+		if pe.at < e.at || (pe.at == e.at && pe.seq < e.seq) {
+			break
+		}
+		h[i] = pe
+		l.recs[pe.idx].pos = int32(i)
+		i = p
+	}
+	h[i] = e
+	l.recs[e.idx].pos = int32(i)
+}
+
+// siftDown moves the entry at heap position i toward the leaves until no
+// child orders before it.
+func (l *Loop) siftDown(i int) {
+	h := l.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Find the least of up to four children; they are adjacent in the
+		// heap slice, so this scan stays within two cache lines.
+		m := c
+		me := h[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			je := h[j]
+			if je.at < me.at || (je.at == me.at && je.seq < me.seq) {
+				m, me = j, je
+			}
+		}
+		if e.at < me.at || (e.at == me.at && e.seq < me.seq) {
+			break
+		}
+		h[i] = me
+		l.recs[me.idx].pos = int32(i)
+		i = m
+	}
+	h[i] = e
+	l.recs[e.idx].pos = int32(i)
+}
+
+// fix restores heap order for the entry at heap position i after its key
+// changed or after an arbitrary entry was moved there. If siftUp moves the
+// entry toward the root, the former parent now at i already bounds i's
+// subtree, so the subsequent siftDown is a no-op.
+func (l *Loop) fix(i int) {
+	l.siftUp(i)
+	l.siftDown(i)
+}
+
+// heapRemove deletes the entry at heap position i, moving the last entry
+// into the hole.
+func (l *Loop) heapRemove(i int) {
+	n := len(l.heap) - 1
+	last := l.heap[n]
+	l.heap = l.heap[:n]
+	if i < n {
+		l.heap[i] = last
+		l.recs[last.idx].pos = int32(i)
+		l.fix(i)
+	}
+}
+
+// detach removes the pending slot idx from whichever tier holds it,
+// without releasing the arena slot.
+func (l *Loop) detach(idx int32) {
+	if r := &l.recs[idx]; r.pos == posWheel {
+		l.wheelRemove(idx)
+	} else {
+		l.heapRemove(int(r.pos))
+	}
+}
+
+// schedule stamps and enqueues an event, returning its arena slot.
+func (l *Loop) schedule(at Time, kind Kind, target Handler, fn func()) int32 {
 	if at < l.now {
 		panic(fmt.Sprintf("eventsim: scheduling event at %v before now %v", at, l.now))
 	}
 	l.seq++
-	heap.Push(&l.events, event{at: at, seq: l.seq, fn: fn})
+	idx := l.alloc(kind, target, fn)
+	l.insert(idx, at)
+	return idx
+}
+
+// reschedule moves a pending event to a new deadline in place, stamping a
+// fresh sequence number — exactly the tie-break a cancel-and-reschedule
+// would produce, without touching the free list.
+func (l *Loop) reschedule(idx int32, at Time) {
+	if at < l.now {
+		panic(fmt.Sprintf("eventsim: scheduling event at %v before now %v", at, l.now))
+	}
+	l.detach(idx)
+	l.seq++
+	l.insert(idx, at)
+}
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
+// always a logic error in the caller, and silently reordering time would
+// corrupt a simulation. The closure form allocates on the caller's side;
+// per-packet paths should use ScheduleEvent instead.
+func (l *Loop) Schedule(at Time, fn func()) {
+	l.schedule(at, kindFunc, nil, fn)
 }
 
 // After runs fn after delay d from the current time. Negative delays are
@@ -109,6 +526,124 @@ func (l *Loop) After(d time.Duration, fn func()) {
 	l.Schedule(l.now.Add(d), fn)
 }
 
+// ScheduleEvent enqueues a typed event: at time at, target.OnEvent(kind) is
+// called. Nothing is allocated once the queue has reached steady-state
+// size. The kind must be non-negative; negative kinds are reserved.
+func (l *Loop) ScheduleEvent(at Time, kind Kind, target Handler) {
+	l.schedule(at, kind, target, nil)
+}
+
+// AfterEvent enqueues a typed event after delay d from the current time.
+// Negative delays are treated as zero.
+func (l *Loop) AfterEvent(d time.Duration, kind Kind, target Handler) {
+	if d < 0 {
+		d = 0
+	}
+	l.ScheduleEvent(l.now.Add(d), kind, target)
+}
+
+// ScheduleNext enqueues a typed event through the single-slot fast lane:
+// no arena record, no wheel or heap insertion, one compare at dispatch.
+// At most one fast-lane event may be pending per loop; scheduling a second
+// panics. It exists for the tightest recurring event a simulation has —
+// netsim uses it for the bottleneck's next service completion — and is
+// otherwise interchangeable with ScheduleEvent, including its position in
+// the (at, seq) total order.
+func (l *Loop) ScheduleNext(at Time, kind Kind, target Handler) {
+	if at < l.now {
+		panic(fmt.Sprintf("eventsim: scheduling event at %v before now %v", at, l.now))
+	}
+	if l.fastLive {
+		panic("eventsim: ScheduleNext called with a fast-lane event already pending")
+	}
+	l.seq++
+	l.fastAt = at
+	l.fastSeq = l.seq
+	l.fastKind = kind
+	l.fastTarget = target
+	l.fastLive = true
+}
+
+// min locates the earliest pending event across the three tiers. It returns
+// the arena slot, or -1 with fast=true for the fast-lane slot, or -1 with
+// fast=false for an empty queue.
+func (l *Loop) min() (idx int32, fast bool) {
+	at, seq := Never, ^uint64(0)
+	if l.fastLive {
+		at, seq, fast = l.fastAt, l.fastSeq, true
+	}
+	idx = -1
+	if l.wheelLive > 0 {
+		// Same-instant shortcut: no wheel event can precede now, so a head
+		// at exactly now in the clock's own bucket is the wheel minimum
+		// without a bitmap scan. Event cascades (ACK bursts, drop trains)
+		// hit this constantly.
+		widx := int32(-1)
+		if h := l.buckets[int((l.now>>wheelShift)&(wheelBuckets-1))]; h >= 0 && l.recs[h].at == l.now {
+			widx = h
+		} else {
+			widx = l.wheelMin()
+		}
+		if widx >= 0 {
+			r := &l.recs[widx]
+			if r.at < at || (r.at == at && r.seq < seq) {
+				at, seq, idx, fast = r.at, r.seq, widx, false
+			}
+		}
+	}
+	if len(l.heap) > 0 {
+		if e := l.heap[0]; e.at < at || (e.at == at && e.seq < seq) {
+			idx, fast = e.idx, false
+		}
+	}
+	return idx, fast
+}
+
+// Peek reports the next event in the queue without executing it: its time,
+// kind and target (nil kind/target for closure events). Dispatch code uses
+// it to coalesce work across consecutive same-target events.
+func (l *Loop) Peek() (at Time, kind Kind, target Handler, ok bool) {
+	idx, fast := l.min()
+	if fast {
+		return l.fastAt, l.fastKind, l.fastTarget, true
+	}
+	if idx < 0 {
+		return 0, 0, nil, false
+	}
+	r := &l.recs[idx]
+	return r.at, r.kind, r.target, true
+}
+
+// PeekSameInstant reports the earliest pending event if and only if its
+// deadline is exactly the current instant; ok is false when the next event
+// lies in the future. Unlike Peek it costs a constant handful of loads —
+// a same-instant wheel event can only live at the head of the clock's own
+// bucket — so dispatch code can afford it on every event when coalescing
+// consecutive same-instant work.
+func (l *Loop) PeekSameInstant() (kind Kind, target Handler, ok bool) {
+	idx := int32(-1)
+	var seq uint64
+	if l.wheelLive > 0 {
+		b := int((l.now >> wheelShift) & (wheelBuckets - 1))
+		if h := l.buckets[b]; h >= 0 && l.recs[h].at == l.now {
+			idx, seq = h, l.recs[h].seq
+		}
+	}
+	if len(l.heap) > 0 {
+		if e := l.heap[0]; e.at == l.now && (idx < 0 || e.seq < seq) {
+			idx, seq = e.idx, e.seq
+		}
+	}
+	if l.fastLive && l.fastAt == l.now && (idx < 0 || l.fastSeq < seq) {
+		return l.fastKind, l.fastTarget, true
+	}
+	if idx < 0 {
+		return 0, nil, false
+	}
+	r := &l.recs[idx]
+	return r.kind, r.target, true
+}
+
 // Run executes events in timestamp order until the queue empties or the
 // clock would pass until. It returns the number of events executed. The
 // clock is left at the later of its current value and until when the queue
@@ -116,13 +651,38 @@ func (l *Loop) After(d time.Duration, fn func()) {
 func (l *Loop) Run(until Time) uint64 {
 	var n uint64
 	for {
-		next, ok := l.events.peek()
-		if !ok || next.at > until {
+		idx, fast := l.min()
+		if fast {
+			if l.fastAt > until {
+				break
+			}
+			l.now = l.fastAt
+			kind, target := l.fastKind, l.fastTarget
+			l.fastTarget = nil
+			l.fastLive = false
+			target.OnEvent(kind)
+			n++
+			l.count++
+			continue
+		}
+		if idx < 0 {
 			break
 		}
-		heap.Pop(&l.events)
-		l.now = next.at
-		next.fn()
+		r := &l.recs[idx]
+		if r.at > until {
+			break
+		}
+		l.now = r.at
+		kind, target, fn := r.kind, r.target, r.fn
+		// Detach the record before dispatch: the callback may schedule,
+		// cancel or re-arm freely against a consistent queue.
+		l.detach(idx)
+		l.release(idx)
+		if fn != nil {
+			fn()
+		} else {
+			target.OnEvent(kind)
+		}
 		n++
 		l.count++
 	}
@@ -140,33 +700,69 @@ func (l *Loop) RunFor(d time.Duration) uint64 { return l.Run(l.now.Add(d)) }
 func (l *Loop) Drain() uint64 { return l.Run(Never) }
 
 // Timer is a cancellable, re-armable scheduled callback. A Timer may be
-// re-armed from within its own callback. The zero value is invalid; use
-// NewTimer.
+// re-armed from within its own callback. Re-arming moves the pending entry
+// within the queue and stopping removes it — a stale deadline never remains
+// behind to no-op. The zero value is invalid; use NewTimer, or embed a
+// Timer and call Init.
 type Timer struct {
-	loop *Loop
-	fn   func()
-	at   Time
-	gen  uint64 // arming generation; stale events no-op
+	loop   *Loop
+	fn     func()
+	target Handler // typed form: fires target.OnEvent(kind) when fn is nil
+	kind   Kind
+	id     int32 // arena slot of the pending event, or -1
+	at     Time
 }
 
 // NewTimer creates a timer on l that runs fn when it fires.
 func NewTimer(l *Loop, fn func()) *Timer {
-	return &Timer{loop: l, fn: fn, at: Never}
+	t := &Timer{}
+	t.Init(l, fn)
+	return t
+}
+
+// Init prepares an embedded timer in place, equivalent to NewTimer without
+// the allocation. It must be called exactly once, before any Arm.
+func (t *Timer) Init(l *Loop, fn func()) {
+	t.loop = l
+	t.fn = fn
+	t.id = -1
+	t.at = Never
+}
+
+// InitEvent prepares an embedded timer that fires target.OnEvent(kind)
+// instead of a closure — the typed analogue of Init, avoiding the closure
+// allocation per timer owner. Like Init it must be called exactly once,
+// before any Arm.
+func (t *Timer) InitEvent(l *Loop, kind Kind, target Handler) {
+	t.loop = l
+	t.kind = kind
+	t.target = target
+	t.id = -1
+	t.at = Never
+}
+
+// OnEvent runs the callback of a timer event popped by the loop. The slot
+// is cleared first so the callback may immediately re-arm. It implements
+// Handler; callers never invoke it directly.
+func (t *Timer) OnEvent(Kind) {
+	t.id = -1
+	t.at = Never
+	if t.fn != nil {
+		t.fn()
+		return
+	}
+	t.target.OnEvent(t.kind)
 }
 
 // Arm sets the timer to fire at absolute time at, replacing any prior
-// deadline.
+// deadline in place.
 func (t *Timer) Arm(at Time) {
-	t.gen++
 	t.at = at
-	gen := t.gen
-	t.loop.Schedule(at, func() {
-		if t.gen != gen {
-			return // re-armed or stopped since
-		}
-		t.at = Never
-		t.fn()
-	})
+	if t.id >= 0 {
+		t.loop.reschedule(t.id, at)
+		return
+	}
+	t.id = t.loop.schedule(at, kindTimer, t, nil)
 }
 
 // ArmAfter sets the timer to fire after d from now.
@@ -177,9 +773,13 @@ func (t *Timer) ArmAfter(d time.Duration) {
 	t.Arm(t.loop.Now().Add(d))
 }
 
-// Stop cancels any pending firing.
+// Stop cancels any pending firing, removing the queued event in place.
 func (t *Timer) Stop() {
-	t.gen++
+	if t.id >= 0 {
+		t.loop.detach(t.id)
+		t.loop.release(t.id)
+		t.id = -1
+	}
 	t.at = Never
 }
 

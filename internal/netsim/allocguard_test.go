@@ -1,0 +1,35 @@
+package netsim_test
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/netsim"
+)
+
+// TestSteadyStateZeroAllocs pins the engine's core invariant: once a
+// simulation is warmed up (free lists populated, queues at their high-water
+// marks), advancing simulated time allocates nothing. Every packet, ACK,
+// loss, pacer fire and flow edge must ride the typed event arena and the
+// packet free list. A regression here — a closure creeping into the hot
+// path, an event queue growing past its Presize reservation — shows up as a
+// nonzero count.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	for name, sp := range engineScenarios() {
+		t.Run(name, func(t *testing.T) {
+			n, _, err := netsim.Build(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm until slow start, queue growth and the congestion
+			// windows' overshoot have pushed every pool to its peak.
+			n.Run(8 * time.Second)
+			allocs := testing.AllocsPerRun(5, func() {
+				n.Run(time.Second)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady state allocated %.1f times per simulated second; want 0", allocs)
+			}
+		})
+	}
+}

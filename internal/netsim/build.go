@@ -67,5 +67,6 @@ func BuildOverride(sp scenario.Spec, override map[string]cc.Constructor) (*Netwo
 			flows[gi] = append(flows[gi], f)
 		}
 	}
+	n.Presize()
 	return n, flows, nil
 }

@@ -1,0 +1,56 @@
+package netsim
+
+import "bbrnash/internal/eventsim"
+
+// Typed event kinds for the per-packet path. Every simulated packet's
+// lifecycle — service completion at the bottleneck, ACK return, loss
+// detection — is scheduled as a typed event with the packet itself as the
+// target, so the hot path allocates no closures: scheduling writes a flat
+// record into the loop's arena and dispatch is a switch below. Flow-level
+// edges (start, transfer restart) use the same mechanism with the Flow as
+// target. Cold, self-rescheduling chains (fault flaps and bursts, the
+// telemetry samplers) stay on the closure API; they fire a handful of times
+// per simulated second and their closures are allocated once at setup.
+const (
+	// evServiceDone fires when the packet finishes transmission at the
+	// bottleneck link.
+	evServiceDone eventsim.Kind = iota
+	// evAck fires when the packet's acknowledgement reaches the sender.
+	evAck
+	// evLoss fires when the sender's loss detection notices the packet's
+	// drop (one queue drain plus one base RTT after the drop).
+	evLoss
+	// evFlowStart fires at the flow's configured start instant.
+	evFlowStart
+	// evFlowRestart fires when a finite flow's restart interval elapses.
+	evFlowRestart
+	// evPacerFire fires when the flow's pacing timer elapses (see
+	// Flow.pacer, armed from trySend when rate-limited).
+	evPacerFire
+)
+
+// OnEvent dispatches the packet-targeted event kinds. packet implements
+// eventsim.Handler; storing the *packet in the event record's interface is
+// a pointer store, not a heap allocation.
+func (p *packet) OnEvent(k eventsim.Kind) {
+	switch k {
+	case evServiceDone:
+		p.flow.net.link.serviceDone(p)
+	case evAck:
+		p.flow.ackArrived(p)
+	case evLoss:
+		p.flow.lossDetected(p)
+	}
+}
+
+// OnEvent dispatches the flow-targeted event kinds.
+func (f *Flow) OnEvent(k eventsim.Kind) {
+	switch k {
+	case evFlowStart:
+		f.start()
+	case evFlowRestart:
+		f.restart()
+	case evPacerFire:
+		f.trySend()
+	}
+}

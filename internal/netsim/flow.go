@@ -11,31 +11,26 @@ import (
 
 // Flow is one bulk sender/receiver pair. The sender has infinite backlog and
 // transmits whenever its congestion window (and pacing rate, if any) allows.
+//
+// Field order is deliberate: the state every ACK touches sits first, packed
+// into the leading cache lines, while configuration and measurement state
+// the hot path never reads (names, transfer settings, counters snapshotted
+// by Stats) trails behind.
 type Flow struct {
-	net  *Network
-	id   int
-	name string
-	rtt  time.Duration
-	alg  cc.Algorithm
-
-	// State-transition observation (see Network.OnStateChange): reporter is
-	// alg's cc.StateReporter side, asserted once at construction, or nil.
-	reporter  cc.StateReporter
-	lastState string
-
+	// Hot: read and written on every ACK, loss and send.
+	net      *Network
+	alg      cc.Algorithm
+	inflight units.Bytes
 	started  bool
 	nextSeq  uint64
-	inflight units.Bytes
 
-	// Finite-transfer state (zero transferSize means infinite backlog).
-	transferSize units.Bytes
-	restartAfter time.Duration
-	sentInXfer   units.Bytes
-	transfers    int
-
-	// Pacing state.
-	pacer    *eventsim.Timer
+	// Pacing state. paceRate/paceStep cache the serialization-interval
+	// division (see link.step): recomputed only when the algorithm's pacing
+	// rate actually changes, which is far rarer than a send.
+	pacer    eventsim.Timer
 	nextSend eventsim.Time
+	paceRate units.Rate
+	paceStep time.Duration
 
 	// Delivery-rate estimator connection state (see the BBR delivery-rate
 	// estimation draft): total delivered bytes and the timestamps needed to
@@ -44,13 +39,30 @@ type Flow struct {
 	deliveredTime eventsim.Time
 	firstSent     eventsim.Time
 
-	// Measurement.
+	rtt    time.Duration
+	minRTT time.Duration
+
+	// Warm: per-ACK statistics kept by value (alloc-free Observe/Add).
+	rttStats metrics.Summary
 	arrived  metrics.Counter // bytes that crossed the bottleneck
 	sent     metrics.Counter
 	lost     metrics.Counter
-	rttStats metrics.Summary
 	queued   metrics.TimeWeighted // this flow's waiting bytes at the bottleneck
-	minRTT   time.Duration
+
+	// Cold: configuration, identity and observation state.
+	id   int
+	name string
+
+	// State-transition observation (see Network.OnStateChange): reporter is
+	// alg's cc.StateReporter side, asserted once at construction, or nil.
+	reporter  cc.StateReporter
+	lastState string
+
+	// Finite-transfer state (zero transferSize means infinite backlog).
+	transferSize units.Bytes
+	restartAfter time.Duration
+	sentInXfer   units.Bytes
+	transfers    int
 }
 
 func (f *Flow) start() {
@@ -93,7 +105,11 @@ func (f *Flow) trySend() {
 				// Idle or newly paced: restart the pacing clock.
 				f.nextSend = now
 			}
-			f.nextSend = f.nextSend.Add(rate.TimeToSend(mss))
+			if rate != f.paceRate {
+				f.paceRate = rate
+				f.paceStep = rate.TimeToSend(mss)
+			}
+			f.nextSend = f.nextSend.Add(f.paceStep)
 		}
 		f.sendPacket(now, mss)
 	}
@@ -168,14 +184,14 @@ func (f *Flow) ackArrived(p *packet) {
 	})
 	f.noteState(now)
 	f.net.freePacket(p)
-	f.trySend()
+	f.maybeSend()
 }
 
 // packetDropped is called (at drop time) when the bottleneck discards p.
 // The sender detects the loss roughly when duplicate ACKs triggered by
 // later packets would arrive: one queue drain plus one base RTT later.
 func (f *Flow) packetDropped(p *packet, queueDelay time.Duration) {
-	f.net.loop.After(queueDelay+f.rtt, func() { f.lossDetected(p) })
+	f.net.loop.AfterEvent(queueDelay+f.rtt, evLoss, p)
 }
 
 func (f *Flow) lossDetected(p *packet) {
@@ -191,6 +207,27 @@ func (f *Flow) lossDetected(p *packet) {
 	})
 	f.noteState(now)
 	f.net.freePacket(p)
+	f.maybeSend()
+}
+
+// maybeSend runs trySend at the end of an ACK or loss event, batching
+// consecutive same-flow feedback: when the next event in the queue is
+// another ACK or loss for this same flow at this same instant and trySend
+// is provably a no-op right now (not started, or window still full — the
+// only two early returns with no side effect), the call is skipped and the
+// batch's final event issues it once. The deferred call sees exactly the
+// state the skipped calls would have seen had they run (no-ops by
+// definition), so event order and RNG/sequence draws are identical to the
+// unbatched engine.
+func (f *Flow) maybeSend() {
+	if !f.started || f.inflight+f.net.cfg.MSS > f.alg.CongestionWindow() {
+		if kind, target, ok := f.net.loop.PeekSameInstant(); ok &&
+			(kind == evAck || kind == evLoss) {
+			if p, ok := target.(*packet); ok && p.flow == f {
+				return
+			}
+		}
+	}
 	f.trySend()
 }
 
@@ -218,15 +255,18 @@ func (f *Flow) finishTransfer() {
 	if f.restartAfter <= 0 {
 		return
 	}
-	f.net.loop.After(f.restartAfter, func() {
-		f.sentInXfer = 0
-		f.started = true
-		now := f.net.loop.Now()
-		if f.nextSend < now {
-			f.nextSend = now
-		}
-		f.trySend()
-	})
+	f.net.loop.AfterEvent(f.restartAfter, evFlowRestart, f)
+}
+
+// restart begins the next transfer of an on/off flow (see finishTransfer).
+func (f *Flow) restart() {
+	f.sentInXfer = 0
+	f.started = true
+	now := f.net.loop.Now()
+	if f.nextSend < now {
+		f.nextSend = now
+	}
+	f.trySend()
 }
 
 func (f *Flow) resetMeasurement(now eventsim.Time) {

@@ -23,6 +23,15 @@ type link struct {
 	waitingBytes units.Bytes
 	busy         bool
 
+	// Service-time cache: TimeToSend costs a float division, and in steady
+	// state every packet is MSS-sized at an unchanged rate, so the quotient
+	// is recomputed only when size or rate differ from the last service.
+	// Same inputs give the identical Duration, so caching cannot perturb
+	// event times.
+	stepSize units.Bytes
+	stepRate units.Rate
+	step     time.Duration
+
 	occupancy metrics.TimeWeighted
 	delay     metrics.Summary
 	drops     metrics.Counter
@@ -87,7 +96,13 @@ func (l *link) startService() {
 	// The effective rate is sampled at service start: a packet in flight
 	// when a flap toggles completes at the rate it started with, like a
 	// transmission already on the wire.
-	l.net.loop.After(l.rate.TimeToSend(p.size), func() { l.serviceDone(p) })
+	if p.size != l.stepSize || l.rate != l.stepRate {
+		l.stepSize, l.stepRate = p.size, l.rate
+		l.step = l.rate.TimeToSend(p.size)
+	}
+	// The link has exactly one service in flight, making its completion the
+	// one event class eligible for the loop's single-slot fast lane.
+	l.net.loop.ScheduleNext(now.Add(l.step), evServiceDone, p)
 }
 
 // serviceDone fires when a packet finishes transmission: it departs the
@@ -113,7 +128,7 @@ func (l *link) serviceDone(p *packet) {
 			ackDelay += l.rate.TimeToSend(p.size)
 		}
 	}
-	l.net.loop.After(ackDelay, func() { p.flow.ackArrived(p) })
+	l.net.loop.AfterEvent(ackDelay, evAck, p)
 	if l.head < len(l.waiting) {
 		l.startService()
 	} else if l.head > 0 {

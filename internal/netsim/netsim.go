@@ -255,12 +255,49 @@ func (n *Network) AddFlow(fc FlowConfig) (*Flow, error) {
 		transferSize: fc.TransferBytes,
 		restartAfter: fc.RestartAfter,
 	}
-	// The type assertion happens once here, not per event.
+	// The type assertion happens once here, not per event; the pacer's
+	// method-value closure is the flow's only per-flow allocation beyond
+	// the struct itself, and arming it never allocates again.
 	f.reporter, _ = alg.(cc.StateReporter)
-	f.pacer = eventsim.NewTimer(&n.loop, f.trySend)
+	f.pacer.InitEvent(&n.loop, evPacerFire, f)
 	n.flows = append(n.flows, f)
-	n.loop.Schedule(eventsim.At(fc.Start), f.start)
+	n.loop.ScheduleEvent(eventsim.At(fc.Start), evFlowStart, f)
 	return f, nil
+}
+
+// Presize reserves event-queue and packet-pool capacity for the attached
+// flows so steady state is reached without growth reallocations: one
+// potential in-flight packet per BDP-plus-buffer segment (each holding at
+// most one pending event), plus per-flow timers and fault chains. Called
+// by Build once the flow set is known; harmless to skip or call again —
+// it only ever grows capacity and never changes behavior.
+func (n *Network) Presize() {
+	maxRTT := time.Duration(0)
+	for _, f := range n.flows {
+		if f.rtt > maxRTT {
+			maxRTT = f.rtt
+		}
+	}
+	inflight := int((units.BDP(n.cfg.Capacity, maxRTT)+n.cfg.Buffer)/n.cfg.MSS) + 1
+	// Congestion windows overshoot the pipe between loss events (that is
+	// what fills the buffer); double the physical bound and add per-flow
+	// slack for pacer, start and restart events.
+	events := 2*inflight + 4*len(n.flows) + 16
+	n.loop.Reserve(events)
+	if cap(n.link.waiting) < inflight {
+		waiting := make([]*packet, len(n.link.waiting), 2*inflight)
+		copy(waiting, n.link.waiting)
+		n.link.waiting = waiting
+	}
+	if cap(n.free) < inflight {
+		free := make([]*packet, len(n.free), 2*inflight)
+		copy(free, n.free)
+		n.free = free
+		arena := make([]packet, inflight)
+		for i := range arena {
+			n.freePacket(&arena[i])
+		}
+	}
 }
 
 // Run advances the simulation by d of simulated time.

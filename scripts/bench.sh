@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Reproducible packet-engine benchmark (see DESIGN.md §13).
+#
+# Runs BenchmarkEngine — the frozen three-scenario suite in
+# internal/netsim/engine_bench_test.go, where each op advances a warmed
+# simulation by one simulated second — and emits one machine-readable JSON
+# record: per scenario the best-of-count wall time per simulated second,
+# live events per simulated second, ns/event, events/sec of wall time and
+# allocs/event, plus the git SHA, go version and benchmark settings.
+#
+# Usage:
+#   ./scripts/bench.sh                  # print the record to stdout
+#   ./scripts/bench.sh -o BENCH_0006.json -l typed-engine
+#                                       # append the record to a JSON array
+#   BENCH_TIME=60x BENCH_COUNT=1 ./scripts/bench.sh   # quicker, noisier
+#
+# The -o file holds a JSON array of records; successive runs append, so a
+# baseline measured on one commit and a candidate measured on another live
+# in the same file and any consumer can compute ratios.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=""
+LABEL="current"
+while getopts "o:l:" opt; do
+	case "$opt" in
+	o) OUT=$OPTARG ;;
+	l) LABEL=$OPTARG ;;
+	*) echo "usage: $0 [-o out.json] [-l label]" >&2; exit 2 ;;
+	esac
+done
+
+BENCH_TIME=${BENCH_TIME:-600x}
+BENCH_COUNT=${BENCH_COUNT:-3}
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+DIRTY=false
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then DIRTY=true; fi
+GOVER=$(go env GOVERSION)
+DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+RAW=$(go test ./internal/netsim -run '^$' -bench BenchmarkEngine \
+	-benchtime "$BENCH_TIME" -benchmem -count "$BENCH_COUNT")
+
+RECORD=$(printf '%s\n' "$RAW" | awk \
+	-v label="$LABEL" -v sha="$SHA" -v dirty="$DIRTY" -v gover="$GOVER" \
+	-v date="$DATE" -v benchtime="$BENCH_TIME" -v count="$BENCH_COUNT" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkEngine\// {
+	name = $1
+	sub(/^BenchmarkEngine\//, "", name)
+	sub(/-[0-9]+$/, "", name)
+	ns = $3; ev = $5; bytes = $7; allocs = $9
+	if (!(name in best) || ns < best[name]) {
+		best[name] = ns; events[name] = ev
+		bop[name] = bytes; aop[name] = allocs
+		if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+	}
+}
+END {
+	printf "  {\n"
+	printf "    \"label\": \"%s\",\n", label
+	printf "    \"git_sha\": \"%s\",\n", sha
+	printf "    \"dirty\": %s,\n", dirty
+	printf "    \"date\": \"%s\",\n", date
+	printf "    \"go\": \"%s\",\n", gover
+	printf "    \"cpu\": \"%s\",\n", cpu
+	printf "    \"benchtime\": \"%s\",\n", benchtime
+	printf "    \"count\": %s,\n", count
+	printf "    \"scenarios\": [\n"
+	tns = 0; tev = 0
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		ns = best[name]; ev = events[name]
+		tns += ns; tev += ev
+		printf "      {\n"
+		printf "        \"scenario\": \"%s\",\n", name
+		printf "        \"ns_per_sim_second\": %d,\n", ns
+		printf "        \"events_per_sim_second\": %d,\n", ev
+		printf "        \"ns_per_event\": %.2f,\n", ns / ev
+		printf "        \"events_per_wall_second\": %d,\n", ev * 1e9 / ns
+		printf "        \"allocs_per_event\": %.4f,\n", aop[name] / ev
+		printf "        \"bytes_per_op\": %s\n", bop[name]
+		printf "      }%s\n", (i < n ? "," : "")
+	}
+	printf "    ],\n"
+	printf "    \"suite_events_per_wall_second\": %d\n", tev * 1e9 / tns
+	printf "  }"
+}')
+
+if [ -z "$OUT" ]; then
+	printf '%s\n' "$RECORD"
+	exit 0
+fi
+
+if [ ! -s "$OUT" ]; then
+	printf '[\n%s\n]\n' "$RECORD" >"$OUT"
+else
+	# Append to the existing JSON array: drop the closing bracket line,
+	# join with a comma, re-terminate.
+	tmp=$(mktemp)
+	sed '$d' "$OUT" >"$tmp"
+	{ cat "$tmp"; printf ',\n%s\n]\n' "$RECORD"; } >"$OUT.new"
+	mv "$OUT.new" "$OUT"
+	rm -f "$tmp"
+fi
+echo "appended $LABEL record to $OUT" >&2

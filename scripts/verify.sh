@@ -22,6 +22,10 @@ go test -race -timeout 1800s \
 	./internal/runner ./internal/exp ./internal/check ./internal/scenario ./internal/netsim \
 	./internal/telemetry
 
+echo "== engine benchmark smoke + allocation guard"
+go test ./internal/netsim -run TestSteadyStateZeroAllocs \
+	-bench BenchmarkEngine -benchtime 1x -count=1
+
 echo "== journal-replay smoke test (kill a sweep mid-flight, resume, diff)"
 ./scripts/resume_smoke.sh
 
