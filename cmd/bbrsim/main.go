@@ -75,6 +75,7 @@ func run() (code int) {
 		jitter     = flag.Duration("jitter", 10*time.Millisecond, "max random start offset")
 		ackJitter  = flag.Duration("ackjitter", 0, "max per-packet ACK path delay variation")
 		specPath   = flag.String("scenario", "", "load the full scenario from this JSON file (topology flags ignored)")
+		backend    = flag.String("backend", "", "execution engine: packet or fluid ('' = scenario's own backend, default packet)")
 		runs       = flag.Int("runs", 1, "number of replicate runs with distinct derived seeds")
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = no caching)")
@@ -99,6 +100,12 @@ func run() (code int) {
 	sp, err := buildSpec(*specPath, *capMbps, *rttMs, *bufBDP, *flows, *duration, *jitter, *ackJitter)
 	if err != nil {
 		return fail(err)
+	}
+	if *backend != "" {
+		sp.Backend = *backend
+		if err := sp.WithDefaults().ValidateTopology(); err != nil {
+			return fail(err)
+		}
 	}
 	if sp.Seed == 0 {
 		sp.Seed = *seed

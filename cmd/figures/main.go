@@ -63,6 +63,7 @@ func run() (code int) {
 	var (
 		figFlag    = flag.String("fig", "all", "comma-separated figure IDs (e.g. 1,3a,9f) or 'all'")
 		scaleFlag  = flag.String("scale", "quick", "experiment scale: full, quick or smoke")
+		backendF   = flag.String("backend", "", "execution engine for every simulation: packet or fluid ('' = packet)")
 		outFlag    = flag.String("out", "figures", "directory for CSV output ('' to skip CSVs)")
 		listFlag   = flag.Bool("list", false, "list available figures and exit")
 		width      = flag.Int("width", 72, "ASCII chart width")
@@ -91,6 +92,12 @@ func run() (code int) {
 	scale, err := exp.ScaleByName(*scaleFlag)
 	if err != nil {
 		return fail(err)
+	}
+	if *backendF != "" {
+		if err := validBackend(*backendF); err != nil {
+			return fail(err)
+		}
+		scale.Backend = *backendF
 	}
 	// The -report defer is registered before any component is built and
 	// reads the (nil-safe) components at exit, so interrupted and failed
@@ -296,6 +303,16 @@ func outcomeOf(code int) string {
 	default:
 		return "failed"
 	}
+}
+
+// validBackend rejects a -backend value that names no execution engine.
+func validBackend(name string) error {
+	for _, b := range scenario.Backends() {
+		if name == b {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q (want %s)", name, strings.Join(scenario.Backends(), " or "))
 }
 
 // speedupNote reports parallel efficiency: cumulative worker-busy time

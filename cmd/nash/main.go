@@ -57,6 +57,7 @@ func run() (code int) {
 		alg        = flag.String("alg", "bbr", "non-CUBIC algorithm")
 		verify     = flag.Bool("verify", false, "also search for the equilibrium empirically (simulations)")
 		scaleN     = flag.String("scale", "quick", "verification scale: full, quick or smoke")
+		backendF   = flag.String("backend", "", "execution engine for payoff simulations: packet or fluid ('' = packet)")
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
 		resumePath = flag.String("resume", "", "path to crash-safe resume journal; an existing journal's completed payoff simulations are skipped ('' = no journal)")
@@ -131,6 +132,11 @@ func run() (code int) {
 	if err != nil {
 		return fail(err)
 	}
+	if *backendF != "" {
+		if err := validBackend(*backendF); err != nil {
+			return fail(err)
+		}
+	}
 	ctor, err := cc.AlgorithmByName(*alg)
 	if err != nil {
 		return fail(err)
@@ -169,7 +175,7 @@ func run() (code int) {
 		res, err := exp.FindNE(exp.NESearchConfig{
 			Capacity: capacity, Buffer: buffer, RTT: rtt, N: *n,
 			Duration: scale.FlowDuration, Seed: uint64(trial+1) * 1e6,
-			X: ctor, Exhaustive: scale.Exhaustive,
+			X: ctor, Exhaustive: scale.Exhaustive, Backend: *backendF,
 			Pool: pool, Cache: cache, Journal: journal, Ctx: ctx, Audit: audit, Trace: rec,
 		})
 		if err != nil {
@@ -255,6 +261,16 @@ func outcomeOf(code int) string {
 	default:
 		return "failed"
 	}
+}
+
+// validBackend rejects a -backend value that names no execution engine.
+func validBackend(name string) error {
+	for _, b := range scenario.Backends() {
+		if name == b {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q (want %s)", name, strings.Join(scenario.Backends(), " or "))
 }
 
 func fail(err error) int {

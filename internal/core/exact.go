@@ -53,7 +53,9 @@ func PredictExact(s Scenario, mode SyncMode) (Prediction, error) {
 		}
 		return bcmin + bcmin/(bcmin+bb)*bdp - f*(b-bb)*(1+bdp/b)
 	}
-	lo, hi, err := numeric.BracketRoot(g, 1, b, 60)
+	// b_b lives in [0, B]; keep the bracketing expansion inside it (the
+	// unbounded form could walk below zero, where the model is meaningless).
+	lo, hi, err := numeric.BracketRootIn(g, 1, b, 0, b, 60)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: bracketing exact-model root: %w", err)
 	}

@@ -277,15 +277,28 @@ func PredictInterval(s Scenario) (Interval, error) {
 // ContainsBBRPerFlow reports whether rate falls inside the predicted
 // per-flow BBR interval, widened by slack (a fraction of each endpoint) on
 // both sides.
+//
+// The endpoints are ordered before the slack is applied: the sync bound is
+// usually the lower one, but the interval can invert (Sync.PerBBR >
+// Desync.PerBBR, e.g. at Nc = 1 where both modes coincide up to float
+// error, or in boundary regimes). Widening before ordering would shrink an
+// inverted interval on one side instead of widening it on both.
 func (iv Interval) ContainsBBRPerFlow(rate units.Rate, slack float64) bool {
-	lo := float64(iv.Sync.PerBBR) * (1 - slack)
-	hi := float64(iv.Desync.PerBBR) * (1 + slack)
+	lo, hi := float64(iv.Sync.PerBBR), float64(iv.Desync.PerBBR)
 	if lo > hi {
 		lo, hi = hi, lo
 	}
+	lo *= 1 - slack
+	hi *= 1 + slack
 	r := float64(rate)
 	return r >= lo && r <= hi
 }
+
+// Regime classifies the scenario's model validity by buffer depth, the
+// same classification Predict stamps on its output — exported so harness
+// reports (e.g. backend cross-validation) can label points without running
+// the model.
+func (s Scenario) Regime() Regime { return regimeFor(s) }
 
 func regimeFor(s Scenario) Regime {
 	x := s.BufferBDP()
@@ -320,11 +333,17 @@ func solveBBRBuffer(b, bdp, s, f float64) (float64, error) {
 		}
 	}
 	// Root finding should never fail in the valid domain; fall back to
-	// Brent for robustness at extreme parameters.
+	// Brent for robustness at extreme parameters. The residual is singular
+	// at b_b = -S and meaningless beyond the buffer, so the bracketing
+	// expansion is confined to [0, B].
 	g := func(bb float64) float64 {
 		return s + s*bdp/(s+bb) - k*(b-bb)
 	}
-	root, err := numeric.Brent(g, 0, b, 1e-6)
+	lo, hi, err := numeric.BracketRootIn(g, b/4, 3*b/4, 0, b, 60)
+	if err != nil {
+		return 0, fmt.Errorf("bracketing Eq 18 residual in [0, %g]: %w", b, err)
+	}
+	root, err := numeric.Brent(g, lo, hi, 1e-6)
 	if err != nil {
 		return 0, err
 	}

@@ -274,3 +274,43 @@ func TestStringers(t *testing.T) {
 		t.Error("Regime.String wrong")
 	}
 }
+
+// TestContainsBBRPerFlowInvertedInterval pins the slack-ordering regression:
+// slack used to be applied to the endpoints before they were ordered, so an
+// inverted interval (Sync.PerBBR > Desync.PerBBR) was narrowed on one side
+// — lo became max*(1-slack) only after the swap, while hi had been computed
+// from the smaller endpoint — instead of widened on both.
+func TestContainsBBRPerFlowInvertedInterval(t *testing.T) {
+	iv := Interval{
+		Sync:   Prediction{PerBBR: 20 * units.Mbps}, // inverted: sync above desync
+		Desync: Prediction{PerBBR: 10 * units.Mbps},
+	}
+	const slack = 0.1
+	// Just below the low endpoint and just above the high one: both are
+	// within 10% slack of the ordered interval [10, 20] and must be inside.
+	for _, r := range []units.Rate{
+		9.5 * units.Mbps,  // 10*(1-slack)=9 <= 9.5
+		10 * units.Mbps,   // the (ordered) low endpoint itself
+		20 * units.Mbps,   // the (ordered) high endpoint itself
+		21.5 * units.Mbps, // 20*(1+slack)=22 >= 21.5
+	} {
+		if !iv.ContainsBBRPerFlow(r, slack) {
+			t.Errorf("inverted interval rejects %v with slack %v", r, slack)
+		}
+	}
+	// Outside the widened bounds stays outside.
+	for _, r := range []units.Rate{8 * units.Mbps, 23 * units.Mbps} {
+		if iv.ContainsBBRPerFlow(r, slack) {
+			t.Errorf("inverted interval accepts %v with slack %v", r, slack)
+		}
+	}
+
+	// A properly ordered interval behaves identically to before.
+	ok := Interval{
+		Sync:   Prediction{PerBBR: 10 * units.Mbps},
+		Desync: Prediction{PerBBR: 20 * units.Mbps},
+	}
+	if !ok.ContainsBBRPerFlow(9.5*units.Mbps, slack) || ok.ContainsBBRPerFlow(8*units.Mbps, slack) {
+		t.Error("ordered interval misclassifies with slack")
+	}
+}

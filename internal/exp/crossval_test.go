@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/units"
+)
+
+func crossValSmokeConfig(pool *runner.Pool, cache *runner.Cache) CrossValConfig {
+	return CrossValConfig{
+		Capacity:   20 * units.Mbps,
+		RTT:        30 * time.Millisecond,
+		Duration:   3 * time.Second,
+		Seed:       7,
+		BufferBDPs: []float64{2, 6},
+		Mixes:      [][2]int{{1, 1}},
+		Scale: Scale{
+			Name:         "crossval-smoke",
+			FlowDuration: 3 * time.Second,
+			Trials:       1,
+			Pool:         pool,
+			Cache:        cache,
+		},
+	}
+}
+
+// TestCrossValidateReport: the harness runs both backends over the grid
+// and produces a schema-complete, internally consistent report. Divergence
+// must be reported, never turned into an error.
+func TestCrossValidateReport(t *testing.T) {
+	rep, err := CrossValidate(crossValSmokeConfig(nil, runner.NewCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != CrossValSchemaVersion {
+		t.Errorf("schema version %d, want %d", rep.SchemaVersion, CrossValSchemaVersion)
+	}
+	if rep.KeyVersion != scenario.KeyVersion {
+		t.Errorf("key version %q, want %q", rep.KeyVersion, scenario.KeyVersion)
+	}
+	if len(rep.Points) != 2 || rep.Summary.Points != 2 {
+		t.Fatalf("got %d points (summary %d), want 2", len(rep.Points), rep.Summary.Points)
+	}
+	for _, p := range rep.Points {
+		if p.Regime == "" {
+			t.Errorf("point buf=%g has no regime label", p.BufferBDP)
+		}
+		if p.PacketBBRMbps <= 0 || p.FluidBBRMbps <= 0 {
+			t.Errorf("point buf=%g has non-positive BBR rates: packet %g fluid %g",
+				p.BufferBDP, p.PacketBBRMbps, p.FluidBBRMbps)
+		}
+		if p.RelErrBBR < 0 || p.RelErrCubic < 0 {
+			t.Errorf("point buf=%g has negative relative error", p.BufferBDP)
+		}
+	}
+	if rep.Summary.MaxRelErr < rep.Summary.MeanRelErr {
+		t.Errorf("summary max %g below mean %g", rep.Summary.MaxRelErr, rep.Summary.MeanRelErr)
+	}
+	// The report must be valid JSON round-trippable by downstream tooling.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CrossValReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Error("report does not survive a JSON round trip")
+	}
+}
+
+// TestCrossValidateDeterministicAcrossWorkers: the report — including
+// every fluid trajectory in it — is byte-identical at any worker count,
+// the same contract figure sweeps keep.
+func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) CrossValReport {
+		cfg := crossValSmokeConfig(runner.NewPool(workers), runner.NewCache())
+		rep, err := CrossValidate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("report differs between 1 and 8 workers:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// TestFluidBackendCachedDistinct: the same scenario on the two backends
+// produces two distinct cache entries (bk= is in the key) and the fluid
+// entry replays from cache byte-identically.
+func TestFluidBackendCachedDistinct(t *testing.T) {
+	sp := scenario.Mix("bbr", 1, 1, 20*units.Mbps,
+		units.BufferBytes(20*units.Mbps, 30*time.Millisecond, 4),
+		30*time.Millisecond, 2*time.Second)
+	sp.Seed = 11
+	fl := sp
+	fl.Backend = scenario.BackendFluid
+	if sp.Key() == fl.Key() {
+		t.Fatalf("backends share a cache key: %q", sp.Key())
+	}
+	cache := runner.NewCache()
+	ctx := context.Background()
+	pktRes, hit, err := RunSpecCached(ctx, sp, cache, nil, nil)
+	if err != nil || hit {
+		t.Fatalf("packet run: hit=%v err=%v", hit, err)
+	}
+	flRes, hit, err := RunSpecCached(ctx, fl, cache, nil, nil)
+	if err != nil || hit {
+		t.Fatalf("fluid run: hit=%v err=%v", hit, err)
+	}
+	if reflect.DeepEqual(pktRes, flRes) {
+		t.Error("packet and fluid results are identical — dispatch did not switch engines")
+	}
+	replay, hit, err := RunSpecCached(ctx, fl, cache, nil, nil)
+	if err != nil || !hit {
+		t.Fatalf("fluid replay: hit=%v err=%v", hit, err)
+	}
+	if !reflect.DeepEqual(flRes, replay) {
+		t.Error("cached fluid result differs from fresh run")
+	}
+}
+
+// TestFluidRejectsOverrides: a fluid spec with a constructor override is a
+// loud error — packet-engine constructors have no fluid form.
+func TestFluidRejectsOverrides(t *testing.T) {
+	cfg := MixConfig{
+		Capacity: 20 * units.Mbps,
+		Buffer:   units.BufferBytes(20*units.Mbps, 30*time.Millisecond, 4),
+		RTT:      30 * time.Millisecond,
+		Duration: time.Second,
+		NumX:     1,
+		NumCubic: 1,
+		Backend:  scenario.BackendFluid,
+		X:        constantWindowCtor(10 * units.MSS),
+	}
+	if _, err := RunMix(cfg); err == nil {
+		t.Error("RunMix accepted a fluid run with a non-registry constructor")
+	}
+}

@@ -73,6 +73,12 @@ type Scale struct {
 	// canonical scenario key; see internal/telemetry. Tracing never changes
 	// a result or a cache key. Nil disables tracing.
 	Trace *telemetry.Recorder
+	// Backend overrides the execution engine for every spec the scale
+	// runs: scenario.BackendPacket or scenario.BackendFluid. Empty leaves
+	// each spec's own backend in force (the packet default). The backend
+	// is part of every canonical key, so switching it re-keys — never
+	// collides with — existing cached results.
+	Backend string
 }
 
 // ctx resolves the scale's context, defaulting to Background.
@@ -141,6 +147,9 @@ type MixConfig struct {
 	X        cc.Constructor
 	NumX     int
 	NumCubic int
+	// Backend selects the execution engine (see scenario.Backends); empty
+	// means the packet simulator.
+	Backend string
 }
 
 // MixResult aggregates a run.
@@ -201,6 +210,9 @@ type GroupConfig struct {
 	RTTs  []time.Duration
 	Sizes []int
 	NumX  []int
+	// Backend selects the execution engine (see scenario.Backends); empty
+	// means the packet simulator.
+	Backend string
 }
 
 // GroupResult carries per-group class averages.

@@ -93,6 +93,11 @@ type NESearchConfig struct {
 	// Trace, when non-nil, records every fresh payoff simulation's run
 	// trace under its canonical scenario key (see internal/telemetry).
 	Trace *telemetry.Recorder
+	// Backend selects the execution engine for every payoff simulation
+	// (see scenario.Backends); empty means the packet simulator. The fluid
+	// backend makes exhaustive payoff tables cheap, at fluid-model
+	// fidelity.
+	Backend string
 }
 
 // NESearchResult is the outcome of one trial's search.
@@ -135,6 +140,7 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 			X:        cfg.X,
 			NumX:     numX,
 			NumCubic: cfg.N - numX,
+			Backend:  cfg.Backend,
 		}
 	}
 	type pair struct{ x, c units.Rate }

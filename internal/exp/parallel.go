@@ -110,6 +110,9 @@ func (s Scale) Sweep(seed uint64, n int, specAt func(i int) scenario.Spec) ([]Sw
 	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(uctx context.Context, j int) (SpecResult, error) {
 		sp := specAt(j / trials)
 		sp.Seed = seeds[j%trials]
+		if s.Backend != "" {
+			sp.Backend = s.Backend
+		}
 		return runner.Protect(sp.Key(), func() (SpecResult, error) {
 			res, _, err := RunSpecCachedTraced(uctx, sp, s.Cache, s.Journal, s.Audit, s.Trace)
 			return res, err
@@ -138,6 +141,9 @@ func (s Scale) SweepMix(seed uint64, n int, cfgAt func(i int) MixConfig) ([]MixR
 	flat, err := runner.MapCtx(s.ctx(), s.Pool, n*trials, func(uctx context.Context, j int) (MixResult, error) {
 		cfg := cfgAt(j / trials)
 		cfg.Seed = seeds[j%trials]
+		if s.Backend != "" {
+			cfg.Backend = s.Backend
+		}
 		return runner.Protect(cfg.key(), func() (MixResult, error) {
 			res, _, err := runMixCached(uctx, cfg, s.Cache, s.Journal, s.Audit, s.Trace)
 			return res, err

@@ -8,6 +8,7 @@ import (
 
 	"bbrnash/internal/cc"
 	"bbrnash/internal/check"
+	"bbrnash/internal/fluid"
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/scenario"
@@ -83,6 +84,9 @@ const progressSlice = time.Second
 // to an untraced one. Override runs have no canonical key and are never
 // traced.
 func runSpecOverride(ctx context.Context, sp scenario.Spec, override map[string]cc.Constructor, rec *telemetry.Recorder) (SpecResult, error) {
+	if sp.WithDefaults().Backend == scenario.BackendFluid {
+		return runSpecFluid(ctx, sp, override)
+	}
 	n, flows, err := netsim.BuildOverride(sp, override)
 	if err != nil {
 		return SpecResult{}, err
@@ -116,6 +120,40 @@ func runSpecOverride(ctx context.Context, sp scenario.Spec, override map[string]
 		return SpecResult{}, err
 	}
 	return res, nil
+}
+
+// runSpecFluid executes a spec on the fluid-model backend under the same
+// chunked cancellation/heartbeat protocol as the packet path. Two
+// deliberate gaps: constructor overrides have no fluid form (the fluid
+// equations model registry algorithms, not arbitrary packet-engine
+// constructors), and fluid runs are never traced — telemetry instruments
+// *netsim.Network event flow, which a fixed-step integration does not
+// have. Both the cached and fresh paths land here, so fluid results are
+// cached, journaled and audited exactly like packet results, under keys
+// that differ by the spec's bk= field.
+func runSpecFluid(ctx context.Context, sp scenario.Spec, override map[string]cc.Constructor) (SpecResult, error) {
+	if override != nil {
+		return SpecResult{}, errors.New("exp: the fluid backend cannot run constructor overrides; use the packet backend for algorithm variants")
+	}
+	sp = sp.WithDefaults()
+	m, err := fluid.New(sp)
+	if err != nil {
+		return SpecResult{}, err
+	}
+	for done := time.Duration(0); done < sp.Duration; {
+		if err := ctx.Err(); err != nil {
+			return SpecResult{}, err
+		}
+		step := progressSlice
+		if rem := sp.Duration - done; rem < step {
+			step = rem
+		}
+		m.Run(step)
+		done += step
+		runner.Progress(ctx, done)
+	}
+	groups, link := m.Stats()
+	return SpecResult{Groups: groups, Link: link}, nil
 }
 
 // RunSpecCached is RunSpec behind the memoizing cache, the resumption
@@ -211,6 +249,7 @@ func (cfg MixConfig) spec() (sp scenario.Spec, override map[string]cc.Constructo
 		StartJitter: scenario.DefaultStartJitter,
 		Duration:    cfg.Duration,
 		Seed:        cfg.Seed,
+		Backend:     cfg.Backend,
 		Groups: []scenario.Group{
 			{Algorithm: name, Count: cfg.NumX, RTT: cfg.RTT},
 			{Algorithm: "cubic", Count: cfg.NumCubic, RTT: cfg.RTT},
@@ -276,6 +315,7 @@ func (cfg GroupConfig) spec() (sp scenario.Spec, override map[string]cc.Construc
 		StartJitter: scenario.DefaultStartJitter,
 		Duration:    cfg.Duration,
 		Seed:        cfg.Seed,
+		Backend:     cfg.Backend,
 		Groups:      groups,
 	}
 	return sp, override, canonical, nil

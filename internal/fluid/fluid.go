@@ -1,0 +1,525 @@
+// Package fluid is the deterministic fixed-step fluid-model execution
+// backend: the second engine behind scenario.Spec, trading the packet
+// simulator's per-packet fidelity for a per-scenario cost that is orders of
+// magnitude lower. Where internal/netsim schedules every segment and ACK,
+// this package integrates aggregate per-group ODEs — window growth, a
+// shared FIFO fluid queue, drop-tail overflow — at a fixed step, and
+// reports the same netsim.FlowStats / netsim.LinkStats shapes, so the
+// experiment harness can swap engines without changing a single figure
+// path.
+//
+// The model is the paper's steady-state story made dynamic:
+//
+//   - BBR keeps inflight pinned to its cwnd bound 2·btlbw·rttEst (Eq 9's
+//     cap), pushing bytes at cwnd/RTT(t) where RTT(t) = τ + q(t)/C. Its
+//     bandwidth estimate btlbw tracks its delivered share through a
+//     max-then-decay filter, and rttEst is a windowed minimum refreshed by
+//     a synchronized ProbeRTT every 10 s: while probing, the group's
+//     inflight collapses to 4·MSS, its queue share drains, and the minimum
+//     RTT observed is τ plus the *competitors'* residual queue over C —
+//     exactly the RTT⁺ = τ + b_cmin/C sampling of Eq 9. The fixed point of
+//     these dynamics is Eq 10: q = C·τ + 2·q_min.
+//   - CUBIC and Reno are window-limited: arrival rate w/RTT(t) per flow,
+//     multiplicative backoff on buffer overflow (at most once per RTT,
+//     synchronized across loss-based groups — the paper's Sync regime),
+//     then concave-convex cube-root growth (CUBIC, β = 0.7) or one
+//     segment per RTT (Reno, β = 0.5).
+//   - The bottleneck is a single fluid FIFO: arrivals a_i(t) split the
+//     service rate in proportion to bytes present, the queue integrates
+//     Σa_i − C and clamps to [0, B], and the clamp's excess is drop-tail
+//     loss attributed to groups by arrival share.
+//
+// Determinism is structural rather than seeded: the integration is a pure
+// float64 recurrence over a fixed group order with no RNG, no maps and no
+// wall clock, so a spec's trajectory is byte-identical across reruns,
+// worker counts and Run() chunkings (time advances only in whole steps at
+// absolute indices; see Run). Spec fields the packet engine randomizes —
+// Seed, AckJitter, StartJitter — are ignored here, and of the fault
+// fields, capacity flaps follow netsim's square wave exactly, stochastic
+// loss becomes an expected-loss accumulator that triggers backoffs, burst
+// episodes become synchronized backoff events, and ACK loss is a no-op.
+// Those approximations are the point: the fluid backend answers "where is
+// the steady state" cheaply, and internal/exp's cross-validation harness
+// quantifies where the two engines diverge.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/units"
+)
+
+// Model constants. The BBR numbers mirror the v1 state machine the paper
+// models: a 2× cwnd gain over the estimated BDP, a 10 s min-RTT window
+// ending in a 200 ms ProbeRTT drain, and a bandwidth filter that forgets a
+// stale maximum over ~10 RTTs. The CUBIC/Reno constants are the standard
+// ones (RFC 8312 / RFC 5681).
+const (
+	cwndGain      = 2.0  // BBR inflight cap as a multiple of btlbw·rttEst (Eq 9)
+	probeInterval = 10.0 // seconds between synchronized ProbeRTT episodes
+	probeDuration = 0.2  // minimum seconds spent draining in ProbeRTT
+	probeRTTCwnd  = 4.0  // MSS held in flight while probing
+	btlbwHorizon  = 10.0 // RTTs over which a stale bandwidth maximum decays
+	cubicC        = 0.4  // CUBIC's C, in segments/s³
+	cubicBeta     = 0.7  // CUBIC multiplicative-decrease factor
+	renoBeta      = 0.5  // Reno multiplicative-decrease factor
+)
+
+// maxStep is the integration ceiling; steep RTTs refine it (see stepFor).
+const maxStep = 1e-3 // seconds
+
+// stepFor picks the fixed integration step for a spec: 1 ms, refined to
+// RTT/20 when the fastest group's control loop is quicker than 20 ms, with
+// a 10 µs floor. The step is a pure function of the spec, so it is part of
+// the scenario's deterministic identity just like the group order.
+func stepFor(sp scenario.Spec) float64 {
+	stp := maxStep
+	for _, g := range sp.Groups {
+		if g.Count == 0 {
+			continue
+		}
+		if s := g.RTT.Seconds() / 20; s < stp {
+			stp = s
+		}
+	}
+	return math.Max(stp, 1e-5)
+}
+
+// group is the aggregate state of one spec group: Count identical flows
+// integrated as one fluid class.
+type group struct {
+	alg   string
+	count float64
+	rtt   float64 // base RTT τ, seconds
+	start float64 // activation time, seconds
+
+	// Loss-based window state (cubic, reno). w is the per-flow window in
+	// bytes; wmax the pre-backoff plateau CUBIC curves toward; epoch the
+	// time of the last backoff (the CUBIC time origin); lastBackoff gates
+	// the one-backoff-per-RTT rule.
+	w           float64
+	wmax        float64
+	epoch       float64
+	lastBackoff float64
+
+	// BBR state: per-flow delivered-rate estimate (bytes/s), the min-RTT
+	// estimate the cwnd bound uses, and the running window minimum that
+	// replaces it when the current ProbeRTT cycle closes.
+	btlbw  float64
+	rttEst float64
+	winMin float64
+
+	// q is the group's bytes currently waiting in the bottleneck buffer.
+	q float64
+
+	// lossAcc accumulates expected fault-injected loss per flow (bytes);
+	// each MSS of it triggers one backoff, the fluid analogue of a
+	// stochastic drop.
+	lossAcc float64
+
+	// Aggregate accumulators over the whole run (group totals, bytes or
+	// byte-seconds; divided per flow in Stats).
+	sent, delivered, dropped   float64
+	rttAcc, activeTime, rttMin float64
+	qAcc, qMin, qMax           float64
+}
+
+func (g *group) lossBased() bool { return g.alg != "bbr" }
+
+func (g *group) beta() float64 {
+	if g.alg == "reno" {
+		return renoBeta
+	}
+	return cubicBeta
+}
+
+// backoff applies one multiplicative decrease at time t.
+func (g *group) backoff(t float64, mss float64) {
+	g.wmax = g.w
+	g.w = math.Max(g.w*g.beta(), mss)
+	g.epoch = t
+	g.lastBackoff = t
+}
+
+// grow advances the post-backoff window to time t: CUBIC's closed-form
+// cube-root curve through (epoch, β·wmax) with plateau wmax, or Reno's one
+// segment per RTT.
+func (g *group) grow(t, dt, rttNow, mss float64) {
+	switch g.alg {
+	case "cubic":
+		c := cubicC * mss // bytes/s³
+		k := math.Cbrt(g.wmax * (1 - cubicBeta) / c)
+		te := t - g.epoch
+		g.w = math.Max(c*(te-k)*(te-k)*(te-k)+g.wmax, mss)
+	case "reno":
+		g.w += mss * dt / rttNow
+	}
+}
+
+// Model integrates one scenario. Create with New, advance with Run, read
+// with Stats; a Model is single-goroutine like netsim.Network.
+type Model struct {
+	sp     scenario.Spec
+	groups []*group
+
+	stp      float64 // integration step, seconds
+	step     int64   // whole steps completed; model time is step·stp
+	grantedN int64   // total nanoseconds granted via Run
+
+	capBytes float64 // nominal capacity, bytes/s
+	buffer   float64 // bytes
+	mss      float64 // bytes
+
+	// Link accumulators.
+	qIntAcc, qMaxSeen   float64 // ∫q dt, max q
+	delayAcc, delayMax  float64 // ∫(q/cEff) dt, max q/cEff
+	deliveredTotal      float64 // bytes through the bottleneck
+	capIntAcc           float64 // ∫cEff dt (mean-capacity bookkeeping)
+	overflowPkts        float64 // drop-tail loss, packets (fractional)
+	injectedBytes       float64 // stochastic fault loss, bytes
+	burstPkts           int     // burst-episode loss, packets
+	burstsDone          int64   // episodes already applied
+	probeStarts         int64   // ProbeRTT episodes already entered
+	probeUntil          float64 // current episode's end time, seconds
+	probing, wasProbing bool    // shared ProbeRTT phase, for edge detection
+
+	// Per-step scratch, preallocated once (the loop runs ~10⁵ steps per
+	// simulated scenario and must not allocate).
+	inflows, servedBy []float64
+}
+
+// New builds the fluid model for a spec. The spec's topology must be valid
+// and every non-empty group's algorithm must be one the fluid equations
+// cover: bbr, cubic or reno (the model-driven algorithms — bbrv2, copa,
+// vivace — have no fluid form here and error out rather than silently
+// running as something else).
+func New(sp scenario.Spec) (*Model, error) {
+	sp = sp.WithDefaults()
+	if err := sp.ValidateTopology(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		sp:       sp,
+		stp:      stepFor(sp),
+		capBytes: sp.Capacity.BytesPerSecond(),
+		buffer:   float64(sp.Buffer),
+		mss:      float64(sp.MSS),
+	}
+	total := float64(sp.TotalFlows())
+	share := m.capBytes / total // fair-share bytes/s per flow
+	for i, sg := range sp.Groups {
+		g := &group{
+			alg:    sg.Algorithm,
+			count:  float64(sg.Count),
+			rtt:    sg.RTT.Seconds(),
+			start:  sg.Start.Seconds(),
+			rttMin: math.Inf(1),
+			qMin:   math.Inf(1),
+			winMin: math.Inf(1),
+		}
+		switch sg.Algorithm {
+		case "bbr":
+			g.btlbw = share
+			g.rttEst = g.rtt
+		case "cubic", "reno":
+			// Fair-share initial conditions: the window that carries the
+			// share at base RTT, entering mid-epoch so growth resumes from
+			// it (wmax = w/β puts the plateau just above).
+			g.w = math.Max(share*g.rtt, m.mss)
+			g.wmax = g.w / g.beta()
+			g.epoch = g.start
+			g.lastBackoff = g.start
+		default:
+			if sg.Count > 0 {
+				return nil, fmt.Errorf("fluid: group %d: no fluid model for algorithm %q (want bbr, cubic or reno)", i, sg.Algorithm)
+			}
+		}
+		m.groups = append(m.groups, g)
+	}
+	m.inflows = make([]float64, len(m.groups))
+	m.servedBy = make([]float64, len(m.groups))
+	return m, nil
+}
+
+// Step returns the model's fixed integration step.
+func (m *Model) Step() time.Duration { return time.Duration(m.stp * float64(time.Second)) }
+
+// Now returns the simulated time reached.
+func (m *Model) Now() time.Duration {
+	return time.Duration(float64(m.step) * m.stp * float64(time.Second))
+}
+
+// Run advances the integration by d. Time only ever advances in whole
+// steps at absolute indices — Run(2s) and Run(1s);Run(1s) execute the
+// identical step sequence — so the harness's progress-chunked execution is
+// exactly resumable, the same contract netsim.Network.Run keeps. A
+// sub-step remainder is carried, not integrated.
+func (m *Model) Run(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.grantedN += d.Nanoseconds()
+	granted := float64(m.grantedN) / float64(time.Second)
+	for float64(m.step+1)*m.stp <= granted {
+		m.advance()
+		m.step++
+	}
+}
+
+// cEffAt is the instantaneous service rate in bytes/s: nominal capacity,
+// reduced by the flap square wave's second half-period (the exact waveform
+// netsim schedules and scenario.Faults.MeanCapacityOver integrates).
+func (m *Model) cEffAt(t float64) float64 {
+	f := m.sp.Faults
+	if f.FlapDepth <= 0 || f.FlapPeriod <= 0 {
+		return m.capBytes
+	}
+	period := f.FlapPeriod.Seconds()
+	if math.Mod(t, period) >= period/2 {
+		return m.capBytes * (1 - f.FlapDepth)
+	}
+	return m.capBytes
+}
+
+// advance integrates one step [t, t+dt).
+func (m *Model) advance() {
+	t := float64(m.step) * m.stp
+	dt := m.stp
+	cEff := m.cEffAt(t)
+	m.capIntAcc += cEff * dt
+
+	qTotal := 0.0
+	for _, g := range m.groups {
+		qTotal += g.q
+	}
+
+	// Shared ProbeRTT phase: after the first 10 s, every BBR group drains
+	// simultaneously at each 10 s boundary (real BBR flows sharing a
+	// bottleneck synchronize their ProbeRTT; the paper's Eq 9 sampling
+	// assumes exactly this). An episode lasts max(200 ms, one RTT as
+	// currently observed) — the spec's floor — which is what lets the
+	// probe drain even a deep buffer's standing queue far enough to sample
+	// the competitors' minimum occupancy.
+	m.wasProbing = m.probing
+	if due := int64(t / probeInterval); due > m.probeStarts && t >= probeInterval {
+		m.probeStarts = due
+		rttMax := 0.0
+		for _, g := range m.groups {
+			if g.alg == "bbr" && g.count > 0 && t >= g.start {
+				rttMax = math.Max(rttMax, g.rtt+qTotal/cEff)
+			}
+		}
+		if rttMax > 0 {
+			m.probeUntil = t + math.Max(probeDuration, rttMax)
+		}
+	}
+	m.probing = t < m.probeUntil
+
+	// Arrival rates. RTT(t) = τ + q/cEff: the whole queue delays everyone.
+	inflows := m.inflows
+	inflowTotal := 0.0
+	for i, g := range m.groups {
+		a := 0.0
+		if g.count > 0 && t >= g.start {
+			rttNow := g.rtt + qTotal/cEff
+			switch {
+			case g.alg == "bbr" && m.probing:
+				a = g.count * probeRTTCwnd * m.mss / rttNow
+			case g.alg == "bbr":
+				a = g.count * cwndGain * g.btlbw * g.rttEst / rttNow
+			default:
+				g.grow(t, dt, rttNow, m.mss)
+				a = g.count * g.w / rttNow
+			}
+			// Stats: time-weighted RTT while active.
+			g.rttAcc += rttNow * dt
+			g.activeTime += dt
+			g.rttMin = math.Min(g.rttMin, rttNow)
+			// BBR's min-RTT window watches continuously; its estimate
+			// absorbs new lows immediately and rises only when a cycle
+			// closes (below).
+			if g.alg == "bbr" {
+				g.winMin = math.Min(g.winMin, rttNow)
+				g.rttEst = math.Min(g.rttEst, rttNow)
+			}
+		}
+		inflows[i] = a * dt
+		inflowTotal += a * dt
+		g.sent += a * dt
+	}
+
+	// Fault injection ahead of the queue: stochastic loss thins arrivals
+	// and accumulates expected per-flow drops; a crossed burst boundary
+	// claims BurstLen packets and acts as one synchronized loss event.
+	f := m.sp.Faults
+	burst := false
+	if f.BurstLen > 0 && f.BurstEvery > 0 {
+		if due := int64((t + dt) / f.BurstEvery.Seconds()); due > m.burstsDone {
+			m.burstPkts += int(due-m.burstsDone) * f.BurstLen
+			m.burstsDone = due
+			burst = true
+		}
+	}
+	if f.LossRate > 0 && inflowTotal > 0 {
+		for i, g := range m.groups {
+			lost := inflows[i] * f.LossRate
+			inflows[i] -= lost
+			m.injectedBytes += lost
+			g.dropped += lost
+			if g.count > 0 {
+				g.lossAcc += lost / g.count
+			}
+		}
+		inflowTotal *= 1 - f.LossRate
+	}
+
+	// FIFO fluid queue: serve up to cEff·dt from the bytes present, split
+	// service by presence share, clamp to the buffer, and attribute the
+	// clamp's excess (drop-tail loss) by arrival share.
+	avail := qTotal + inflowTotal
+	served := math.Min(avail, cEff*dt)
+	left := avail - served
+	overflow := math.Max(left-m.buffer, 0)
+	for i, g := range m.groups {
+		present := g.q + inflows[i]
+		var servedI, overflowI float64
+		if avail > 0 {
+			servedI = served * present / avail
+		}
+		if overflow > 0 && inflowTotal > 0 {
+			overflowI = overflow * inflows[i] / inflowTotal
+		}
+		m.servedBy[i] = servedI
+		g.delivered += servedI
+		g.dropped += overflowI
+		g.q = math.Max(present-servedI-overflowI, 0)
+	}
+	m.deliveredTotal += served
+	m.overflowPkts += overflow / m.mss
+
+	// Loss response: overflow or a burst episode backs off every
+	// loss-based group that is sending and out of its post-backoff RTT —
+	// synchronized decrease, the paper's Sync regime. Accumulated
+	// stochastic loss triggers per-group backoffs the same way. BBR v1 is
+	// loss-blind and ignores all of it.
+	qAfter := 0.0
+	for _, g := range m.groups {
+		qAfter += g.q
+	}
+	for i, g := range m.groups {
+		if !g.lossBased() || g.count == 0 || t < g.start {
+			continue
+		}
+		rttNow := g.rtt + qAfter/cEff
+		canBack := t+dt-g.lastBackoff >= rttNow
+		if (overflow > 0 || burst) && inflows[i] > 0 && canBack {
+			g.backoff(t+dt, m.mss)
+		} else if g.lossAcc >= m.mss && canBack {
+			g.lossAcc -= m.mss
+			g.backoff(t+dt, m.mss)
+		}
+	}
+
+	// BBR filters: the delivered-rate sample feeds a max filter that
+	// forgets over btlbwHorizon RTTs; a closing min-RTT cycle commits the
+	// window minimum. Estimates freeze during ProbeRTT — the drain is
+	// self-inflicted, not evidence about the path.
+	probeEnded := m.wasProbing && !m.probing
+	for i, g := range m.groups {
+		if g.alg != "bbr" || g.count == 0 || t < g.start {
+			continue
+		}
+		if !m.probing && avail > 0 {
+			// Per-flow delivered rate this step.
+			rate := m.servedBy[i] / (g.count * dt)
+			if rate > g.btlbw {
+				g.btlbw = rate
+			} else {
+				g.btlbw += (rate - g.btlbw) * dt / (btlbwHorizon * g.rtt)
+			}
+		}
+		if probeEnded && !math.IsInf(g.winMin, 1) {
+			g.rttEst = math.Max(g.winMin, g.rtt)
+			g.winMin = math.Inf(1)
+		}
+	}
+
+	// Link and per-group queue statistics for the step.
+	m.qIntAcc += qAfter * dt
+	m.qMaxSeen = math.Max(m.qMaxSeen, qAfter)
+	delay := qAfter / cEff
+	m.delayAcc += delay * dt
+	m.delayMax = math.Max(m.delayMax, delay)
+	for _, g := range m.groups {
+		if g.count == 0 || t < g.start {
+			continue
+		}
+		g.qAcc += g.q * dt
+		g.qMin = math.Min(g.qMin, g.q)
+		g.qMax = math.Max(g.qMax, g.q)
+	}
+}
+
+// Stats reports per-flow statistics in spec group order plus the link's,
+// in exactly netsim's shapes and naming (flow i of group gi is
+// "g<gi>.<alg><i>"), so exp.SpecResult is backend-agnostic. Flows within a
+// group are identical by construction — the fluid class integrates them as
+// one — so each reports the group aggregate divided by count.
+func (m *Model) Stats() ([][]netsim.FlowStats, netsim.LinkStats) {
+	dur := float64(m.step) * m.stp
+	groups := make([][]netsim.FlowStats, len(m.groups))
+	for gi, g := range m.groups {
+		if g.count == 0 {
+			continue
+		}
+		n := g.count
+		st := netsim.FlowStats{
+			Algorithm:  g.alg,
+			Delivered:  units.Bytes(g.delivered / n),
+			SentBytes:  units.Bytes(g.sent / n),
+			Lost:       int(g.dropped / (n * m.mss)),
+			MinRTT:     finiteDuration(g.rttMin),
+			MeanQueueOccupancy: units.Bytes(0),
+		}
+		if dur > 0 {
+			st.Throughput = units.Rate(g.delivered / n * 8 / dur)
+			st.MeanQueueOccupancy = units.Bytes(g.qAcc / (n * dur))
+		}
+		if g.activeTime > 0 {
+			st.MeanRTT = time.Duration(g.rttAcc / g.activeTime * float64(time.Second))
+		}
+		if !math.IsInf(g.qMin, 1) {
+			st.MinQueueOccupancy = units.Bytes(g.qMin / n)
+		}
+		st.MaxQueueOccupancy = units.Bytes(g.qMax / n)
+		for i := 0; i < int(g.count); i++ {
+			fi := st
+			fi.Name = fmt.Sprintf("g%d.%s%d", gi, g.alg, i)
+			groups[gi] = append(groups[gi], fi)
+		}
+	}
+	link := netsim.LinkStats{
+		MaxQueueOccupancy: units.Bytes(m.qMaxSeen),
+		MaxQueueDelay:     time.Duration(m.delayMax * float64(time.Second)),
+		Drops:             int(m.overflowPkts),
+		InjectedDrops:     int(m.injectedBytes/m.mss) + m.burstPkts,
+	}
+	if dur > 0 {
+		link.Utilization = m.deliveredTotal / dur / m.capBytes
+		link.MeanQueueOccupancy = units.Bytes(m.qIntAcc / dur)
+		link.MeanQueueDelay = time.Duration(m.delayAcc / dur * float64(time.Second))
+	}
+	return groups, link
+}
+
+// finiteDuration converts a possibly-unset (+Inf) seconds minimum.
+func finiteDuration(s float64) time.Duration {
+	if math.IsInf(s, 1) {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

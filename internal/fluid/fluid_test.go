@@ -1,0 +1,220 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"bbrnash/internal/check"
+	"bbrnash/internal/core"
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/units"
+)
+
+func mixSpec(numBBR, numCubic int, bufBDP float64) scenario.Spec {
+	capacity := 40 * units.Mbps
+	rtt := 40 * time.Millisecond
+	sp := scenario.Mix("bbr", numBBR, numCubic, capacity,
+		units.BufferBytes(capacity, rtt, bufBDP), rtt, 2*time.Minute)
+	sp.Backend = scenario.BackendFluid
+	return sp
+}
+
+func runStats(t *testing.T, sp scenario.Spec, chunk time.Duration) ([][]netsim.FlowStats, netsim.LinkStats) {
+	t.Helper()
+	m, err := New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunk <= 0 {
+		chunk = sp.Duration
+	}
+	for done := time.Duration(0); done < sp.Duration; done += chunk {
+		step := chunk
+		if rem := sp.Duration - done; rem < step {
+			step = rem
+		}
+		m.Run(step)
+	}
+	gs, link := m.Stats()
+	return gs, link
+}
+
+// TestTrajectoryDeterministic: the integration is a pure recurrence — two
+// fresh models of the same spec report bit-identical statistics, and
+// chunked execution (the harness's progress heartbeat mode) changes
+// nothing. This is the fluid backend's analogue of netsim's trace goldens:
+// any drift here would silently split cache entries.
+func TestTrajectoryDeterministic(t *testing.T) {
+	sp := mixSpec(2, 3, 6)
+	sp.Faults = scenario.Faults{LossRate: 0.0005, FlapPeriod: 5 * time.Second, FlapDepth: 0.3}
+	aG, aL := runStats(t, sp, 0)
+	bG, bL := runStats(t, sp, 0)
+	cG, cL := runStats(t, sp, time.Second)
+	dG, dL := runStats(t, sp, 7*time.Millisecond) // deliberately step-misaligned
+	for name, got := range map[string][][]netsim.FlowStats{"rebuild": bG, "chunk1s": cG, "chunk7ms": dG} {
+		if !reflect.DeepEqual(aG, got) {
+			t.Errorf("%s: flow stats differ from reference run", name)
+		}
+	}
+	for name, got := range map[string]netsim.LinkStats{"rebuild": bL, "chunk1s": cL, "chunk7ms": dL} {
+		if aL != got {
+			t.Errorf("%s: link stats differ: %+v vs %+v", name, got, aL)
+		}
+	}
+}
+
+// TestGoldenSteadyState pins a representative trajectory's outcome to
+// exact values. The float64 recurrence has no legitimate reason to drift:
+// if this fails, the integration changed and every fluid cache entry is
+// stale — bump scenario.KeyVersion and regenerate.
+func TestGoldenSteadyState(t *testing.T) {
+	gs, link := runStats(t, mixSpec(2, 2, 6), 0)
+	var agg units.Rate
+	for _, g := range gs {
+		for _, f := range g {
+			agg += f.Throughput
+		}
+	}
+	// Pin to full float64 text precision.
+	got := fmt.Sprintf("agg=%x util=%x drops=%d", float64(agg), link.Utilization, link.Drops)
+	const want = "agg=0x1.30ef26e90032ap+25 util=0x1.ff983c7bb1ab4p-01 drops=34302"
+	if got != want {
+		t.Errorf("golden steady state drifted:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestSteadyStateMatchesModel: the property the backend exists for — on
+// the paper's valid regime, the fluid fixed point lands inside the
+// closed-form sync/desync prediction interval (with slack: the fluid
+// dynamics resolve transients the algebra idealizes away).
+func TestSteadyStateMatchesModel(t *testing.T) {
+	cases := []struct {
+		numBBR, numCubic int
+		bufBDP           float64
+	}{
+		{1, 1, 4}, {1, 1, 8}, {2, 2, 4}, {2, 2, 8}, {1, 3, 6}, {3, 1, 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("b%d_c%d_buf%g", tc.numBBR, tc.numCubic, tc.bufBDP)
+		t.Run(name, func(t *testing.T) {
+			sp := mixSpec(tc.numBBR, tc.numCubic, tc.bufBDP)
+			gs, _ := runStats(t, sp, 0)
+			perBBR := gs[0][0].Throughput
+			iv, err := core.PredictInterval(core.Scenario{
+				Capacity: sp.Capacity,
+				Buffer:   sp.Buffer,
+				RTT:      40 * time.Millisecond,
+				NumBBR:   tc.numBBR,
+				NumCubic: tc.numCubic,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("fluid per-BBR %.2f Mbps, model sync %.2f / desync %.2f Mbps",
+				float64(perBBR)/1e6, float64(iv.Sync.PerBBR)/1e6, float64(iv.Desync.PerBBR)/1e6)
+			if !iv.ContainsBBRPerFlow(perBBR, 0.30) {
+				t.Errorf("fluid per-BBR share %.2f Mbps outside model interval [%.2f, %.2f] ±30%%",
+					float64(perBBR)/1e6, float64(iv.Sync.PerBBR)/1e6, float64(iv.Desync.PerBBR)/1e6)
+			}
+		})
+	}
+}
+
+// TestAuditClean: fluid statistics satisfy the same physical invariants the
+// packet engine's do — the harness audits cached and fresh fluid results
+// with check.Flows, so a violation here would poison strict runs.
+func TestAuditClean(t *testing.T) {
+	specs := map[string]scenario.Spec{
+		"mix":     mixSpec(2, 2, 6),
+		"shallow": mixSpec(2, 2, 0.5),
+		"bbronly": mixSpec(3, 0, 4),
+		"cubonly": mixSpec(0, 3, 4),
+		"faulted": func() scenario.Spec {
+			sp := mixSpec(2, 2, 4)
+			sp.Faults = scenario.Faults{LossRate: 0.001, FlapPeriod: 4 * time.Second, FlapDepth: 0.4,
+				BurstEvery: 10 * time.Second, BurstLen: 8}
+			return sp
+		}(),
+	}
+	for name, sp := range specs {
+		sp := sp
+		t.Run(name, func(t *testing.T) {
+			gs, link := runStats(t, sp, 0)
+			lim := check.Limits{
+				Capacity:     sp.Capacity,
+				Buffer:       sp.Buffer,
+				Pipe:         sp.Buffer + units.BDP(sp.Capacity, sp.MaxRTT()),
+				MinCapacity:  sp.Faults.MinCapacity(sp.Capacity),
+				MeanCapacity: sp.Faults.MeanCapacityOver(sp.Capacity, sp.Duration),
+			}
+			var flows []netsim.FlowStats
+			for _, g := range gs {
+				flows = append(flows, g...)
+			}
+			for _, v := range check.Flows(sp.Key(), lim, flows, &link) {
+				t.Errorf("invariant violation: %s", v)
+			}
+		})
+	}
+}
+
+// TestUnsupportedAlgorithm: algorithms without a fluid form are a loud
+// error, not a silent misrun — unless the group is empty, which sweeps
+// legitimately produce.
+func TestUnsupportedAlgorithm(t *testing.T) {
+	for _, alg := range []string{"bbrv2", "copa", "vivace"} {
+		sp := mixSpec(1, 1, 4)
+		sp.Groups[0].Algorithm = alg
+		if _, err := New(sp); err == nil {
+			t.Errorf("New accepted unsupported algorithm %q", alg)
+		}
+		sp.Groups[0].Count = 0
+		if _, err := New(sp); err != nil {
+			t.Errorf("New rejected empty group of %q: %v", alg, err)
+		}
+	}
+}
+
+// TestEmptyGroupShape: empty groups keep their slot (group indices are
+// part of the result contract) and flows are named exactly as netsim names
+// them.
+func TestEmptyGroupShape(t *testing.T) {
+	gs, _ := runStats(t, mixSpec(0, 2, 4), 0)
+	if len(gs) != 2 {
+		t.Fatalf("got %d groups, want 2", len(gs))
+	}
+	if len(gs[0]) != 0 {
+		t.Errorf("empty BBR group reported %d flows", len(gs[0]))
+	}
+	if len(gs[1]) != 2 {
+		t.Fatalf("CUBIC group reported %d flows, want 2", len(gs[1]))
+	}
+	if gs[1][0].Name != "g1.cubic0" || gs[1][1].Name != "g1.cubic1" {
+		t.Errorf("flow names %q, %q; want netsim naming g1.cubic0/g1.cubic1", gs[1][0].Name, gs[1][1].Name)
+	}
+}
+
+// TestBBRAloneStandingQueue: a lone BBR class settles at the paper's
+// 2·BDP inflight — a standing queue of about one BDP — and full link
+// utilization, the baseline behaviour Eq 9 reduces to without competitors.
+func TestBBRAloneStandingQueue(t *testing.T) {
+	sp := mixSpec(2, 0, 8)
+	gs, link := runStats(t, sp, 0)
+	if link.Utilization < 0.9 {
+		t.Errorf("BBR-only utilization %.3f, want near 1", link.Utilization)
+	}
+	bdp := float64(units.BDP(sp.Capacity, 40*time.Millisecond))
+	q := float64(link.MeanQueueOccupancy)
+	if q < 0.5*bdp || q > 1.6*bdp {
+		t.Errorf("BBR-only standing queue %.0fB, want ≈1 BDP (%.0fB)", q, bdp)
+	}
+	_ = gs
+	if math.IsNaN(link.Utilization) {
+		t.Error("NaN utilization")
+	}
+}

@@ -220,10 +220,33 @@ func FixedPoint(g func(float64) float64, x0, tol, damp float64) (float64, error)
 
 // BracketRoot expands an initial guess interval [a, b] geometrically until it
 // brackets a sign change of f, up to maxExpand doublings. It is useful when
-// only a rough location of the root is known.
+// only a rough location of the root is known. The expansion is unbounded;
+// when f has a restricted valid domain (a singularity, a physical bound),
+// use BracketRootIn instead so the search never evaluates f outside it.
 func BracketRoot(f func(float64) float64, a, b float64, maxExpand int) (lo, hi float64, err error) {
+	return BracketRootIn(f, a, b, math.Inf(-1), math.Inf(1), maxExpand)
+}
+
+// BracketRootIn is BracketRoot restricted to the domain [domLo, domHi]:
+// the expanding endpoints are clamped to the domain, so f is never
+// evaluated outside it (e.g. below 0 where a residual is singular). The
+// initial guesses are clamped too. Once both endpoints are pinned at the
+// domain bounds without a sign change, no further expansion can help and
+// ErrNoBracket is returned early.
+func BracketRootIn(f func(float64) float64, a, b, domLo, domHi float64, maxExpand int) (lo, hi float64, err error) {
+	if domLo > domHi {
+		domLo, domHi = domHi, domLo
+	}
+	a = Clamp(a, domLo, domHi)
+	b = Clamp(b, domLo, domHi)
 	if a == b {
-		b = a + 1
+		b = Clamp(a+1, domLo, domHi)
+		if a == b { // degenerate domain: a single point cannot bracket
+			if f(a) == 0 {
+				return a, b, nil
+			}
+			return 0, 0, ErrNoBracket
+		}
 	}
 	if a > b {
 		a, b = b, a
@@ -233,12 +256,15 @@ func BracketRoot(f func(float64) float64, a, b float64, maxExpand int) (lo, hi f
 		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 {
 			return a, b, nil
 		}
+		if a == domLo && b == domHi {
+			return 0, 0, ErrNoBracket
+		}
 		w := b - a
-		if math.Abs(fa) < math.Abs(fb) {
-			a -= w
+		if math.Abs(fa) < math.Abs(fb) && a > domLo || b == domHi {
+			a = math.Max(a-w, domLo)
 			fa = f(a)
 		} else {
-			b += w
+			b = math.Min(b+w, domHi)
 			fb = f(b)
 		}
 	}
@@ -274,15 +300,30 @@ func Linspace(lo, hi float64, n int) []float64 {
 	return out
 }
 
-// Arange returns values lo, lo+step, ... up to and including hi (within half
-// a step of floating error). step must be positive and lo <= hi.
+// Arange returns values lo, lo+step, ... up to and including hi (within a
+// tiny relative tolerance of floating error). step must be positive and
+// lo <= hi.
+//
+// Each value is computed as lo + i*step rather than by repeated addition:
+// accumulating x += step drifts by an ulp per step, and across a long grid
+// the drift can drop or duplicate the endpoint depending on which way it
+// accumulated. The previous accumulate-and-compare form also used a cutoff
+// of hi + step/2, which let the grid overshoot hi by up to half a step
+// (Arange(1, 50, 2) produced a 51). The index form makes the grid size an
+// exact function of (hi-lo)/step and never emits a value beyond hi.
 func Arange(lo, hi, step float64) []float64 {
 	if step <= 0 {
 		panic("numeric: Arange needs positive step")
 	}
-	var out []float64
-	for x := lo; x <= hi+step/2; x += step {
-		out = append(out, x)
+	// The 1e-9 slack admits an endpoint that lands on hi up to float noise
+	// without admitting the next grid point.
+	n := int(math.Floor((hi-lo)/step + 1e-9))
+	if n < 0 {
+		return nil
+	}
+	out := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		out = append(out, lo+float64(i)*step)
 	}
 	return out
 }

@@ -235,3 +235,120 @@ func TestArangeFloatAccumulation(t *testing.T) {
 		t.Errorf("Arange(0.5,50,0.5) has %d points, want 100", len(xs))
 	}
 }
+
+// TestArangeEndpointNoOvershoot pins the regression for the accumulate-and-
+// compare Arange: the old hi+step/2 cutoff admitted one grid point beyond
+// hi (Arange(1,50,2) emitted a 51).
+func TestArangeEndpointNoOvershoot(t *testing.T) {
+	xs := Arange(1, 50, 2)
+	if last := xs[len(xs)-1]; last > 50 {
+		t.Errorf("Arange(1,50,2) overshoots hi: last = %v", last)
+	}
+	if len(xs) != 25 || xs[len(xs)-1] != 49 {
+		t.Errorf("Arange(1,50,2) = %d points ending %v, want 25 ending 49", len(xs), xs[len(xs)-1])
+	}
+}
+
+// TestArangeFigureGrids pins the exact grid sizes of the figure generators
+// (Fig 1, Fig 3, Fig 4 in internal/exp/figures.go): an Arange drift that
+// drops or duplicates an endpoint would silently change every downstream
+// sweep's cache keys and chart shape.
+func TestArangeFigureGrids(t *testing.T) {
+	cases := []struct {
+		lo, hi, step float64
+		n            int
+		last         float64
+	}{
+		{1, 50, 2, 25, 49},    // Fig 1
+		{1, 30, 0.5, 59, 30},  // Fig 3
+		{1, 30, 1, 30, 30},    // Fig 4
+	}
+	for _, c := range cases {
+		xs := Arange(c.lo, c.hi, c.step)
+		if len(xs) != c.n {
+			t.Errorf("Arange(%v,%v,%v) has %d points, want %d", c.lo, c.hi, c.step, len(xs), c.n)
+		}
+		if got := xs[len(xs)-1]; got != c.last {
+			t.Errorf("Arange(%v,%v,%v) ends at %v, want %v", c.lo, c.hi, c.step, got, c.last)
+		}
+		for i := 1; i < len(xs); i++ {
+			if xs[i] <= xs[i-1] {
+				t.Fatalf("Arange(%v,%v,%v) not strictly increasing at %d: %v",
+					c.lo, c.hi, c.step, i, xs[i-1:i+1])
+			}
+		}
+	}
+}
+
+// TestArangeDriftProneGrids exercises steps that are not exactly
+// representable: repeated accumulation drifts across hundreds of points and
+// historically dropped or duplicated endpoints.
+func TestArangeDriftProneGrids(t *testing.T) {
+	cases := []struct {
+		lo, hi, step float64
+		n            int
+	}{
+		{0, 1, 0.1, 11},
+		{0, 10, 0.1, 101},
+		{0, 100, 0.1, 1001},
+		{0.1, 0.9, 0.2, 5},
+		{1, 250, 0.25, 997},
+	}
+	for _, c := range cases {
+		xs := Arange(c.lo, c.hi, c.step)
+		if len(xs) != c.n {
+			t.Errorf("Arange(%v,%v,%v) has %d points, want %d", c.lo, c.hi, c.step, len(xs), c.n)
+		}
+	}
+}
+
+func TestBracketRootIn(t *testing.T) {
+	// The root at 100 is reachable within the domain: same answer as the
+	// unbounded form.
+	f := func(x float64) float64 { return x - 100 }
+	lo, hi, err := BracketRootIn(f, 0, 1, 0, 1000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= 100 && 100 <= hi) {
+		t.Errorf("bracket [%v, %v] does not contain 100", lo, hi)
+	}
+
+	// A residual singular below zero (as Eq 18's is at b_b = -S): the
+	// bounded search must never evaluate f at a negative argument.
+	evaluatedNegative := false
+	g := func(x float64) float64 {
+		if x < 0 {
+			evaluatedNegative = true
+		}
+		return 1 / (x + 0.5) // no root: same sign everywhere in domain
+	}
+	if _, _, err := BracketRootIn(g, 0.25, 0.5, 0, 10, 60); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+	if evaluatedNegative {
+		t.Error("BracketRootIn evaluated f outside [0, 10]")
+	}
+
+	// Root near the domain edge: expansion clamps at the bound and still
+	// brackets.
+	h := func(x float64) float64 { return x - 9.5 }
+	lo, hi, err = BracketRootIn(h, 1, 2, 0, 10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= 9.5 && 9.5 <= hi) || hi > 10 {
+		t.Errorf("bracket [%v, %v] wrong for root 9.5 in [0,10]", lo, hi)
+	}
+
+	// Pinned-at-both-bounds exits early with ErrNoBracket rather than
+	// spinning through maxExpand.
+	calls := 0
+	k := func(x float64) float64 { calls++; return 1 }
+	if _, _, err := BracketRootIn(k, 0, 10, 0, 10, 1 << 20); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+	if calls > 8 {
+		t.Errorf("BracketRootIn made %d calls on an unbracketable pinned domain", calls)
+	}
+}

@@ -308,14 +308,14 @@ func TestCacheSaveFileMode(t *testing.T) {
 	}
 }
 
-// TestOpenCacheV2PrunedUnderV3: the concrete migration this repo shipped —
-// a store written under key generation v2 (before fault-injection fields
+// TestOpenCacheV3PrunedUnderV4: the concrete migration this repo shipped —
+// a store written under key generation v3 (before the execution backend
 // entered the canonical key) opened by a binary recognizing only
-// scenario.KeyVersion (v3) serves nothing, and the next Save prunes the v2
-// entries from disk. Guards against v2 results (simulated without fault
-// semantics) silently answering v3 queries.
-func TestOpenCacheV2PrunedUnderV3(t *testing.T) {
-	if scenario.KeyVersion != "v3" {
+// scenario.KeyVersion (v4) serves nothing, and the next Save prunes the v3
+// entries from disk. Guards against v3 results (simulated before backend
+// dispatch existed) silently answering v4 queries for either backend.
+func TestOpenCacheV3PrunedUnderV4(t *testing.T) {
+	if scenario.KeyVersion != "v4" {
 		t.Fatalf("scenario.KeyVersion = %q; update this migration test", scenario.KeyVersion)
 	}
 	path := filepath.Join(t.TempDir(), "cache.json")
@@ -323,8 +323,8 @@ func TestOpenCacheV2PrunedUnderV3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2Key := "scenario|v2|cap=0x1.908b1p+25|buf=0x1p+20|mss=0x1.77p+10|aj=0|sj=0|dur=10000000000|seed=1|g=bbr:1:40000000:0"
-	c.Put(v2Key, fakeResult{Throughput: 5})
+	v3Key := "scenario|v3|cap=0x1.908b1p+25|buf=0x1p+20|mss=0x1.77p+10|aj=0|sj=0|dur=10000000000|seed=1|fl=0|al=0|fp=0|fd=0|be=0|bl=0|g=bbr:1:40000000:0"
+	c.Put(v3Key, fakeResult{Throughput: 5})
 	if err := c.Save(); err != nil {
 		t.Fatal(err)
 	}
@@ -334,13 +334,13 @@ func TestOpenCacheV2PrunedUnderV3(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out fakeResult
-	if re.Get(v2Key, &out) {
-		t.Error("v2 entry served under v3")
+	if re.Get(v3Key, &out) {
+		t.Error("v3 entry served under v4")
 	}
 	if re.Len() != 0 {
 		t.Errorf("reopened Len = %d, want 0", re.Len())
 	}
-	re.Put("scenario|v3|fresh", fakeResult{Throughput: 6})
+	re.Put("scenario|v4|fresh", fakeResult{Throughput: 6})
 	if err := re.Save(); err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +348,7 @@ func TestOpenCacheV2PrunedUnderV3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(string(data), "scenario|v2|") {
-		t.Error("Save left v2 entries on disk")
+	if strings.Contains(string(data), "scenario|v3|") {
+		t.Error("Save left v3 entries on disk")
 	}
 }

@@ -46,6 +46,7 @@ type specJSON struct {
 	StartJitter  string      `json:"start_jitter,omitempty"`
 	Duration     string      `json:"duration"`
 	Seed         uint64      `json:"seed"`
+	Backend      string      `json:"backend,omitempty"`
 	Faults       *faultsJSON `json:"faults,omitempty"`
 	Groups       []groupJSON `json:"groups"`
 }
@@ -78,6 +79,7 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		StartJitter: formatDuration(s.StartJitter),
 		Duration:    s.Duration.String(),
 		Seed:        s.Seed,
+		Backend:     s.Backend,
 		Groups:      make([]groupJSON, len(s.Groups)),
 	}
 	if s.Faults != (Faults{}) {
@@ -144,6 +146,7 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	s.Seed = in.Seed
+	s.Backend = in.Backend
 	s.Faults = Faults{}
 	if in.Faults != nil {
 		s.Faults.LossRate = in.Faults.LossRate

@@ -12,10 +12,12 @@ import (
 // semantics behind it change, and stores written by older generations are
 // skipped on load (runner.OpenCache) instead of silently mixed in.
 //
-// v3 added the fault-injection fields (fl/al/fp/fd/be/bl); v2 stores are
-// accepted by OpenCache's version filter in the sense that opening them is
-// not an error — their entries are skipped and pruned on the next save.
-const KeyVersion = "v3"
+// v4 added the execution-backend field (bk) so packet-level and fluid-model
+// results can never collide; v3 added the fault-injection fields
+// (fl/al/fp/fd/be/bl). Stores written by older generations are accepted by
+// OpenCache's version filter in the sense that opening them is not an error
+// — their entries are skipped and pruned on the next save.
+const KeyVersion = "v4"
 
 // KeyPrefix starts every canonical scenario key.
 const KeyPrefix = "scenario|" + KeyVersion + "|"
@@ -33,8 +35,8 @@ func fx(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
 func (s Spec) Key() string {
 	s = s.WithDefaults()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%scap=%s|buf=%s|mss=%s|aj=%d|sj=%d|dur=%d|seed=%d|",
-		KeyPrefix, fx(float64(s.Capacity)), fx(float64(s.Buffer)), fx(float64(s.MSS)),
+	fmt.Fprintf(&b, "%sbk=%s|cap=%s|buf=%s|mss=%s|aj=%d|sj=%d|dur=%d|seed=%d|",
+		KeyPrefix, s.Backend, fx(float64(s.Capacity)), fx(float64(s.Buffer)), fx(float64(s.MSS)),
 		int64(s.AckJitter), int64(s.StartJitter), int64(s.Duration), s.Seed)
 	f := s.Faults
 	fmt.Fprintf(&b, "fl=%s|al=%s|fp=%d|fd=%s|be=%d|bl=%d|g=",

@@ -46,6 +46,22 @@ type Group struct {
 	Start     time.Duration
 }
 
+// Execution backends. A spec names which engine evaluates it: the
+// packet-level event simulator (internal/netsim) or the deterministic
+// fixed-step fluid model (internal/fluid). The backend is part of the
+// scenario's identity — the two engines approximate the same physics at
+// very different fidelity and cost, so their results must never share a
+// cache entry (the canonical key carries the backend since generation v4).
+const (
+	// BackendPacket is the packet-level event simulator, the default.
+	BackendPacket = "packet"
+	// BackendFluid is the fixed-step fluid-model integrator.
+	BackendFluid = "fluid"
+)
+
+// Backends lists the valid backend names.
+func Backends() []string { return []string{BackendPacket, BackendFluid} }
+
 // Spec is one complete scenario: the bottleneck, the simulated duration,
 // the deterministic seed, and the ordered flow groups sharing the link.
 // Groups with Count 0 are legal and meaningful — a sweep over "k BBR vs
@@ -59,6 +75,10 @@ type Spec struct {
 	StartJitter time.Duration
 	Duration    time.Duration
 	Seed        uint64
+	// Backend selects the execution engine: BackendPacket (the event
+	// simulator) or BackendFluid (the fixed-step fluid model). Empty means
+	// BackendPacket.
+	Backend string
 	// Faults injects deterministic adverse-link conditions (loss, ACK
 	// loss, capacity flaps, loss bursts); the zero value is a clean link.
 	Faults Faults
@@ -67,10 +87,14 @@ type Spec struct {
 
 // WithDefaults fills the zero-value fields that have canonical defaults.
 // Key and the builders resolve defaults first, so a spec written with
-// MSS 0 and one written with the explicit default are the same scenario.
+// MSS 0 and one written with the explicit default are the same scenario
+// (and likewise Backend "" and "packet").
 func (s Spec) WithDefaults() Spec {
 	if s.MSS <= 0 {
 		s.MSS = units.MSS
+	}
+	if s.Backend == "" {
+		s.Backend = BackendPacket
 	}
 	return s
 }
@@ -104,6 +128,9 @@ func (s Spec) ValidateTopology() error {
 	}
 	if s.StartJitter < 0 {
 		return fmt.Errorf("scenario: negative start jitter %v", s.StartJitter)
+	}
+	if s.Backend != BackendPacket && s.Backend != BackendFluid {
+		return fmt.Errorf("scenario: unknown backend %q (want %q or %q)", s.Backend, BackendPacket, BackendFluid)
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return err

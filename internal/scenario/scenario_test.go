@@ -32,7 +32,8 @@ func validSpec() Spec {
 // fails, the key format changed: bump KeyVersion and update the golden
 // string — silent drift is exactly what the pin exists to catch.
 func TestKeyGolden(t *testing.T) {
-	const want = "scenario|v3|" +
+	const want = "scenario|v4|" +
+		"bk=packet|" +
 		"cap=0x1.7d784p+26|buf=0x1.e848p+19|mss=0x1.6dp+10|" +
 		"aj=1000000|sj=10000000|dur=120000000000|seed=42|" +
 		"fl=0x0p+00|al=0x0p+00|fp=0|fd=0x0p+00|be=0|bl=0|" +
@@ -54,7 +55,8 @@ func TestKeyGoldenFaults(t *testing.T) {
 		BurstEvery:  30 * time.Second,
 		BurstLen:    8,
 	}
-	const want = "scenario|v3|" +
+	const want = "scenario|v4|" +
+		"bk=packet|" +
 		"cap=0x1.7d784p+26|buf=0x1.e848p+19|mss=0x1.6dp+10|" +
 		"aj=1000000|sj=10000000|dur=120000000000|seed=42|" +
 		"fl=0x1.47ae147ae147bp-06|al=0x1.47ae147ae147bp-07|" +
@@ -65,6 +67,68 @@ func TestKeyGoldenFaults(t *testing.T) {
 	}
 	if sp.Key() == validSpec().Key() {
 		t.Error("faulted and clean specs share a key")
+	}
+}
+
+// TestKeyBackend: the backend is part of the scenario's identity — the
+// packet and fluid engines must never share a cache entry — while an empty
+// Backend resolves to the packet default and shares its key.
+func TestKeyBackend(t *testing.T) {
+	pkt := validSpec()
+	fl := validSpec()
+	fl.Backend = BackendFluid
+	if pkt.Key() == fl.Key() {
+		t.Fatalf("packet and fluid specs share a key: %q", pkt.Key())
+	}
+	if !strings.Contains(fl.Key(), "|bk=fluid|") {
+		t.Errorf("fluid key missing bk=fluid field: %q", fl.Key())
+	}
+	explicit := validSpec()
+	explicit.Backend = BackendPacket
+	if pkt.Key() != explicit.Key() {
+		t.Errorf("zero-Backend key %q != explicit-packet key %q", pkt.Key(), explicit.Key())
+	}
+}
+
+// TestValidateBackend: unknown backends are rejected; both registered
+// backends validate.
+func TestValidateBackend(t *testing.T) {
+	for _, bk := range Backends() {
+		sp := validSpec()
+		sp.Backend = bk
+		if err := sp.Validate(); err != nil {
+			t.Errorf("backend %q: %v", bk, err)
+		}
+	}
+	sp := validSpec()
+	sp.Backend = "quantum"
+	if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("unknown backend validated: err=%v", err)
+	}
+}
+
+// TestJSONBackendRoundTrip: the backend survives the file form.
+func TestJSONBackendRoundTrip(t *testing.T) {
+	sp := validSpec()
+	sp.Backend = BackendFluid
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Backend != BackendFluid {
+		t.Errorf("round-tripped backend %q, want %q", back.Backend, BackendFluid)
+	}
+	// The default stays out of the file form entirely.
+	data, err = json.Marshal(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "backend") {
+		t.Errorf("zero backend serialized: %s", data)
 	}
 }
 

@@ -17,14 +17,24 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner, exp, check, scenario, netsim, telemetry)"
+echo "== go test -race (runner, exp, check, scenario, netsim, telemetry, fluid)"
 go test -race -timeout 1800s \
 	./internal/runner ./internal/exp ./internal/check ./internal/scenario ./internal/netsim \
-	./internal/telemetry
+	./internal/telemetry ./internal/fluid
 
 echo "== engine benchmark smoke + allocation guard"
 go test ./internal/netsim -run TestSteadyStateZeroAllocs \
 	-bench BenchmarkEngine -benchtime 1x -count=1
+
+echo "== fluid crossval smoke (divergence report schema)"
+REPORT=$(go run ./cmd/crossval -buffers 2,6 -mixes 1:1 -duration 2s 2>/dev/null)
+for field in schema_version key_version buffer_bdp regime rel_err_bbr rel_err_cubic \
+	diverged points max_rel_err mean_rel_err worst_point; do
+	if ! printf '%s' "$REPORT" | grep -q "\"$field\""; then
+		echo "crossval smoke: report is missing field \"$field\"" >&2
+		exit 1
+	fi
+done
 
 echo "== journal-replay smoke test (kill a sweep mid-flight, resume, diff)"
 ./scripts/resume_smoke.sh
