@@ -131,7 +131,8 @@ var (
 type (
 	// Network is one packet-level simulation instance.
 	Network = netsim.Network
-	// NetworkConfig describes the bottleneck.
+	// NetworkConfig describes the bottleneck — or, via its Links field,
+	// a multi-link topology that flows traverse over per-flow paths.
 	NetworkConfig = netsim.Config
 	// FlowConfig describes one sender.
 	FlowConfig = netsim.FlowConfig
@@ -205,6 +206,10 @@ type (
 	// run is exactly as reproducible as a clean one (and participates in
 	// the spec's canonical key).
 	ScenarioFaults = scenario.Faults
+	// ScenarioLink is one named link in a multi-bottleneck topology:
+	// capacity, buffer, per-link faults and an optional reverse twin that
+	// serializes ACKs. A spec with no Links is the one-link special case.
+	ScenarioLink = scenario.Link
 	// ScenarioResult carries a spec run's per-group and link statistics.
 	ScenarioResult = exp.SpecResult
 )
@@ -366,6 +371,9 @@ var (
 	// AuditFlows audits one simulation's per-flow and link statistics
 	// against a scenario's physical bounds.
 	AuditFlows = check.Flows
+	// AuditLink audits one link's statistics against its own capacity
+	// and buffer bounds — the per-link half of a topology audit.
+	AuditLink = check.Link
 )
 
 // Run telemetry (internal/telemetry). A TraceRecorder attached to an

@@ -198,10 +198,25 @@ func run() (code int) {
 	elapsed := time.Since(start)
 
 	resolved := sp.WithDefaults()
-	fmt.Printf("bottleneck: %v, buffer %v (%.1f BDP of max RTT), max RTT %v, %d flows, %v simulated",
-		resolved.Capacity, resolved.Buffer,
-		units.InBDP(resolved.Buffer, resolved.Capacity, resolved.MaxRTT()),
-		resolved.MaxRTT(), sp.TotalFlows(), sp.Duration)
+	if resolved.MultiLink() {
+		fmt.Print("topology:")
+		for i, l := range resolved.Topology() {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Printf(" %s %v/%v", l.Name, l.Capacity, l.Buffer)
+			if l.HasReverse() {
+				fmt.Printf(" (rev %v/%v)", l.RevCapacity, l.RevBuffer)
+			}
+		}
+		fmt.Printf("; max RTT %v, %d flows, %v simulated",
+			resolved.MaxRTT(), sp.TotalFlows(), sp.Duration)
+	} else {
+		fmt.Printf("bottleneck: %v, buffer %v (%.1f BDP of max RTT), max RTT %v, %d flows, %v simulated",
+			resolved.Capacity, resolved.Buffer,
+			units.InBDP(resolved.Buffer, resolved.Capacity, resolved.MaxRTT()),
+			resolved.MaxRTT(), sp.TotalFlows(), sp.Duration)
+	}
 	if *runs > 1 {
 		fmt.Printf(" x %d runs (%d workers)", *runs, pool.Workers())
 	}
@@ -227,8 +242,15 @@ func run() (code int) {
 		if err := tbl.Render(os.Stdout); err != nil {
 			return fail(err)
 		}
-		fmt.Printf("link: utilization %.1f%%, mean queue delay %v, drops %d\n",
-			100*st.Link.Utilization, st.Link.MeanQueueDelay.Round(100*time.Microsecond), st.Link.Drops)
+		if len(st.Links) > 1 {
+			for _, ls := range st.Links {
+				fmt.Printf("link %s: utilization %.1f%%, mean queue delay %v, drops %d\n",
+					ls.Name, 100*ls.Utilization, ls.MeanQueueDelay.Round(100*time.Microsecond), ls.Drops)
+			}
+		} else {
+			fmt.Printf("link: utilization %.1f%%, mean queue delay %v, drops %d\n",
+				100*st.Link.Utilization, st.Link.MeanQueueDelay.Round(100*time.Microsecond), st.Link.Drops)
+		}
 	}
 	fmt.Printf("(%d runs in %v wall time, %d cache hits", *runs, elapsed.Round(time.Millisecond), cache.Hits())
 	if *resumePath != "" {

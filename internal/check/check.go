@@ -53,6 +53,13 @@ type Limits struct {
 	// window — under a flap, below Capacity — and bounds what flows can
 	// collectively deliver (share-sum, utilization). Zero means Capacity.
 	MeanCapacity units.Rate
+	// RTTBound caps a flow's mean RTT sample: the base RTT plus ACK jitter
+	// plus the worst-case queueing delay of every link on the flow's path
+	// (forward queues at the slowest flapped rate, reverse ACK queues at
+	// theirs). Zero disables the check — either the path is unknown, or an
+	// ACK-loss fault is active and its modeled retransmission delays
+	// compound without bound.
+	RTTBound time.Duration
 }
 
 // minCapacity is the effective floor rate, defaulting to Capacity.
@@ -177,6 +184,13 @@ func Flows(key string, lim Limits, flows []netsim.FlowStats, link *netsim.LinkSt
 			a.add("non-negative", "flow %s RTT mean %v / min %v", f.Name, f.MeanRTT, f.MinRTT)
 		} else if f.MeanRTT > 0 && f.MinRTT > 0 && f.MeanRTT < f.MinRTT {
 			a.add("rtt-order", "flow %s mean RTT %v below min RTT %v", f.Name, f.MeanRTT, f.MinRTT)
+		} else if lim.RTTBound > 0 &&
+			float64(f.MeanRTT) > float64(lim.RTTBound)*(1+relTol) {
+			// Every RTT sample is the base RTT plus jitter plus whatever the
+			// path's queues added; the mean cannot exceed the sum of their
+			// worst cases.
+			a.add("delay-bound", "flow %s mean RTT %v exceeds path bound %v",
+				f.Name, f.MeanRTT, lim.RTTBound)
 		}
 	}
 	a.vs = append(a.vs, ShareSum(key, lim, agg)...)
@@ -186,25 +200,39 @@ func Flows(key string, lim Limits, flows []netsim.FlowStats, link *netsim.LinkSt
 	return a.vs
 }
 
+// Link audits one link's statistics against its own bounds: utilization
+// against the (time-averaged) capacity, occupancy and drain delay against
+// the buffer, and drop-count sanity. Multi-bottleneck results audit each
+// link — reverse ACK twins included — with per-link limits.
+func Link(key string, lim Limits, l *netsim.LinkStats) []Violation {
+	a := &violations{key: key}
+	a.link(lim, l)
+	return a.vs
+}
+
 // link audits bottleneck-level statistics.
 func (a *violations) link(lim Limits, l *netsim.LinkStats) {
+	name := "link"
+	if l.Name != "" {
+		name = "link " + l.Name
+	}
 	// Utilization is delivered rate over *nominal* capacity, so over a
 	// flapping link it cannot exceed the mean-to-nominal fraction.
 	utilBound := 1.0
 	if lim.Capacity > 0 {
 		utilBound = float64(lim.meanCapacity()) / float64(lim.Capacity)
 	}
-	if a.finite("link utilization", l.Utilization) &&
+	if a.finite(name+" utilization", l.Utilization) &&
 		(l.Utilization < 0 || l.Utilization > utilBound*(1+relTol)) {
-		a.add("utilization", "link utilization = %v, want 0..%v", l.Utilization, utilBound)
+		a.add("utilization", "%s utilization = %v, want 0..%v", name, l.Utilization, utilBound)
 	}
-	if a.nonNegative("link mean queue occupancy", float64(l.MeanQueueOccupancy)) &&
+	if a.nonNegative(name+" mean queue occupancy", float64(l.MeanQueueOccupancy)) &&
 		lim.Buffer > 0 && float64(l.MeanQueueOccupancy) > float64(lim.Buffer)*(1+relTol) {
-		a.add("queue-bound", "link mean queue occupancy %v exceeds buffer %v",
-			l.MeanQueueOccupancy, lim.Buffer)
+		a.add("queue-bound", "%s mean queue occupancy %v exceeds buffer %v",
+			name, l.MeanQueueOccupancy, lim.Buffer)
 	}
 	if l.MeanQueueDelay < 0 {
-		a.add("non-negative", "link mean queue delay = %v", l.MeanQueueDelay)
+		a.add("non-negative", "%s mean queue delay = %v", name, l.MeanQueueDelay)
 	} else if lim.Capacity > 0 && lim.Buffer > 0 {
 		// A drop-tail queue never holds more than the buffer ahead of a
 		// packet, so its delay through the bottleneck is bounded by the
@@ -213,12 +241,12 @@ func (a *violations) link(lim Limits, l *netsim.LinkStats) {
 		bound := time.Duration(float64(lim.Buffer+units.MSS) * 8 / float64(lim.minCapacity()) *
 			(1 + relTol) * float64(time.Second))
 		if l.MeanQueueDelay > bound {
-			a.add("delay-bound", "link mean queue delay %v exceeds drain bound %v",
-				l.MeanQueueDelay, bound)
+			a.add("delay-bound", "%s mean queue delay %v exceeds drain bound %v",
+				name, l.MeanQueueDelay, bound)
 		}
 	}
 	if l.Drops < 0 {
-		a.add("non-negative", "link drops = %d", l.Drops)
+		a.add("non-negative", "%s drops = %d", name, l.Drops)
 	}
 }
 

@@ -25,12 +25,20 @@ import (
 
 // SpecResult is the raw outcome of one scenario run: per-flow statistics in
 // spec group order (group i of the spec is Groups[i], empty groups stay
-// empty) plus the shared bottleneck's statistics. It is the one value type
-// stored in the result cache, so mix and group runs of the same spec share
-// an entry instead of evicting each other.
+// empty) plus per-link statistics. It is the one value type stored in the
+// result cache, so mix and group runs of the same spec share an entry
+// instead of evicting each other.
+//
+// Link is the first configured link — the bottleneck of every legacy
+// single-link scenario — kept both as the convenience view the mix/group
+// projections read and as the only link record in results cached before
+// topologies existed. Links holds every link in netsim.PerLink order
+// (forward links in configuration order, then reverse ACK twins); it is
+// empty in old cached values, and audits fall back to Link then.
 type SpecResult struct {
 	Groups [][]netsim.FlowStats
 	Link   netsim.LinkStats
+	Links  []netsim.LinkStats
 }
 
 // group returns group i's stats, tolerating shape drift in cached values
@@ -110,7 +118,7 @@ func runSpecOverride(ctx context.Context, sp scenario.Spec, override map[string]
 		done += step
 		runner.Progress(ctx, done)
 	}
-	res := SpecResult{Groups: make([][]netsim.FlowStats, len(flows)), Link: n.Link()}
+	res := SpecResult{Groups: make([][]netsim.FlowStats, len(flows)), Link: n.Link(), Links: n.PerLink()}
 	for gi, fs := range flows {
 		for _, f := range fs {
 			res.Groups[gi] = append(res.Groups[gi], f.Stats())
@@ -153,7 +161,7 @@ func runSpecFluid(ctx context.Context, sp scenario.Spec, override map[string]cc.
 		runner.Progress(ctx, done)
 	}
 	groups, link := m.Stats()
-	return SpecResult{Groups: groups, Link: link}, nil
+	return SpecResult{Groups: groups, Link: link, Links: []netsim.LinkStats{link}}, nil
 }
 
 // RunSpecCached is RunSpec behind the memoizing cache, the resumption

@@ -170,9 +170,11 @@ type Model struct {
 	step     int64   // whole steps completed; model time is step·stp
 	grantedN int64   // total nanoseconds granted via Run
 
-	capBytes float64 // nominal capacity, bytes/s
+	capBytes float64 // bottleneck capacity, bytes/s
 	buffer   float64 // bytes
 	mss      float64 // bytes
+	linkName string          // the modeled bottleneck link
+	faults   scenario.Faults // the bottleneck link's faults
 
 	// Link accumulators.
 	qIntAcc, qMaxSeen   float64 // ∫q dt, max q
@@ -192,22 +194,93 @@ type Model struct {
 	inflows, servedBy []float64
 }
 
+// reduceTopology maps a spec's topology onto the model's single FIFO
+// queue. A one-link topology without a reverse twin is the link itself —
+// every legacy spec lands here. A chain reduces only when one link is the
+// unambiguous shared bottleneck: it lies on every active group's path, it
+// has the strictly smallest capacity, and every other link is fault-free
+// with at least its capacity (so at fluid granularity the others are
+// transparent pipes). Everything else — reverse ACK twins, faults off the
+// bottleneck, disjoint or comparably-tight links — is genuinely
+// multi-bottleneck and errors loudly: the packet backend is the tool for
+// those, and a silent approximation here would poison cross-validation.
+func reduceTopology(sp scenario.Spec) (scenario.Link, error) {
+	links := sp.Topology()
+	for _, l := range links {
+		if l.HasReverse() {
+			return scenario.Link{}, fmt.Errorf(
+				"fluid: link %q carries a reverse ACK path; the fluid equations have no return-path queue — use the packet backend", l.Name)
+		}
+	}
+	if len(links) == 1 {
+		return links[0], nil
+	}
+	bl := links[0]
+	for _, l := range links[1:] {
+		if l.Capacity < bl.Capacity {
+			bl = l
+		}
+	}
+	for gi := range sp.Groups {
+		if sp.Groups[gi].Count == 0 {
+			continue
+		}
+		if !pathContains(sp.PathOf(gi), bl.Name) {
+			return scenario.Link{}, fmt.Errorf(
+				"fluid: group %d's path misses the narrowest link %q; disjoint bottlenecks have no single-queue reduction — use the packet backend", gi, bl.Name)
+		}
+	}
+	for _, l := range links {
+		if l.Name == bl.Name {
+			continue
+		}
+		if l.Faults != (scenario.Faults{}) {
+			return scenario.Link{}, fmt.Errorf(
+				"fluid: link %q carries faults but is not the bottleneck %q; off-bottleneck faults have no single-queue reduction — use the packet backend", l.Name, bl.Name)
+		}
+		if l.Capacity <= bl.Capacity {
+			return scenario.Link{}, fmt.Errorf(
+				"fluid: links %q and %q are comparably tight (%v vs %v); a multi-bottleneck chain has no single-queue reduction — use the packet backend",
+				l.Name, bl.Name, l.Capacity, bl.Capacity)
+		}
+	}
+	return bl, nil
+}
+
+// pathContains reports whether a path traverses the named link.
+func pathContains(path []string, name string) bool {
+	for _, p := range path {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
 // New builds the fluid model for a spec. The spec's topology must be valid
 // and every non-empty group's algorithm must be one the fluid equations
 // cover: bbr, cubic or reno (the model-driven algorithms — bbrv2, copa,
 // vivace — have no fluid form here and error out rather than silently
-// running as something else).
+// running as something else). A multi-link topology must reduce to one
+// shared bottleneck (see reduceTopology); anything genuinely
+// multi-bottleneck is rejected loudly in favor of the packet backend.
 func New(sp scenario.Spec) (*Model, error) {
 	sp = sp.WithDefaults()
 	if err := sp.ValidateTopology(); err != nil {
 		return nil, err
 	}
+	bl, err := reduceTopology(sp)
+	if err != nil {
+		return nil, err
+	}
 	m := &Model{
 		sp:       sp,
 		stp:      stepFor(sp),
-		capBytes: sp.Capacity.BytesPerSecond(),
-		buffer:   float64(sp.Buffer),
+		capBytes: bl.Capacity.BytesPerSecond(),
+		buffer:   float64(bl.Buffer),
 		mss:      float64(sp.MSS),
+		linkName: bl.Name,
+		faults:   bl.Faults,
 	}
 	total := float64(sp.TotalFlows())
 	share := m.capBytes / total // fair-share bytes/s per flow
@@ -274,7 +347,7 @@ func (m *Model) Run(d time.Duration) {
 // reduced by the flap square wave's second half-period (the exact waveform
 // netsim schedules and scenario.Faults.MeanCapacityOver integrates).
 func (m *Model) cEffAt(t float64) float64 {
-	f := m.sp.Faults
+	f := m.faults
 	if f.FlapDepth <= 0 || f.FlapPeriod <= 0 {
 		return m.capBytes
 	}
@@ -355,7 +428,7 @@ func (m *Model) advance() {
 	// Fault injection ahead of the queue: stochastic loss thins arrivals
 	// and accumulates expected per-flow drops; a crossed burst boundary
 	// claims BurstLen packets and acts as one synchronized loss event.
-	f := m.sp.Faults
+	f := m.faults
 	burst := false
 	if f.BurstLen > 0 && f.BurstEvery > 0 {
 		if due := int64((t + dt) / f.BurstEvery.Seconds()); due > m.burstsDone {
@@ -503,6 +576,7 @@ func (m *Model) Stats() ([][]netsim.FlowStats, netsim.LinkStats) {
 		}
 	}
 	link := netsim.LinkStats{
+		Name:              m.linkName,
 		MaxQueueOccupancy: units.Bytes(m.qMaxSeen),
 		MaxQueueDelay:     time.Duration(m.delayMax * float64(time.Second)),
 		Drops:             int(m.overflowPkts),

@@ -218,3 +218,85 @@ func TestBBRAloneStandingQueue(t *testing.T) {
 		t.Error("NaN utilization")
 	}
 }
+
+// TestTopologyReduction: a chain whose narrowest link is shared by every
+// group, with fault-free wider links around it, reduces to exactly the
+// single-queue model of that link — bit-identical statistics to the
+// equivalent legacy spec, since the integration is a pure function of the
+// reduced (capacity, buffer, faults) and the groups.
+func TestTopologyReduction(t *testing.T) {
+	legacy := mixSpec(2, 2, 4)
+	chain := legacy
+	chain.Groups = append([]scenario.Group(nil), legacy.Groups...)
+	chain.Capacity, chain.Buffer = 0, 0
+	chain.Links = []scenario.Link{
+		{Name: "access", Capacity: 100 * units.Mbps, Buffer: 1 << 20},
+		{Name: "core", Capacity: legacy.Capacity, Buffer: legacy.Buffer},
+	}
+	for gi := range chain.Groups {
+		chain.Groups[gi].Path = []string{"access", "core"}
+	}
+	lG, lL := runStats(t, legacy, 0)
+	cG, cL := runStats(t, chain, 0)
+	if !reflect.DeepEqual(lG, cG) {
+		t.Error("chain flow stats differ from the equivalent single-link spec")
+	}
+	lL.Name, cL.Name = "", "" // the reduced link legitimately keeps its own name
+	if !reflect.DeepEqual(lL, cL) {
+		t.Errorf("chain link stats differ from the equivalent single-link spec:\n got %+v\nwant %+v", cL, lL)
+	}
+	m, err := New(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	if _, link := m.Stats(); link.Name != "core" {
+		t.Errorf("reduced link name = %q, want the bottleneck %q", link.Name, "core")
+	}
+}
+
+// TestTopologyRejection: anything without a single-queue reduction —
+// reverse ACK twins, disjoint bottlenecks, off-bottleneck faults,
+// comparably tight links — errors loudly instead of silently
+// approximating.
+func TestTopologyRejection(t *testing.T) {
+	base := func() scenario.Spec {
+		sp := mixSpec(1, 1, 4)
+		sp.Capacity, sp.Buffer, sp.Faults = 0, 0, scenario.Faults{}
+		sp.Links = []scenario.Link{
+			{Name: "a", Capacity: 100 * units.Mbps, Buffer: 1 << 20},
+			{Name: "b", Capacity: 40 * units.Mbps, Buffer: 1 << 19},
+		}
+		for gi := range sp.Groups {
+			sp.Groups[gi].Path = []string{"a", "b"}
+		}
+		return sp
+	}
+	cases := map[string]func(sp *scenario.Spec){
+		"reverse-twin": func(sp *scenario.Spec) {
+			sp.Links[0].RevCapacity = 10 * units.Mbps
+			sp.Links[0].RevBuffer = 1 << 16
+		},
+		"disjoint-paths": func(sp *scenario.Spec) {
+			sp.Groups[0].Path = []string{"a"}
+		},
+		"off-bottleneck-fault": func(sp *scenario.Spec) {
+			sp.Links[0].Faults = scenario.Faults{LossRate: 0.01}
+		},
+		"equal-capacity": func(sp *scenario.Spec) {
+			sp.Links[0].Capacity = sp.Links[1].Capacity
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			sp := base()
+			mutate(&sp)
+			if err := sp.ValidateTopology(); err != nil {
+				t.Fatalf("spec unexpectedly invalid: %v", err)
+			}
+			if _, err := New(sp); err == nil {
+				t.Error("New accepted a spec with no single-queue reduction")
+			}
+		})
+	}
+}

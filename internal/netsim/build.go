@@ -40,14 +40,29 @@ func BuildOverride(sp scenario.Spec, override map[string]cc.Constructor) (*Netwo
 		}
 		ctors[i] = ctor
 	}
-	n, err := New(Config{
-		Capacity:  sp.Capacity,
-		Buffer:    sp.Buffer,
+	cfg := Config{
 		MSS:       sp.MSS,
 		AckJitter: sp.AckJitter,
 		Seed:      sp.Seed,
-		Faults:    sp.Faults,
-	})
+	}
+	if len(sp.Links) > 0 {
+		cfg.Links = make([]LinkConfig, len(sp.Links))
+		for i, l := range sp.Links {
+			cfg.Links[i] = LinkConfig{
+				Name:        l.Name,
+				Capacity:    l.Capacity,
+				Buffer:      l.Buffer,
+				Faults:      l.Faults,
+				RevCapacity: l.RevCapacity,
+				RevBuffer:   l.RevBuffer,
+			}
+		}
+	} else {
+		cfg.Capacity = sp.Capacity
+		cfg.Buffer = sp.Buffer
+		cfg.Faults = sp.Faults
+	}
+	n, err := New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -60,6 +75,7 @@ func BuildOverride(sp scenario.Spec, override map[string]cc.Constructor) (*Netwo
 				RTT:       g.RTT,
 				Start:     g.Start + r.Duration(sp.StartJitter),
 				Algorithm: ctors[gi],
+				Path:      g.Path,
 			})
 			if err != nil {
 				return nil, nil, err

@@ -3,7 +3,7 @@ package netsim
 import "bbrnash/internal/eventsim"
 
 // Typed event kinds for the per-packet path. Every simulated packet's
-// lifecycle — service completion at the bottleneck, ACK return, loss
+// lifecycle — service completion at each link, ACK return, loss
 // detection — is scheduled as a typed event with the packet itself as the
 // target, so the hot path allocates no closures: scheduling writes a flat
 // record into the loop's arena and dispatch is a switch below. Flow-level
@@ -12,8 +12,8 @@ import "bbrnash/internal/eventsim"
 // telemetry samplers) stay on the closure API; they fire a handful of times
 // per simulated second and their closures are allocated once at setup.
 const (
-	// evServiceDone fires when the packet finishes transmission at the
-	// bottleneck link.
+	// evServiceDone fires when the packet finishes transmission at a
+	// forward link (p.hop indexes the flow's path).
 	evServiceDone eventsim.Kind = iota
 	// evAck fires when the packet's acknowledgement reaches the sender.
 	evAck
@@ -27,6 +27,17 @@ const (
 	// evPacerFire fires when the flow's pacing timer elapses (see
 	// Flow.pacer, armed from trySend when rate-limited).
 	evPacerFire
+	// evAckEnqueue fires when the packet's acknowledgment arrives at the
+	// reverse link indexed by p.ackHop (after propagation, or after a
+	// fault-loss recovery delay).
+	evAckEnqueue
+	// evAckServiceDone fires when the acknowledgment finishes transmission
+	// at the reverse link indexed by p.ackHop.
+	evAckServiceDone
+	// evAckAdvance fires when an acknowledgment dropped at a full reverse
+	// queue has its information recovered (the queue has drained) and
+	// moves on to the next reverse hop.
+	evAckAdvance
 )
 
 // OnEvent dispatches the packet-targeted event kinds. packet implements
@@ -35,11 +46,17 @@ const (
 func (p *packet) OnEvent(k eventsim.Kind) {
 	switch k {
 	case evServiceDone:
-		p.flow.net.link.serviceDone(p)
+		p.flow.path[p.hop].serviceDone(p)
 	case evAck:
 		p.flow.ackArrived(p)
 	case evLoss:
 		p.flow.lossDetected(p)
+	case evAckEnqueue:
+		p.flow.ackPath[p.ackHop].enqueueAck(p)
+	case evAckServiceDone:
+		p.flow.ackPath[p.ackHop].ackServiceDone(p)
+	case evAckAdvance:
+		p.flow.ackAdvance(p)
 	}
 }
 

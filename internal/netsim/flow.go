@@ -24,6 +24,12 @@ type Flow struct {
 	started  bool
 	nextSeq  uint64
 
+	// path is the ordered forward links the flow's data traverses; ackPath
+	// the reverse twins its ACKs cross on the way back (reverse path
+	// order), empty when no traversed link has a twin.
+	path    []*link
+	ackPath []*link
+
 	// Pacing state. paceRate/paceStep cache the serialization-interval
 	// division (see link.step): recomputed only when the algorithm's pacing
 	// rate actually changes, which is far rarer than a send.
@@ -135,14 +141,26 @@ func (f *Flow) sendPacket(now eventsim.Time, size units.Bytes) {
 	f.sentInXfer += size
 	f.sent.Add(float64(size))
 	f.alg.OnSent(cc.SendEvent{Now: now, Seq: p.seq, Bytes: size, Inflight: f.inflight})
-	f.net.link.enqueue(p)
+	f.path[0].enqueue(p)
 }
 
-// packetDeparted is called when the packet crosses the bottleneck; the
-// receiver will see it one forward propagation later. Throughput is counted
-// here.
+// packetDeparted is called when the packet crosses the last link of its
+// path; the receiver will see it one forward propagation later. Throughput
+// is counted here.
 func (f *Flow) packetDeparted(p *packet) {
 	f.arrived.Add(float64(p.size))
+}
+
+// ackAdvance moves the packet's acknowledgment to the next reverse link on
+// its way back to the sender, delivering it once the reverse path is
+// exhausted.
+func (f *Flow) ackAdvance(p *packet) {
+	p.ackHop++
+	if int(p.ackHop) < len(f.ackPath) {
+		f.ackPath[p.ackHop].enqueueAck(p)
+		return
+	}
+	f.ackArrived(p)
 }
 
 // ackArrived processes the acknowledgement for p at the sender.

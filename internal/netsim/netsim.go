@@ -1,12 +1,16 @@
 // Package netsim is a deterministic, packet-level, discrete-event simulator
-// of the paper's experimental topology: N bulk TCP senders sharing a single
-// drop-tail FIFO bottleneck, with per-flow round-trip propagation delays.
+// of the paper's experimental topology and its multi-bottleneck
+// generalizations: bulk TCP senders crossing one or more drop-tail FIFO
+// links, with per-flow round-trip propagation delays.
 //
 // It substitutes for the paper's Linux testbed. The abstractions match what
 // the paper's model depends on:
 //
-//   - a drop-tail queue of configurable byte capacity served at link rate C,
-//   - per-packet ACK clocking with one-RTT feedback delay,
+//   - drop-tail queues of configurable byte capacity, each served at its
+//     link rate (the paper's single shared bottleneck is the one-link
+//     special case),
+//   - per-packet ACK clocking with one-RTT feedback delay; when a link has
+//     a reverse-direction twin the ACK stream crosses a real return queue,
 //   - loss only by queue overflow, detected by the sender about one RTT
 //     after the drop (as duplicate ACKs would reveal it),
 //   - per-packet delivery-rate samples computed with the estimator BBR
@@ -29,9 +33,28 @@ import (
 	"bbrnash/internal/units"
 )
 
-// Config describes the shared bottleneck.
+// LinkConfig describes one named directed link of a multi-link topology
+// (see scenario.Link for the spec-level form and field semantics).
+type LinkConfig struct {
+	// Name identifies the link in flow paths, statistics and traces.
+	Name string
+	// Capacity is the link rate; Buffer the drop-tail queue capacity.
+	Capacity units.Rate
+	Buffer   units.Bytes
+	// Faults injects deterministic adverse conditions on this link.
+	Faults scenario.Faults
+	// RevCapacity/RevBuffer, when set, give the link a reverse-direction
+	// twin that the ACK stream traverses at units.AckBytes per ACK.
+	RevCapacity units.Rate
+	RevBuffer   units.Bytes
+}
+
+// Config describes the network: either the legacy single shared bottleneck
+// (Capacity/Buffer/Faults) or an explicit multi-link topology (Links). The
+// two forms are mutually exclusive; the scalar form is exactly a one-link
+// topology named scenario.DefaultLinkName.
 type Config struct {
-	// Capacity is the bottleneck link rate.
+	// Capacity is the bottleneck link rate (legacy single-link form).
 	Capacity units.Rate
 	// Buffer is the drop-tail queue capacity in bytes (waiting room).
 	Buffer units.Bytes
@@ -53,8 +76,12 @@ type Config struct {
 	// data-packet loss, ACK-path loss, capacity flaps, burst-loss
 	// episodes — driven off the same seeded RNG stream as AckJitter, so a
 	// faulted run is exactly as reproducible as a clean one. The zero
-	// value is a clean link and draws nothing from the RNG.
+	// value is a clean link and draws nothing from the RNG. With Links
+	// set, faults are per-link instead.
 	Faults scenario.Faults
+	// Links, when set, replaces the scalar bottleneck with an explicit
+	// topology. Flow paths (FlowConfig.Path) then name these links.
+	Links []LinkConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -64,16 +91,44 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// linkConfigs returns the canonical link list: Links when set, otherwise
+// the scalar bottleneck as a one-link topology.
+func (c Config) linkConfigs() []LinkConfig {
+	if len(c.Links) > 0 {
+		return c.Links
+	}
+	return []LinkConfig{{Name: scenario.DefaultLinkName, Capacity: c.Capacity, Buffer: c.Buffer, Faults: c.Faults}}
+}
+
 func (c Config) validate() error {
 	c = c.withDefaults()
-	if c.Capacity <= 0 {
-		return errors.New("netsim: Capacity must be positive")
+	if len(c.Links) > 0 && (c.Capacity != 0 || c.Buffer != 0 || c.Faults != (scenario.Faults{})) {
+		return errors.New("netsim: Links and scalar Capacity/Buffer/Faults are mutually exclusive")
 	}
-	if c.Buffer < c.MSS {
-		return fmt.Errorf("netsim: Buffer (%v) must hold at least one segment (%v)", c.Buffer, c.MSS)
-	}
-	if err := c.Faults.Validate(); err != nil {
-		return fmt.Errorf("netsim: %w", err)
+	seen := make(map[string]bool, len(c.linkConfigs()))
+	for _, lc := range c.linkConfigs() {
+		if lc.Name == "" {
+			return errors.New("netsim: link needs a Name")
+		}
+		if seen[lc.Name] {
+			return fmt.Errorf("netsim: duplicate link name %q", lc.Name)
+		}
+		seen[lc.Name] = true
+		if lc.Capacity <= 0 {
+			return fmt.Errorf("netsim: link %q: Capacity must be positive", lc.Name)
+		}
+		if lc.Buffer < c.MSS {
+			return fmt.Errorf("netsim: link %q: Buffer (%v) must hold at least one segment (%v)", lc.Name, lc.Buffer, c.MSS)
+		}
+		if err := lc.Faults.Validate(); err != nil {
+			return fmt.Errorf("netsim: link %q: %w", lc.Name, err)
+		}
+		if lc.RevCapacity < 0 {
+			return fmt.Errorf("netsim: link %q: RevCapacity must be non-negative", lc.Name)
+		}
+		if lc.RevCapacity > 0 && lc.RevBuffer < units.AckBytes {
+			return fmt.Errorf("netsim: link %q: RevBuffer (%v) must hold at least one ACK (%v)", lc.Name, lc.RevBuffer, units.AckBytes)
+		}
 	}
 	return nil
 }
@@ -88,6 +143,11 @@ type FlowConfig struct {
 	Start time.Duration
 	// Algorithm constructs the congestion-control instance for this flow.
 	Algorithm cc.Constructor
+	// Path is the ordered list of link names the flow's data traverses.
+	// Empty means the first configured link — the legacy single-bottleneck
+	// path. ACKs return across the reverse twins of the path's links (in
+	// reverse order) when any are configured.
+	Path []string
 	// TransferBytes, when positive, makes the flow finite: it stops after
 	// sending this much data. The default (zero) is an infinite bulk flow,
 	// the paper's workload.
@@ -103,15 +163,14 @@ type FlowConfig struct {
 // A Network is not safe for concurrent use; run independent simulations in
 // separate Networks.
 type Network struct {
-	cfg   Config
-	loop  eventsim.Loop
-	link  *link
-	flows []*Flow
-	free  []*packet
-	rng   *rng.Source
-
-	// Fault-injection state (see Config.Faults).
-	burstRemaining int
+	cfg    Config
+	loop   eventsim.Loop
+	links  []*link // forward links, in configuration order
+	revs   []*link // reverse twins, in forward-link order
+	byName map[string]*link
+	flows  []*Flow
+	free   []*packet
+	rng    *rng.Source
 
 	// Observation hooks (see OnDrop, OnStateChange, OnRateChange). All are
 	// nil by default; a nil hook costs one pointer compare on its path.
@@ -120,72 +179,81 @@ type Network struct {
 	rateHook  func(RateEvent)
 }
 
-// New creates a network with the given bottleneck configuration.
+// New creates a network with the given configuration.
 func New(cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	n := &Network{cfg: cfg, rng: rng.New(cfg.Seed)}
-	n.link = newLink(n, cfg.Capacity, cfg.Buffer)
+	lcs := cfg.linkConfigs()
+	n.byName = make(map[string]*link, len(lcs))
+	for i, lc := range lcs {
+		l := newLink(n, lc.Name, lc.Capacity, lc.Buffer, lc.Faults)
+		// The first link's service completions ride the loop's single-slot
+		// fast lane (it is the only link of every legacy scenario); the
+		// rest use the regular queue.
+		l.fast = i == 0
+		n.links = append(n.links, l)
+		n.byName[lc.Name] = l
+		if lc.RevCapacity > 0 {
+			r := newLink(n, lc.Name+"~rev", lc.RevCapacity, lc.RevBuffer,
+				scenario.Faults{AckLossRate: lc.Faults.AckLossRate})
+			r.rev = true
+			l.twin = r
+			n.revs = append(n.revs, r)
+		}
+	}
 	n.scheduleFaults()
 	return n, nil
 }
 
-// scheduleFaults arms the time-driven fault machinery: the capacity flap's
-// square wave and the burst-loss episode clock. Both are self-rescheduling
-// event chains driven purely by simulated time, so they consume no RNG
-// draws and a fault-free configuration changes nothing at all.
+// scheduleFaults arms the time-driven fault machinery per forward link: the
+// capacity flap's square wave and the burst-loss episode clock. Both are
+// self-rescheduling event chains driven purely by simulated time, so they
+// consume no RNG draws and a fault-free configuration changes nothing at
+// all.
 func (n *Network) scheduleFaults() {
-	f := n.cfg.Faults
-	if f.FlapDepth > 0 && f.FlapPeriod > 0 {
-		half := f.FlapPeriod / 2
-		low := units.Rate(float64(n.cfg.Capacity) * (1 - f.FlapDepth))
-		up := true
-		var toggle func()
-		toggle = func() {
-			up = !up
-			if up {
-				n.link.rate = n.cfg.Capacity
-			} else {
-				n.link.rate = low
-			}
-			if h := n.rateHook; h != nil {
-				h(RateEvent{Time: n.loop.Now(), Rate: n.link.rate})
+	for _, l := range n.links {
+		l := l
+		f := l.faults
+		if f.FlapDepth > 0 && f.FlapPeriod > 0 {
+			half := f.FlapPeriod / 2
+			low := units.Rate(float64(l.capacity) * (1 - f.FlapDepth))
+			up := true
+			var toggle func()
+			toggle = func() {
+				up = !up
+				if up {
+					l.rate = l.capacity
+				} else {
+					l.rate = low
+				}
+				if h := n.rateHook; h != nil {
+					h(RateEvent{Time: n.loop.Now(), Link: l.name, Rate: l.rate})
+				}
+				n.loop.After(half, toggle)
 			}
 			n.loop.After(half, toggle)
 		}
-		n.loop.After(half, toggle)
-	}
-	if f.BurstLen > 0 && f.BurstEvery > 0 {
-		var episode func()
-		episode = func() {
-			n.burstRemaining = f.BurstLen
+		if f.BurstLen > 0 && f.BurstEvery > 0 {
+			var episode func()
+			episode = func() {
+				l.burstRemaining = f.BurstLen
+				n.loop.After(f.BurstEvery, episode)
+			}
 			n.loop.After(f.BurstEvery, episode)
 		}
-		n.loop.After(f.BurstEvery, episode)
 	}
 }
 
-// injectDrop decides whether an arriving data packet is claimed by fault
-// injection: an open burst episode consumes it unconditionally (no RNG
-// draw); otherwise the stochastic loss rate draws once. Called only from
-// the single-threaded event loop, in arrival order, so the draw sequence —
-// and therefore the drop trace — is a pure function of spec and seed.
-func (n *Network) injectDrop() bool {
-	if n.burstRemaining > 0 {
-		n.burstRemaining--
-		return true
-	}
-	r := n.cfg.Faults.LossRate
-	return r > 0 && n.rng.Float64() < r
-}
-
-// DropEvent describes one packet dropped at the bottleneck, for drop-trace
+// DropEvent describes one packet dropped at a link, for drop-trace
 // observation in tests and tools.
 type DropEvent struct {
 	// Time is the simulated drop instant.
 	Time eventsim.Time
+	// Link names the link that dropped the packet.
+	Link string
 	// Flow is the owning flow's name; Seq its sequence number.
 	Flow string
 	Seq  uint64
@@ -194,8 +262,8 @@ type DropEvent struct {
 	Injected bool
 }
 
-// OnDrop registers fn to observe every drop at the bottleneck, in drop
-// order. Set it before Run; a nil fn disables observation.
+// OnDrop registers fn to observe every drop, in drop order. Set it before
+// Run; a nil fn disables observation.
 func (n *Network) OnDrop(fn func(DropEvent)) { n.dropHook = fn }
 
 // StateEvent describes one congestion-control state transition of a flow
@@ -217,11 +285,13 @@ type StateEvent struct {
 // disables observation at zero cost on the ACK path.
 func (n *Network) OnStateChange(fn func(StateEvent)) { n.stateHook = fn }
 
-// RateEvent describes one change of the bottleneck's effective service rate
-// (a capacity flap edge).
+// RateEvent describes one change of a link's effective service rate (a
+// capacity flap edge).
 type RateEvent struct {
 	// Time is the simulated instant of the rate change.
 	Time eventsim.Time
+	// Link names the flapping link.
+	Link string
 	// Rate is the new effective service rate.
 	Rate units.Rate
 }
@@ -230,8 +300,8 @@ type RateEvent struct {
 // order. Set it before Run; a nil fn disables observation.
 func (n *Network) OnRateChange(fn func(RateEvent)) { n.rateHook = fn }
 
-// AddFlow attaches a sender to the bottleneck. All flows must be added
-// before Run is first called.
+// AddFlow attaches a sender. All flows must be added before Run is first
+// called.
 func (n *Network) AddFlow(fc FlowConfig) (*Flow, error) {
 	if fc.RTT <= 0 {
 		return nil, errors.New("netsim: flow RTT must be positive")
@@ -245,6 +315,22 @@ func (n *Network) AddFlow(fc FlowConfig) (*Flow, error) {
 	if fc.Name == "" {
 		fc.Name = fmt.Sprintf("flow%d", len(n.flows))
 	}
+	path := n.links[:1]
+	if len(fc.Path) > 0 {
+		path = make([]*link, len(fc.Path))
+		seen := make(map[*link]bool, len(fc.Path))
+		for i, name := range fc.Path {
+			l, ok := n.byName[name]
+			if !ok {
+				return nil, fmt.Errorf("netsim: flow path names unknown link %q", name)
+			}
+			if seen[l] {
+				return nil, fmt.Errorf("netsim: flow path repeats link %q", name)
+			}
+			seen[l] = true
+			path[i] = l
+		}
+	}
 	alg := fc.Algorithm(cc.Params{MSS: n.cfg.MSS}.WithDefaults())
 	f := &Flow{
 		net:          n,
@@ -252,8 +338,17 @@ func (n *Network) AddFlow(fc FlowConfig) (*Flow, error) {
 		name:         fc.Name,
 		rtt:          fc.RTT,
 		alg:          alg,
+		path:         path,
 		transferSize: fc.TransferBytes,
 		restartAfter: fc.RestartAfter,
+	}
+	// ACKs cross the reverse twins of the path's links in reverse order;
+	// links without a twin contribute only the propagation delay already
+	// inside rtt.
+	for i := len(path) - 1; i >= 0; i-- {
+		if t := path[i].twin; t != nil {
+			f.ackPath = append(f.ackPath, t)
+		}
 	}
 	// The type assertion happens once here, not per event; the pacer's
 	// method-value closure is the flow's only per-flow allocation beyond
@@ -267,10 +362,11 @@ func (n *Network) AddFlow(fc FlowConfig) (*Flow, error) {
 
 // Presize reserves event-queue and packet-pool capacity for the attached
 // flows so steady state is reached without growth reallocations: one
-// potential in-flight packet per BDP-plus-buffer segment (each holding at
-// most one pending event), plus per-flow timers and fault chains. Called
-// by Build once the flow set is known; harmless to skip or call again —
-// it only ever grows capacity and never changes behavior.
+// potential in-flight packet per BDP-plus-buffer segment of every forward
+// link (each holding at most one pending event), one slot per ACK a
+// reverse twin can hold, plus per-flow timers and fault chains. Called by
+// Build once the flow set is known; harmless to skip or call again — it
+// only ever grows capacity and never changes behavior.
 func (n *Network) Presize() {
 	maxRTT := time.Duration(0)
 	for _, f := range n.flows {
@@ -278,22 +374,35 @@ func (n *Network) Presize() {
 			maxRTT = f.rtt
 		}
 	}
-	inflight := int((units.BDP(n.cfg.Capacity, maxRTT)+n.cfg.Buffer)/n.cfg.MSS) + 1
+	total := 0
+	for _, l := range n.links {
+		inflight := int((units.BDP(l.capacity, maxRTT)+l.buffer)/n.cfg.MSS) + 1
+		total += inflight
+		if cap(l.waiting) < inflight {
+			waiting := make([]*packet, len(l.waiting), 2*inflight)
+			copy(waiting, l.waiting)
+			l.waiting = waiting
+		}
+	}
+	for _, r := range n.revs {
+		acks := int(r.buffer/units.AckBytes) + 1
+		total += acks
+		if cap(r.waiting) < acks {
+			waiting := make([]*packet, len(r.waiting), 2*acks)
+			copy(waiting, r.waiting)
+			r.waiting = waiting
+		}
+	}
 	// Congestion windows overshoot the pipe between loss events (that is
 	// what fills the buffer); double the physical bound and add per-flow
 	// slack for pacer, start and restart events.
-	events := 2*inflight + 4*len(n.flows) + 16
+	events := 2*total + 4*len(n.flows) + 16
 	n.loop.Reserve(events)
-	if cap(n.link.waiting) < inflight {
-		waiting := make([]*packet, len(n.link.waiting), 2*inflight)
-		copy(waiting, n.link.waiting)
-		n.link.waiting = waiting
-	}
-	if cap(n.free) < inflight {
-		free := make([]*packet, len(n.free), 2*inflight)
+	if cap(n.free) < total {
+		free := make([]*packet, len(n.free), 2*total)
 		copy(free, n.free)
 		n.free = free
-		arena := make([]packet, inflight)
+		arena := make([]packet, total)
 		for i := range arena {
 			n.freePacket(&arena[i])
 		}
@@ -318,37 +427,45 @@ func (n *Network) StartMeasurement() {
 	for _, f := range n.flows {
 		f.resetMeasurement(now)
 	}
-	n.link.resetMeasurement(now)
+	for _, l := range n.links {
+		l.resetMeasurement(now)
+	}
+	for _, r := range n.revs {
+		r.resetMeasurement(now)
+	}
 }
 
 // Flows returns the attached flows in creation order.
 func (n *Network) Flows() []*Flow { return n.flows }
 
-// Capacity returns the bottleneck rate.
-func (n *Network) Capacity() units.Rate { return n.cfg.Capacity }
+// Capacity returns the first (for legacy configurations, the only) link's
+// nominal rate.
+func (n *Network) Capacity() units.Rate { return n.links[0].capacity }
 
-// Buffer returns the bottleneck queue capacity in bytes.
-func (n *Network) Buffer() units.Bytes { return n.cfg.Buffer }
+// Buffer returns the first link's queue capacity in bytes.
+func (n *Network) Buffer() units.Bytes { return n.links[0].buffer }
 
 // MSS returns the segment size in use.
 func (n *Network) MSS() units.Bytes { return n.cfg.MSS }
 
-// QueueBytes returns the bytes currently waiting in the bottleneck buffer.
-func (n *Network) QueueBytes() units.Bytes { return n.link.waitingBytes }
+// QueueBytes returns the bytes currently waiting in the first link's
+// buffer (the bottleneck of every legacy configuration).
+func (n *Network) QueueBytes() units.Bytes { return n.links[0].waitingBytes }
 
-// EffectiveRate returns the bottleneck's current service rate: Capacity, or
-// less during a capacity flap's low phase.
-func (n *Network) EffectiveRate() units.Rate { return n.link.rate }
+// EffectiveRate returns the first link's current service rate: its
+// capacity, or less during a capacity flap's low phase.
+func (n *Network) EffectiveRate() units.Rate { return n.links[0].rate }
 
-// Link returns statistics for the bottleneck.
-func (n *Network) Link() LinkStats {
+// linkStats snapshots one link's statistics over the current measurement
+// window.
+func (n *Network) linkStats(l *link) LinkStats {
 	now := n.loop.Now()
-	l := n.link
 	util := 0.0
-	if r := l.departed.RateSince(now); n.cfg.Capacity > 0 {
-		util = float64(r / n.cfg.Capacity)
+	if r := l.departed.RateSince(now); l.capacity > 0 {
+		util = float64(r / l.capacity)
 	}
 	return LinkStats{
+		Name:               l.name,
 		Utilization:        util,
 		MeanQueueOccupancy: units.Bytes(l.occupancy.Average(now)),
 		MaxQueueOccupancy:  units.Bytes(l.occupancy.Max()),
@@ -360,9 +477,29 @@ func (n *Network) Link() LinkStats {
 	}
 }
 
-// LinkStats is a snapshot of bottleneck-level statistics over the current
+// Link returns statistics for the first link (the bottleneck of every
+// legacy configuration). Multi-link topologies use PerLink.
+func (n *Network) Link() LinkStats { return n.linkStats(n.links[0]) }
+
+// PerLink returns statistics for every link: the forward links in
+// configuration order, then the reverse twins in the same order.
+func (n *Network) PerLink() []LinkStats {
+	out := make([]LinkStats, 0, len(n.links)+len(n.revs))
+	for _, l := range n.links {
+		out = append(out, n.linkStats(l))
+	}
+	for _, r := range n.revs {
+		out = append(out, n.linkStats(r))
+	}
+	return out
+}
+
+// LinkStats is a snapshot of link-level statistics over the current
 // measurement window.
 type LinkStats struct {
+	// Name identifies the link; reverse twins carry the forward link's
+	// name with a "~rev" suffix.
+	Name string
 	// Utilization is delivered rate divided by capacity (0..1).
 	Utilization float64
 	// MeanQueueOccupancy is the time-weighted average of waiting bytes.
@@ -379,7 +516,8 @@ type LinkStats struct {
 	// InjectedDrops counts packets dropped by fault injection (stochastic
 	// loss and burst episodes), disjoint from Drops.
 	InjectedDrops int
-	// AckLosses counts ACKs lost on the return path by fault injection.
+	// AckLosses counts ACKs lost on the return path by fault injection —
+	// or, on a reverse twin, lost to its queue as well.
 	AckLosses int
 }
 
@@ -388,6 +526,11 @@ type packet struct {
 	flow *Flow
 	seq  uint64
 	size units.Bytes
+
+	// hop indexes the flow's forward path while the packet is in transit;
+	// ackHop indexes the flow's reverse (ACK) path afterwards.
+	hop    int32
+	ackHop int32
 
 	sentAt     eventsim.Time
 	enqueuedAt eventsim.Time

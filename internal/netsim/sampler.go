@@ -130,25 +130,46 @@ type LinkSample struct {
 	Rate units.Rate
 }
 
-// LinkSampler records a periodic time series for the bottleneck: buffer
+// LinkSampler records a periodic time series for one link: buffer
 // occupancy, aggregate departure throughput and the effective service rate.
-// Attach with NewLinkSampler before running the simulation.
+// Attach with NewLinkSampler (the first link) or Network.LinkSamplers
+// (every link) before running the simulation.
 type LinkSampler struct {
 	net      *Network
+	link     *link
 	interval time.Duration
 	lastSeen float64
 	detached bool
 	samples  []LinkSample
 }
 
-// NewLinkSampler attaches a link sampler to n with the given interval. The
+// NewLinkSampler attaches a link sampler for the first configured link (the
+// bottleneck of every legacy configuration) with the given interval. The
 // first sample is taken one interval after the current simulation time; the
 // tick runs until Detach.
 func NewLinkSampler(n *Network, interval time.Duration) *LinkSampler {
+	return newLinkSampler(n, n.links[0], interval)
+}
+
+// LinkSamplers attaches one sampler per link — the forward links in
+// configuration order, then the reverse twins in the same order — matching
+// the ordering of PerLink.
+func (n *Network) LinkSamplers(interval time.Duration) []*LinkSampler {
+	out := make([]*LinkSampler, 0, len(n.links)+len(n.revs))
+	for _, l := range n.links {
+		out = append(out, newLinkSampler(n, l, interval))
+	}
+	for _, r := range n.revs {
+		out = append(out, newLinkSampler(n, r, interval))
+	}
+	return out
+}
+
+func newLinkSampler(n *Network, l *link, interval time.Duration) *LinkSampler {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
-	s := &LinkSampler{net: n, interval: interval, lastSeen: n.link.departed.Total()}
+	s := &LinkSampler{net: n, link: l, interval: interval, lastSeen: l.departed.Total()}
 	var tick func()
 	tick = func() {
 		if s.detached {
@@ -161,11 +182,14 @@ func NewLinkSampler(n *Network, interval time.Duration) *LinkSampler {
 	return s
 }
 
+// LinkName names the sampled link.
+func (s *LinkSampler) LinkName() string { return s.link.name }
+
 // Detach stops the link sampler; the collected series stays available.
 func (s *LinkSampler) Detach() { s.detached = true }
 
 func (s *LinkSampler) take() {
-	l := s.net.link
+	l := s.link
 	total := l.departed.Total()
 	delta := units.Bytes(total - s.lastSeen)
 	s.lastSeen = total

@@ -173,7 +173,7 @@ func TestLinkSamplerTracksDeliveredBytes(t *testing.T) {
 	for _, smp := range s.Samples() {
 		sum += smp.Throughput.BytesIn(50 * time.Millisecond)
 	}
-	delivered := units.Bytes(n.link.departed.Total())
+	delivered := units.Bytes(n.links[0].departed.Total())
 	if relErr(float64(sum), float64(delivered)) > 0.01 {
 		t.Errorf("link sample integral %v != delivered %v", sum, delivered)
 	}

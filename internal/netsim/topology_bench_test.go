@@ -1,0 +1,112 @@
+package netsim_test
+
+// BenchmarkTopology measures what multi-link forwarding costs: the same
+// flow population runs once over a single 80 Mbps bottleneck and once
+// over the 100|80|100 Mbps parking-lot chain whose middle link is that
+// same bottleneck. Steady-state throughput is identical by construction,
+// so the ns/event and events/sec deltas between the two scenarios are
+// pure per-hop overhead — extra enqueue/service events, per-link queue
+// state, path bookkeeping. scripts/bench.sh -s topology parses the
+// results into BENCH_*.json records alongside the engine trajectory.
+//
+// Scenario parameters are frozen for comparability, same rule as
+// BenchmarkEngine: add a new scenario rather than editing these.
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/units"
+
+	_ "bbrnash/internal/cc/bbr"
+	_ "bbrnash/internal/cc/cubic"
+)
+
+// topologyScenarios is the frozen single-vs-chain benchmark pair.
+func topologyScenarios() map[string]scenario.Spec {
+	groups := func(path ...string) []scenario.Group {
+		return []scenario.Group{
+			{Algorithm: "bbr", Count: 2, RTT: 40 * time.Millisecond, Path: path},
+			{Algorithm: "cubic", Count: 2, RTT: 40 * time.Millisecond, Path: path},
+		}
+	}
+	buf := func(c units.Rate) units.Bytes {
+		return units.BufferBytes(c, 40*time.Millisecond, 2)
+	}
+	return map[string]scenario.Spec{
+		// single: the legacy one-bottleneck form, the chain's middle link
+		// on its own.
+		"single": {
+			Capacity:    80 * units.Mbps,
+			Buffer:      buf(80 * units.Mbps),
+			AckJitter:   scenario.DefaultAckJitter,
+			StartJitter: scenario.DefaultStartJitter,
+			Duration:    time.Hour, // never reached; ops advance 1s at a time
+			Seed:        11,
+			Groups:      groups(),
+		},
+		// chain3: the same flows threaded through the parking-lot chain;
+		// the middle link is the bottleneck, the outer links add two
+		// extra hops of forwarding work per packet.
+		"chain3": {
+			AckJitter:   scenario.DefaultAckJitter,
+			StartJitter: scenario.DefaultStartJitter,
+			Duration:    time.Hour,
+			Seed:        11,
+			Links: []scenario.Link{
+				{Name: "l0", Capacity: 100 * units.Mbps, Buffer: buf(100 * units.Mbps)},
+				{Name: "l1", Capacity: 80 * units.Mbps, Buffer: buf(80 * units.Mbps)},
+				{Name: "l2", Capacity: 100 * units.Mbps, Buffer: buf(100 * units.Mbps)},
+			},
+			Groups: groups("l0", "l1", "l2"),
+		},
+	}
+}
+
+// BenchmarkTopology advances each warmed scenario one simulated second
+// per op, exactly like BenchmarkEngine, so the two series are directly
+// comparable event for event.
+func BenchmarkTopology(b *testing.B) {
+	for _, name := range []string{"single", "chain3"} {
+		sp := topologyScenarios()[name]
+		b.Run(name, func(b *testing.B) {
+			n, _, err := netsim.Build(sp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n.Run(5 * time.Second) // warm up past slow start
+			start := n.Events()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Run(time.Second)
+			}
+			b.StopTimer()
+			events := n.Events() - start
+			if events == 0 {
+				b.Fatal("no events processed")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		})
+	}
+}
+
+// TestTopologyScenariosValid pins the benchmark pair: both specs must
+// validate and build, and they must stay comparable — same groups, and
+// the chain's bottleneck equal to the single link's capacity.
+func TestTopologyScenariosValid(t *testing.T) {
+	specs := topologyScenarios()
+	for name, sp := range specs {
+		if _, _, err := netsim.Build(sp); err != nil {
+			t.Errorf("benchmark scenario %s no longer builds: %v", name, err)
+		}
+	}
+	single, chain := specs["single"], specs["chain3"]
+	if min := chain.PathMinCapacity(0); min != single.Capacity {
+		t.Errorf("chain bottleneck %v != single-link capacity %v; the pair is no longer comparable", min, single.Capacity)
+	}
+	if len(single.Groups) != len(chain.Groups) {
+		t.Errorf("group sets diverge: %d vs %d", len(single.Groups), len(chain.Groups))
+	}
+}

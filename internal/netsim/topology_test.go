@@ -1,0 +1,242 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bbrnash/internal/cc/bbr"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/units"
+)
+
+// chainConfig builds a forward chain of named links with the given
+// capacities, one buffer each.
+func chainConfig(bufs units.Bytes, caps ...units.Rate) (Config, []string) {
+	cfg := Config{}
+	var path []string
+	names := []string{"l0", "l1", "l2", "l3"}
+	for i, c := range caps {
+		cfg.Links = append(cfg.Links, LinkConfig{Name: names[i], Capacity: c, Buffer: bufs})
+		path = append(path, names[i])
+	}
+	return cfg, path
+}
+
+// TestChainForwardingConservation: on a two-link chain every delivered
+// byte crossed both links, so the upstream link's departures can exceed
+// the downstream one's only by what is still sitting in the downstream
+// queue or in service (one buffer plus a segment).
+func TestChainForwardingConservation(t *testing.T) {
+	cfg, path := chainConfig(1e6, 20*units.Mbps, 20*units.Mbps)
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(100*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3 * time.Second)
+	dep0 := n.links[0].departed.Total()
+	dep1 := n.links[1].departed.Total()
+	if dep1 <= 0 {
+		t.Fatal("nothing crossed the second link")
+	}
+	if dep0 < dep1 {
+		t.Errorf("downstream link departed %v bytes, more than upstream's %v", dep1, dep0)
+	}
+	if lag := dep0 - dep1; lag > float64(n.links[1].buffer+units.MSS) {
+		t.Errorf("per-link conservation: %v bytes left the first link but neither crossed nor wait at the second (buffer %v)",
+			lag, n.links[1].buffer)
+	}
+	if got := units.Bytes(f.arrived.Total()); got != units.Bytes(dep1) {
+		t.Errorf("flow delivered %v, last link departed %v; delivery must be measured at the final hop", got, units.Bytes(dep1))
+	}
+}
+
+// TestChainBottleneckMiddle: in the parking-lot chain 100|40|100 Mbps the
+// middle link is the bottleneck — throughput pins to it and the standing
+// queue forms there, not at the wide links around it.
+func TestChainBottleneckMiddle(t *testing.T) {
+	cfg, path := chainConfig(1e6, 100*units.Mbps, 40*units.Mbps, 100*units.Mbps)
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(400*units.MSS, 0)
+	f, err := n.AddFlow(FlowConfig{RTT: 40 * time.Millisecond, Algorithm: ctor, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(5 * time.Second)
+	if got := f.Stats().Throughput; relErr(float64(got), float64(40*units.Mbps)) > 0.05 {
+		t.Errorf("chain throughput %v, want about the middle link's 40 Mbps", got)
+	}
+	per := n.PerLink()
+	if len(per) != 3 {
+		t.Fatalf("PerLink reported %d links, want 3", len(per))
+	}
+	if per[1].MeanQueueOccupancy < 10*per[0].MeanQueueOccupancy ||
+		per[1].MeanQueueOccupancy < 10*per[2].MeanQueueOccupancy {
+		t.Errorf("standing queue not at the middle link: occupancies %v | %v | %v",
+			per[0].MeanQueueOccupancy, per[1].MeanQueueOccupancy, per[2].MeanQueueOccupancy)
+	}
+	for i, want := range []string{"l0", "l1", "l2"} {
+		if per[i].Name != want {
+			t.Errorf("PerLink[%d].Name = %q, want %q", i, per[i].Name, want)
+		}
+	}
+}
+
+// TestPathResolution: flows resolve their paths by link name — unknown
+// and repeated links are configuration errors, an empty path means the
+// first link, and legacy single-link configs accept the default name.
+func TestPathResolution(t *testing.T) {
+	cfg, _ := chainConfig(1e6, 20*units.Mbps, 20*units.Mbps)
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(10*units.MSS, 0)
+	base := FlowConfig{RTT: 10 * time.Millisecond, Algorithm: ctor}
+
+	bad := base
+	bad.Path = []string{"l0", "nope"}
+	if _, err := n.AddFlow(bad); err == nil {
+		t.Error("unknown link name accepted")
+	}
+	dup := base
+	dup.Path = []string{"l0", "l0"}
+	if _, err := n.AddFlow(dup); err == nil {
+		t.Error("repeated link accepted")
+	}
+	one := base
+	one.Path = []string{"l1"}
+	f, err := n.AddFlow(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.path) != 1 || f.path[0] != n.links[1] {
+		t.Error("single-link path did not resolve to the named link")
+	}
+	empty := base
+	f2, err := n.AddFlow(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.path) != 1 || f2.path[0] != n.links[0] {
+		t.Error("empty path did not default to the first link")
+	}
+
+	legacy := mustNetwork(t, Config{Capacity: 20 * units.Mbps, Buffer: 1e6})
+	named := base
+	named.Path = []string{scenario.DefaultLinkName}
+	if _, err := legacy.AddFlow(named); err != nil {
+		t.Errorf("legacy config rejected the default link name: %v", err)
+	}
+}
+
+// TestExplicitSingleLinkMatchesLegacy: a one-link topology without a
+// reverse twin is the legacy configuration spelled out — same flow and
+// link statistics to the byte.
+func TestExplicitSingleLinkMatchesLegacy(t *testing.T) {
+	capacity := 30 * units.Mbps
+	buffer := units.BufferBytes(capacity, 40*time.Millisecond, 2)
+	faults := scenario.Faults{LossRate: 0.002, FlapPeriod: time.Second, FlapDepth: 0.3}
+	run := func(cfg Config) (FlowStats, LinkStats) {
+		cfg.Seed = 7
+		n := mustNetwork(t, cfg)
+		f, err := n.AddFlow(FlowConfig{RTT: 40 * time.Millisecond, Algorithm: bbr.New})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(10 * time.Second)
+		return f.Stats(), n.Link()
+	}
+	lf, ll := run(Config{Capacity: capacity, Buffer: buffer, Faults: faults})
+	ef, el := run(Config{Links: []LinkConfig{{Name: scenario.DefaultLinkName, Capacity: capacity, Buffer: buffer, Faults: faults}}})
+	if !reflect.DeepEqual(lf, ef) {
+		t.Errorf("flow stats diverge:\nlegacy   %+v\nexplicit %+v", lf, ef)
+	}
+	if !reflect.DeepEqual(ll, el) {
+		t.Errorf("link stats diverge:\nlegacy   %+v\nexplicit %+v", ll, el)
+	}
+}
+
+// TestReverseTwinAckPath: a reverse twin serializes ACKs instead of
+// delivering them after a pure delay — RTTs grow by the return queue, a
+// congested return link inflates them further, and the twin's statistics
+// account for every ACK that crossed it.
+func TestReverseTwinAckPath(t *testing.T) {
+	capacity := 20 * units.Mbps
+	mk := func(rev units.Rate) (*Network, *Flow) {
+		cfg := Config{Links: []LinkConfig{{
+			Name: "b", Capacity: capacity, Buffer: 1e6,
+			RevCapacity: rev, RevBuffer: 1 << 16,
+		}}}
+		n := mustNetwork(t, cfg)
+		ctor, _ := fixedCtor(100*units.MSS, 0)
+		f, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor, Path: []string{"b"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, f
+	}
+	n, f := mk(10 * units.Mbps)
+	n.Run(5 * time.Second)
+	st := f.Stats()
+	if st.Throughput <= 0 {
+		t.Fatal("no progress through a reverse twin")
+	}
+	if st.MinRTT <= 20*time.Millisecond {
+		t.Errorf("min RTT %v does not include reverse-path serialization", st.MinRTT)
+	}
+	per := n.PerLink()
+	if len(per) != 2 || per[1].Name != "b~rev" {
+		t.Fatalf("PerLink = %v, want forward link then its ~rev twin", per)
+	}
+	if per[1].Utilization <= 0 {
+		t.Error("reverse twin recorded no ACK departures")
+	}
+
+	nSlow, fSlow := mk(100 * units.Kbps)
+	nSlow.Run(5 * time.Second)
+	slow := fSlow.Stats()
+	if slow.MeanRTT <= 2*st.MeanRTT {
+		t.Errorf("congested return link: mean RTT %v, want far above the uncongested %v", slow.MeanRTT, st.MeanRTT)
+	}
+	if slow.Throughput >= st.Throughput {
+		t.Errorf("reverse congestion did not slow the forward path: %v >= %v", slow.Throughput, st.Throughput)
+	}
+}
+
+// TestPerLinkFaults: faults attach to the link they are configured on —
+// stochastic loss on the second link injects drops there and only there,
+// and an ACK-loss fault on a twinned link loses ACKs on the twin.
+func TestPerLinkFaults(t *testing.T) {
+	cfg, path := chainConfig(1e6, 20*units.Mbps, 20*units.Mbps)
+	cfg.Links[1].Faults = scenario.Faults{LossRate: 0.02}
+	cfg.Seed = 3
+	n := mustNetwork(t, cfg)
+	ctor, _ := fixedCtor(100*units.MSS, 0)
+	if _, err := n.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor, Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(5 * time.Second)
+	per := n.PerLink()
+	if per[0].InjectedDrops != 0 {
+		t.Errorf("fault-free first link injected %d drops", per[0].InjectedDrops)
+	}
+	if per[1].InjectedDrops == 0 {
+		t.Error("lossy second link injected no drops")
+	}
+
+	cfg2 := Config{Seed: 5, Links: []LinkConfig{{
+		Name: "b", Capacity: 20 * units.Mbps, Buffer: 1e6,
+		Faults:      scenario.Faults{AckLossRate: 0.05},
+		RevCapacity: 10 * units.Mbps, RevBuffer: 1 << 16,
+	}}}
+	n2 := mustNetwork(t, cfg2)
+	ctor2, _ := fixedCtor(100*units.MSS, 0)
+	if _, err := n2.AddFlow(FlowConfig{RTT: 20 * time.Millisecond, Algorithm: ctor2, Path: []string{"b"}}); err != nil {
+		t.Fatal(err)
+	}
+	n2.Run(5 * time.Second)
+	per2 := n2.PerLink()
+	if per2[1].AckLosses == 0 {
+		t.Error("ACK-loss fault on a twinned link lost nothing on the twin")
+	}
+}

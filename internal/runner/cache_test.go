@@ -308,14 +308,15 @@ func TestCacheSaveFileMode(t *testing.T) {
 	}
 }
 
-// TestOpenCacheV3PrunedUnderV4: the concrete migration this repo shipped —
-// a store written under key generation v3 (before the execution backend
-// entered the canonical key) opened by a binary recognizing only
-// scenario.KeyVersion (v4) serves nothing, and the next Save prunes the v3
-// entries from disk. Guards against v3 results (simulated before backend
-// dispatch existed) silently answering v4 queries for either backend.
-func TestOpenCacheV3PrunedUnderV4(t *testing.T) {
-	if scenario.KeyVersion != "v4" {
+// TestOpenCacheStaleVersionsPrunedUnderV5: the concrete migrations this
+// repo shipped — stores written under key generations v3 (before the
+// execution backend entered the canonical key) and v4 (before scenarios
+// grew link topologies) opened by a binary recognizing only
+// scenario.KeyVersion (v5) serve nothing, and the next Save prunes the
+// stale entries from disk. Guards against pre-topology results silently
+// answering v5 queries.
+func TestOpenCacheStaleVersionsPrunedUnderV5(t *testing.T) {
+	if scenario.KeyVersion != "v5" {
 		t.Fatalf("scenario.KeyVersion = %q; update this migration test", scenario.KeyVersion)
 	}
 	path := filepath.Join(t.TempDir(), "cache.json")
@@ -323,8 +324,13 @@ func TestOpenCacheV3PrunedUnderV4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v3Key := "scenario|v3|cap=0x1.908b1p+25|buf=0x1p+20|mss=0x1.77p+10|aj=0|sj=0|dur=10000000000|seed=1|fl=0|al=0|fp=0|fd=0|be=0|bl=0|g=bbr:1:40000000:0"
-	c.Put(v3Key, fakeResult{Throughput: 5})
+	staleKeys := []string{
+		"scenario|v3|cap=0x1.908b1p+25|buf=0x1p+20|mss=0x1.77p+10|aj=0|sj=0|dur=10000000000|seed=1|fl=0|al=0|fp=0|fd=0|be=0|bl=0|g=bbr:1:40000000:0",
+		"scenario|v4|bk=packet|cap=0x1.908b1p+25|buf=0x1p+20|mss=0x1.77p+10|aj=0|sj=0|dur=10000000000|seed=1|fl=0x0p+00|al=0x0p+00|fp=0|fd=0x0p+00|be=0|bl=0|g=bbr:1:40000000:0",
+	}
+	for i, k := range staleKeys {
+		c.Put(k, fakeResult{Throughput: float64(i + 5)})
+	}
 	if err := c.Save(); err != nil {
 		t.Fatal(err)
 	}
@@ -334,13 +340,15 @@ func TestOpenCacheV3PrunedUnderV4(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out fakeResult
-	if re.Get(v3Key, &out) {
-		t.Error("v3 entry served under v4")
+	for _, k := range staleKeys {
+		if re.Get(k, &out) {
+			t.Errorf("stale entry served under v5: %s", k)
+		}
 	}
 	if re.Len() != 0 {
 		t.Errorf("reopened Len = %d, want 0", re.Len())
 	}
-	re.Put("scenario|v4|fresh", fakeResult{Throughput: 6})
+	re.Put("scenario|v5|fresh", fakeResult{Throughput: 6})
 	if err := re.Save(); err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +356,7 @@ func TestOpenCacheV3PrunedUnderV4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(string(data), "scenario|v3|") {
-		t.Error("Save left v3 entries on disk")
+	if strings.Contains(string(data), "scenario|v3|") || strings.Contains(string(data), "scenario|v4|") {
+		t.Error("Save left stale-generation entries on disk")
 	}
 }

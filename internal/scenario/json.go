@@ -20,10 +20,11 @@ import (
 // "buffer_bytes" — which Marshal never emits.
 
 type groupJSON struct {
-	Algorithm string `json:"algorithm"`
-	Count     int    `json:"count"`
-	RTT       string `json:"rtt"`
-	Start     string `json:"start,omitempty"`
+	Algorithm string   `json:"algorithm"`
+	Count     int      `json:"count"`
+	RTT       string   `json:"rtt"`
+	Start     string   `json:"start,omitempty"`
+	Path      []string `json:"path,omitempty"`
 }
 
 type faultsJSON struct {
@@ -33,6 +34,23 @@ type faultsJSON struct {
 	FlapDepth   float64 `json:"flap_depth,omitempty"`
 	BurstEvery  string  `json:"burst_every,omitempty"`
 	BurstLen    int     `json:"burst_len,omitempty"`
+}
+
+type reverseJSON struct {
+	CapacityBps  float64 `json:"capacity_bps,omitempty"`
+	CapacityMbps float64 `json:"capacity_mbps,omitempty"`
+	BufferBytes  float64 `json:"buffer_bytes,omitempty"`
+}
+
+type linkJSON struct {
+	Name         string       `json:"name"`
+	CapacityBps  float64      `json:"capacity_bps,omitempty"`
+	CapacityMbps float64      `json:"capacity_mbps,omitempty"`
+	BufferBytes  float64      `json:"buffer_bytes,omitempty"`
+	BufferBDP    float64      `json:"buffer_bdp,omitempty"`
+	BufferBDPRTT string       `json:"buffer_bdp_rtt,omitempty"`
+	Faults       *faultsJSON  `json:"faults,omitempty"`
+	Reverse      *reverseJSON `json:"reverse,omitempty"`
 }
 
 type specJSON struct {
@@ -48,6 +66,7 @@ type specJSON struct {
 	Seed         uint64      `json:"seed"`
 	Backend      string      `json:"backend,omitempty"`
 	Faults       *faultsJSON `json:"faults,omitempty"`
+	Links        []linkJSON  `json:"links,omitempty"`
 	Groups       []groupJSON `json:"groups"`
 }
 
@@ -69,7 +88,46 @@ func parseDuration(field, s string) (time.Duration, error) {
 	return d, nil
 }
 
-// MarshalJSON encodes the spec in its canonical file form.
+// faultsToJSON renders a fault block in file form, nil when clean.
+func faultsToJSON(f Faults) *faultsJSON {
+	if f == (Faults{}) {
+		return nil
+	}
+	return &faultsJSON{
+		LossRate:    f.LossRate,
+		AckLossRate: f.AckLossRate,
+		FlapPeriod:  formatDuration(f.FlapPeriod),
+		FlapDepth:   f.FlapDepth,
+		BurstEvery:  formatDuration(f.BurstEvery),
+		BurstLen:    f.BurstLen,
+	}
+}
+
+// faultsFromJSON decodes a fault block; a nil input is a clean link.
+func faultsFromJSON(field string, in *faultsJSON) (Faults, error) {
+	if in == nil {
+		return Faults{}, nil
+	}
+	f := Faults{
+		LossRate:    in.LossRate,
+		AckLossRate: in.AckLossRate,
+		FlapDepth:   in.FlapDepth,
+		BurstLen:    in.BurstLen,
+	}
+	var err error
+	if f.FlapPeriod, err = parseDuration(field+".flap_period", in.FlapPeriod); err != nil {
+		return Faults{}, err
+	}
+	if f.BurstEvery, err = parseDuration(field+".burst_every", in.BurstEvery); err != nil {
+		return Faults{}, err
+	}
+	return f, nil
+}
+
+// MarshalJSON encodes the spec in its canonical file form: base units and
+// nanosecond-exact duration strings, links (when present) with canonical
+// capacity_bps/buffer_bytes spellings. Legacy single-bottleneck specs emit
+// exactly the pre-topology form — links and paths are omitted empty.
 func (s Spec) MarshalJSON() ([]byte, error) {
 	out := specJSON{
 		CapacityBps: float64(s.Capacity),
@@ -80,16 +138,25 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		Duration:    s.Duration.String(),
 		Seed:        s.Seed,
 		Backend:     s.Backend,
+		Faults:      faultsToJSON(s.Faults),
 		Groups:      make([]groupJSON, len(s.Groups)),
 	}
-	if s.Faults != (Faults{}) {
-		out.Faults = &faultsJSON{
-			LossRate:    s.Faults.LossRate,
-			AckLossRate: s.Faults.AckLossRate,
-			FlapPeriod:  formatDuration(s.Faults.FlapPeriod),
-			FlapDepth:   s.Faults.FlapDepth,
-			BurstEvery:  formatDuration(s.Faults.BurstEvery),
-			BurstLen:    s.Faults.BurstLen,
+	if len(s.Links) > 0 {
+		out.Links = make([]linkJSON, len(s.Links))
+		for i, l := range s.Links {
+			lj := linkJSON{
+				Name:        l.Name,
+				CapacityBps: float64(l.Capacity),
+				BufferBytes: float64(l.Buffer),
+				Faults:      faultsToJSON(l.Faults),
+			}
+			if l.RevCapacity != 0 || l.RevBuffer != 0 {
+				lj.Reverse = &reverseJSON{
+					CapacityBps: float64(l.RevCapacity),
+					BufferBytes: float64(l.RevBuffer),
+				}
+			}
+			out.Links[i] = lj
 		}
 	}
 	for i, g := range s.Groups {
@@ -98,6 +165,7 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 			Count:     g.Count,
 			RTT:       g.RTT.String(),
 			Start:     formatDuration(g.Start),
+			Path:      g.Path,
 		}
 	}
 	return json.Marshal(out)
@@ -147,17 +215,53 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 	}
 	s.Seed = in.Seed
 	s.Backend = in.Backend
-	s.Faults = Faults{}
-	if in.Faults != nil {
-		s.Faults.LossRate = in.Faults.LossRate
-		s.Faults.AckLossRate = in.Faults.AckLossRate
-		s.Faults.FlapDepth = in.Faults.FlapDepth
-		s.Faults.BurstLen = in.Faults.BurstLen
-		if s.Faults.FlapPeriod, err = parseDuration("faults.flap_period", in.Faults.FlapPeriod); err != nil {
-			return err
-		}
-		if s.Faults.BurstEvery, err = parseDuration("faults.burst_every", in.Faults.BurstEvery); err != nil {
-			return err
+	if s.Faults, err = faultsFromJSON("faults", in.Faults); err != nil {
+		return err
+	}
+	s.Links = nil
+	if len(in.Links) > 0 {
+		s.Links = make([]Link, len(in.Links))
+		for i, lj := range in.Links {
+			l := Link{Name: lj.Name}
+			field := fmt.Sprintf("links[%d]", i)
+			switch {
+			case lj.CapacityBps != 0 && lj.CapacityMbps != 0:
+				return fmt.Errorf("scenario: %s: specify capacity_bps or capacity_mbps, not both", field)
+			case lj.CapacityMbps != 0:
+				l.Capacity = units.Rate(lj.CapacityMbps) * units.Mbps
+			default:
+				l.Capacity = units.Rate(lj.CapacityBps)
+			}
+			switch {
+			case lj.BufferBytes != 0 && lj.BufferBDP != 0:
+				return fmt.Errorf("scenario: %s: specify buffer_bytes or buffer_bdp, not both", field)
+			case lj.BufferBDP != 0:
+				rtt, err := parseDuration(field+".buffer_bdp_rtt", lj.BufferBDPRTT)
+				if err != nil {
+					return err
+				}
+				if rtt <= 0 {
+					return fmt.Errorf("scenario: %s: buffer_bdp needs a positive buffer_bdp_rtt", field)
+				}
+				l.Buffer = units.BufferBytes(l.Capacity, rtt, lj.BufferBDP)
+			default:
+				l.Buffer = units.Bytes(lj.BufferBytes)
+			}
+			if l.Faults, err = faultsFromJSON(field+".faults", lj.Faults); err != nil {
+				return err
+			}
+			if lj.Reverse != nil {
+				switch {
+				case lj.Reverse.CapacityBps != 0 && lj.Reverse.CapacityMbps != 0:
+					return fmt.Errorf("scenario: %s.reverse: specify capacity_bps or capacity_mbps, not both", field)
+				case lj.Reverse.CapacityMbps != 0:
+					l.RevCapacity = units.Rate(lj.Reverse.CapacityMbps) * units.Mbps
+				default:
+					l.RevCapacity = units.Rate(lj.Reverse.CapacityBps)
+				}
+				l.RevBuffer = units.Bytes(lj.Reverse.BufferBytes)
+			}
+			s.Links[i] = l
 		}
 	}
 	s.Groups = make([]Group, len(in.Groups))
@@ -170,7 +274,7 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		if err != nil {
 			return err
 		}
-		s.Groups[i] = Group{Algorithm: g.Algorithm, Count: g.Count, RTT: rtt, Start: start}
+		s.Groups[i] = Group{Algorithm: g.Algorithm, Count: g.Count, RTT: rtt, Start: start, Path: g.Path}
 	}
 	return nil
 }

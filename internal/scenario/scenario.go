@@ -44,6 +44,12 @@ type Group struct {
 	Count     int
 	RTT       time.Duration
 	Start     time.Duration
+	// Path is the ordered list of link names the group's flows traverse,
+	// for specs that define an explicit Links topology. Legacy
+	// single-bottleneck specs leave it empty and implicitly traverse the
+	// one DefaultLinkName link; specs with Links must set it on every
+	// group. Path order is part of the scenario's identity.
+	Path []string
 }
 
 // Execution backends. A spec names which engine evaluates it: the
@@ -68,6 +74,9 @@ func Backends() []string { return []string{BackendPacket, BackendFluid} }
 // n−k CUBIC" keeps both groups at every point so group indices (and the
 // canonical key shape) stay stable across the sweep.
 type Spec struct {
+	// Capacity and Buffer describe the legacy single-bottleneck form.
+	// They are mutually exclusive with Links: a spec either sets these
+	// scalars (one implicit DefaultLinkName link) or an explicit topology.
 	Capacity    units.Rate
 	Buffer      units.Bytes
 	MSS         units.Bytes // 0 means units.MSS
@@ -80,8 +89,14 @@ type Spec struct {
 	// BackendPacket.
 	Backend string
 	// Faults injects deterministic adverse-link conditions (loss, ACK
-	// loss, capacity flaps, loss bursts); the zero value is a clean link.
+	// loss, capacity flaps, loss bursts) on the legacy single bottleneck;
+	// the zero value is a clean link. Specs with explicit Links attach
+	// faults per link instead.
 	Faults Faults
+	// Links, when set, replaces the scalar bottleneck with a validated
+	// multi-link topology; each group then names its Path through it.
+	// Topology() canonicalizes both forms to one link list.
+	Links  []Link
 	Groups []Group
 }
 
@@ -114,11 +129,17 @@ func (s Spec) TotalFlows() int {
 // builder's job. Everyone else should call Validate.
 func (s Spec) ValidateTopology() error {
 	s = s.WithDefaults()
-	if s.Capacity <= 0 {
-		return fmt.Errorf("scenario: non-positive capacity %v", s.Capacity)
-	}
-	if s.Buffer < s.MSS {
-		return fmt.Errorf("scenario: buffer %v below one segment (%v)", s.Buffer, s.MSS)
+	if len(s.Links) > 0 {
+		if err := s.validateLinks(); err != nil {
+			return err
+		}
+	} else {
+		if s.Capacity <= 0 {
+			return fmt.Errorf("scenario: non-positive capacity %v", s.Capacity)
+		}
+		if s.Buffer < s.MSS {
+			return fmt.Errorf("scenario: buffer %v below one segment (%v)", s.Buffer, s.MSS)
+		}
 	}
 	if s.Duration <= 0 {
 		return fmt.Errorf("scenario: non-positive duration %v", s.Duration)
@@ -150,6 +171,9 @@ func (s Spec) ValidateTopology() error {
 		}
 		if g.Start < 0 {
 			return fmt.Errorf("scenario: group %d has negative start offset %v", i, g.Start)
+		}
+		if err := s.validatePath(i, g.Path); err != nil {
+			return err
 		}
 	}
 	if s.TotalFlows() == 0 {

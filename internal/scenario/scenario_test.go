@@ -32,12 +32,13 @@ func validSpec() Spec {
 // fails, the key format changed: bump KeyVersion and update the golden
 // string — silent drift is exactly what the pin exists to catch.
 func TestKeyGolden(t *testing.T) {
-	const want = "scenario|v4|" +
+	const want = "scenario|v5|" +
 		"bk=packet|" +
-		"cap=0x1.7d784p+26|buf=0x1.e848p+19|mss=0x1.6dp+10|" +
+		"mss=0x1.6dp+10|" +
 		"aj=1000000|sj=10000000|dur=120000000000|seed=42|" +
-		"fl=0x0p+00|al=0x0p+00|fp=0|fd=0x0p+00|be=0|bl=0|" +
-		"g=bbr:3:40000000:0,cubic:2:40000000:0"
+		"tp=bottleneck:0x1.7d784p+26:0x1.e848p+19:" +
+		"0x0p+00:0x0p+00:0:0x0p+00:0:0:0x0p+00:0x0p+00|" +
+		"g=bbr:3:40000000:0:bottleneck,cubic:2:40000000:0:bottleneck"
 	if got := validSpec().Key(); got != want {
 		t.Errorf("Key() =\n %q\nwant\n %q", got, want)
 	}
@@ -55,13 +56,14 @@ func TestKeyGoldenFaults(t *testing.T) {
 		BurstEvery:  30 * time.Second,
 		BurstLen:    8,
 	}
-	const want = "scenario|v4|" +
+	const want = "scenario|v5|" +
 		"bk=packet|" +
-		"cap=0x1.7d784p+26|buf=0x1.e848p+19|mss=0x1.6dp+10|" +
+		"mss=0x1.6dp+10|" +
 		"aj=1000000|sj=10000000|dur=120000000000|seed=42|" +
-		"fl=0x1.47ae147ae147bp-06|al=0x1.47ae147ae147bp-07|" +
-		"fp=2000000000|fd=0x1p-01|be=30000000000|bl=8|" +
-		"g=bbr:3:40000000:0,cubic:2:40000000:0"
+		"tp=bottleneck:0x1.7d784p+26:0x1.e848p+19:" +
+		"0x1.47ae147ae147bp-06:0x1.47ae147ae147bp-07:" +
+		"2000000000:0x1p-01:30000000000:8:0x0p+00:0x0p+00|" +
+		"g=bbr:3:40000000:0:bottleneck,cubic:2:40000000:0:bottleneck"
 	if got := sp.Key(); got != want {
 		t.Errorf("Key() =\n %q\nwant\n %q", got, want)
 	}

@@ -37,7 +37,12 @@ import (
 
 // TraceVersion is the trace file format generation, recorded in every trace
 // header. Bump it when the record shapes below change incompatibly.
-const TraceVersion = 1
+//
+// Version 2 added topology-aware link identity: the header counts sampled
+// links, and multi-bottleneck traces key their link series, drop events and
+// rate events by link name. Single-link traces omit every link field, so
+// their record bodies are byte-identical to version 1.
+const TraceVersion = 2
 
 // DefaultInterval is the sampling interval used when none is configured.
 const DefaultInterval = 100 * time.Millisecond
@@ -115,11 +120,14 @@ func TracePaths(dir, key string) (jsonl, csv string) {
 }
 
 // Event is one discrete occurrence in a traced run, in global event order.
-// Kind selects which fields are meaningful: "drop" (Flow, Seq, Injected),
-// "state" (Flow, State) or "rate" (Rate).
+// Kind selects which fields are meaningful: "drop" (Link, Flow, Seq,
+// Injected), "state" (Flow, State) or "rate" (Link, Rate). Link names which
+// link the event happened on; it is recorded but not emitted for
+// single-link scenarios, whose traces stay in the version-1 body shape.
 type Event struct {
 	At       eventsim.Time
 	Kind     string
+	Link     string
 	Flow     string
 	Seq      uint64
 	Injected bool
@@ -127,43 +135,50 @@ type Event struct {
 	Rate     units.Rate
 }
 
-// Capture observes one simulation: samplers on every flow and on the link,
-// plus the network's drop/state/rate hooks merged into one ordered event
-// stream. Obtain one from Recorder.Attach before running the network; call
-// Finish afterwards to emit the trace. A nil *Capture is valid and inert.
+// Capture observes one simulation: samplers on every flow and on every
+// link, plus the network's drop/state/rate hooks merged into one ordered
+// event stream. Obtain one from Recorder.Attach before running the network;
+// call Finish afterwards to emit the trace. A nil *Capture is valid and
+// inert.
 type Capture struct {
 	rec      *Recorder
 	spec     scenario.Spec
 	interval time.Duration
 	flows    []*netsim.Flow
 	samplers []*netsim.Sampler
-	link     *netsim.LinkSampler
+	links    []*netsim.LinkSampler
+	multi    bool
 	events   []Event
 }
 
-// Attach instruments n for tracing: one sampler per flow, a link sampler,
-// and the drop, state-change and rate-change hooks (replacing any
-// previously registered ones). Call before running n; sp is recorded in the
-// trace header so the trace is replayable. A nil recorder returns a nil
-// capture and touches nothing.
+// Attach instruments n for tracing: one sampler per flow, one per link
+// (every forward link and reverse ACK twin of a multi-bottleneck topology;
+// just the bottleneck otherwise), and the drop, state-change and
+// rate-change hooks (replacing any previously registered ones). Call before
+// running n; sp is recorded in the trace header so the trace is replayable.
+// A nil recorder returns a nil capture and touches nothing.
 func (r *Recorder) Attach(n *netsim.Network, sp scenario.Spec) *Capture {
 	if r == nil || n == nil {
 		return nil
 	}
-	c := &Capture{rec: r, spec: sp, interval: r.interval}
-	c.link = netsim.NewLinkSampler(n, c.interval)
+	c := &Capture{rec: r, spec: sp, interval: r.interval, multi: sp.MultiLink()}
+	if c.multi {
+		c.links = n.LinkSamplers(c.interval)
+	} else {
+		c.links = []*netsim.LinkSampler{netsim.NewLinkSampler(n, c.interval)}
+	}
 	for _, f := range n.Flows() {
 		c.flows = append(c.flows, f)
 		c.samplers = append(c.samplers, netsim.NewSampler(f, c.interval))
 	}
 	n.OnDrop(func(e netsim.DropEvent) {
-		c.events = append(c.events, Event{At: e.Time, Kind: "drop", Flow: e.Flow, Seq: e.Seq, Injected: e.Injected})
+		c.events = append(c.events, Event{At: e.Time, Kind: "drop", Link: e.Link, Flow: e.Flow, Seq: e.Seq, Injected: e.Injected})
 	})
 	n.OnStateChange(func(e netsim.StateEvent) {
 		c.events = append(c.events, Event{At: e.Time, Kind: "state", Flow: e.Flow, State: e.State})
 	})
 	n.OnRateChange(func(e netsim.RateEvent) {
-		c.events = append(c.events, Event{At: e.Time, Kind: "rate", Rate: e.Rate})
+		c.events = append(c.events, Event{At: e.Time, Kind: "rate", Link: e.Link, Rate: e.Rate})
 	})
 	return c
 }
@@ -181,7 +196,9 @@ func (c *Capture) Finish(key string) error {
 	for _, s := range c.samplers {
 		s.Detach()
 	}
-	c.link.Detach()
+	for _, ls := range c.links {
+		ls.Detach()
+	}
 	if key == "" {
 		return nil
 	}
@@ -222,6 +239,7 @@ type traceHeader struct {
 	Key        string        `json:"key"`
 	IntervalNS int64         `json:"interval_ns"`
 	Flows      int           `json:"flows"`
+	Links      int           `json:"links"`
 	Events     int           `json:"events"`
 	Spec       scenario.Spec `json:"spec"`
 }
@@ -244,6 +262,7 @@ type flowSample struct {
 
 type linkSample struct {
 	Record        string  `json:"record"` // "link"
+	Link          string  `json:"link,omitempty"`
 	AtNS          int64   `json:"at_ns"`
 	QueueBytes    float64 `json:"queue_bytes"`
 	ThroughputBPS float64 `json:"throughput_bps"`
@@ -253,6 +272,7 @@ type linkSample struct {
 type dropEvent struct {
 	Record   string `json:"record"` // "event"
 	Kind     string `json:"kind"`   // "drop"
+	Link     string `json:"link,omitempty"`
 	AtNS     int64  `json:"at_ns"`
 	Flow     string `json:"flow"`
 	Seq      uint64 `json:"seq"`
@@ -270,13 +290,16 @@ type stateEvent struct {
 type rateEvent struct {
 	Record  string  `json:"record"` // "event"
 	Kind    string  `json:"kind"`   // "rate"
+	Link    string  `json:"link,omitempty"`
 	AtNS    int64   `json:"at_ns"`
 	RateBPS float64 `json:"rate_bps"`
 }
 
 // encodeJSONL renders the trace: one header line, one flow-header line per
-// flow, the per-flow sample series (flows in spec order), the link series,
-// then the event stream in simulation order.
+// flow, the per-flow sample series (flows in spec order), the link series
+// (links in netsim.PerLink order), then the event stream in simulation
+// order. Link fields appear only in multi-bottleneck traces; a single-link
+// trace's record bodies match the version-1 layout byte for byte.
 func (c *Capture) encodeJSONL(key string) []byte {
 	var buf []byte
 	line := func(v any) {
@@ -295,6 +318,7 @@ func (c *Capture) encodeJSONL(key string) []byte {
 		Key:        key,
 		IntervalNS: int64(c.interval),
 		Flows:      len(c.flows),
+		Links:      len(c.links),
 		Events:     len(c.events),
 		Spec:       c.spec,
 	})
@@ -314,23 +338,31 @@ func (c *Capture) encodeJSONL(key string) []byte {
 			})
 		}
 	}
-	for _, s := range c.link.Samples() {
-		line(linkSample{
-			Record:        "link",
-			AtNS:          int64(s.At),
-			QueueBytes:    float64(s.QueueBytes),
-			ThroughputBPS: float64(s.Throughput),
-			RateBPS:       float64(s.Rate),
-		})
+	for _, ls := range c.links {
+		rec := linkSample{Record: "link"}
+		if c.multi {
+			rec.Link = ls.LinkName()
+		}
+		for _, s := range ls.Samples() {
+			rec.AtNS = int64(s.At)
+			rec.QueueBytes = float64(s.QueueBytes)
+			rec.ThroughputBPS = float64(s.Throughput)
+			rec.RateBPS = float64(s.Rate)
+			line(rec)
+		}
 	}
 	for _, e := range c.events {
+		link := ""
+		if c.multi {
+			link = e.Link
+		}
 		switch e.Kind {
 		case "drop":
-			line(dropEvent{Record: "event", Kind: "drop", AtNS: int64(e.At), Flow: e.Flow, Seq: e.Seq, Injected: e.Injected})
+			line(dropEvent{Record: "event", Kind: "drop", Link: link, AtNS: int64(e.At), Flow: e.Flow, Seq: e.Seq, Injected: e.Injected})
 		case "state":
 			line(stateEvent{Record: "event", Kind: "state", AtNS: int64(e.At), Flow: e.Flow, State: e.State})
 		case "rate":
-			line(rateEvent{Record: "event", Kind: "rate", AtNS: int64(e.At), RateBPS: float64(e.Rate)})
+			line(rateEvent{Record: "event", Kind: "rate", Link: link, AtNS: int64(e.At), RateBPS: float64(e.Rate)})
 		}
 	}
 	return buf

@@ -30,6 +30,11 @@ const (
 // matching a 1500-byte Ethernet MTU minus 40 bytes of IP/TCP headers.
 const MSS Bytes = 1460
 
+// AckBytes is the wire size assumed for a pure acknowledgment: 40 bytes of
+// IP/TCP headers plus room for timestamp/SACK options. Reverse-direction
+// links in a topology serialize ACKs at this size.
+const AckBytes Bytes = 64
+
 // Packets reports how many MSS-sized packets b corresponds to (fractional).
 func (b Bytes) Packets() float64 { return float64(b / MSS) }
 

@@ -15,6 +15,12 @@
 #   each backend's ns per scenario and scenarios per second, plus the
 #   packet/fluid speedup.
 #
+#   topology: BenchmarkTopology — the same flows over a single bottleneck
+#   and over the 3-link parking-lot chain whose middle link is that
+#   bottleneck (internal/netsim/topology_bench_test.go). Same per-scenario
+#   fields as the engine suite, plus the chain/single ns-per-event ratio —
+#   the per-hop cost of multi-link forwarding.
+#
 # Both records carry the git SHA, go version and benchmark settings.
 #
 # Usage:
@@ -37,14 +43,15 @@ while getopts "o:l:s:" opt; do
 	o) OUT=$OPTARG ;;
 	l) LABEL=$OPTARG ;;
 	s) SUITE=$OPTARG ;;
-	*) echo "usage: $0 [-s engine|backends] [-o out.json] [-l label]" >&2; exit 2 ;;
+	*) echo "usage: $0 [-s engine|backends|topology] [-o out.json] [-l label]" >&2; exit 2 ;;
 	esac
 done
 
 case "$SUITE" in
 engine)   BENCH_TIME=${BENCH_TIME:-600x} ;;
 backends) BENCH_TIME=${BENCH_TIME:-2x} ;;
-*) echo "bench.sh: unknown suite '$SUITE' (want engine or backends)" >&2; exit 2 ;;
+topology) BENCH_TIME=${BENCH_TIME:-600x} ;;
+*) echo "bench.sh: unknown suite '$SUITE' (want engine, backends or topology)" >&2; exit 2 ;;
 esac
 BENCH_COUNT=${BENCH_COUNT:-3}
 SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -118,6 +125,74 @@ if [ "$SUITE" = backends ]; then
 		rm -f "$tmp"
 	fi
 	echo "appended $LABEL backends record to $OUT" >&2
+	exit 0
+fi
+
+if [ "$SUITE" = topology ]; then
+	RAW=$(go test ./internal/netsim -run '^$' -bench BenchmarkTopology \
+		-benchtime "$BENCH_TIME" -benchmem -count "$BENCH_COUNT")
+
+	RECORD=$(printf '%s\n' "$RAW" | awk \
+		-v label="$LABEL" -v sha="$SHA" -v dirty="$DIRTY" -v gover="$GOVER" \
+		-v date="$DATE" -v benchtime="$BENCH_TIME" -v count="$BENCH_COUNT" '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^BenchmarkTopology\// {
+		name = $1
+		sub(/^BenchmarkTopology\//, "", name)
+		sub(/-[0-9]+$/, "", name)
+		ns = $3; ev = $5; bytes = $7; allocs = $9
+		if (!(name in best) || ns < best[name]) {
+			best[name] = ns; events[name] = ev
+			bop[name] = bytes; aop[name] = allocs
+			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+		}
+	}
+	END {
+		printf "  {\n"
+		printf "    \"label\": \"%s\",\n", label
+		printf "    \"suite\": \"topology\",\n"
+		printf "    \"git_sha\": \"%s\",\n", sha
+		printf "    \"dirty\": %s,\n", dirty
+		printf "    \"date\": \"%s\",\n", date
+		printf "    \"go\": \"%s\",\n", gover
+		printf "    \"cpu\": \"%s\",\n", cpu
+		printf "    \"benchtime\": \"%s\",\n", benchtime
+		printf "    \"count\": %s,\n", count
+		printf "    \"scenarios\": [\n"
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			ns = best[name]; ev = events[name]
+			printf "      {\n"
+			printf "        \"scenario\": \"%s\",\n", name
+			printf "        \"ns_per_sim_second\": %d,\n", ns
+			printf "        \"events_per_sim_second\": %d,\n", ev
+			printf "        \"ns_per_event\": %.2f,\n", ns / ev
+			printf "        \"events_per_wall_second\": %d,\n", ev * 1e9 / ns
+			printf "        \"allocs_per_event\": %.4f,\n", aop[name] / ev
+			printf "        \"bytes_per_op\": %s\n", bop[name]
+			printf "      }%s\n", (i < n ? "," : "")
+		}
+		printf "    ],\n"
+		s = best["single"] / events["single"]
+		c = best["chain3"] / events["chain3"]
+		printf "    \"chain_ns_per_event_over_single\": %.2f\n", (s > 0 ? c / s : 0)
+		printf "  }"
+	}')
+
+	if [ -z "$OUT" ]; then
+		printf '%s\n' "$RECORD"
+		exit 0
+	fi
+	if [ ! -s "$OUT" ]; then
+		printf '[\n%s\n]\n' "$RECORD" >"$OUT"
+	else
+		tmp=$(mktemp)
+		sed '$d' "$OUT" >"$tmp"
+		{ cat "$tmp"; printf ',\n%s\n]\n' "$RECORD"; } >"$OUT.new"
+		mv "$OUT.new" "$OUT"
+		rm -f "$tmp"
+	fi
+	echo "appended $LABEL topology record to $OUT" >&2
 	exit 0
 fi
 

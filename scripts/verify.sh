@@ -3,8 +3,9 @@
 # Run from the repository root: ./scripts/verify.sh
 #
 # The race pass covers the concurrent fan-out, cache, invariant-audit and
-# scenario-key code; the exp simulations take ~10 minutes under the race
-# detector, hence the explicit timeout.
+# scenario-key code, and — via internal/netsim and internal/exp — the
+# multi-link topology property tests and trace goldens; the exp simulations
+# take ~10 minutes under the race detector, hence the explicit timeout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +25,12 @@ go test -race -timeout 1800s \
 
 echo "== engine benchmark smoke + allocation guard"
 go test ./internal/netsim -run TestSteadyStateZeroAllocs \
-	-bench BenchmarkEngine -benchtime 1x -count=1
+	-bench 'BenchmarkEngine|BenchmarkTopology' -benchtime 1x -count=1
+
+echo "== topology example smoke (multi-bottleneck specs under -strict audit)"
+for ex in examples/parkinglot-3link.json examples/access-core.json; do
+	go run ./cmd/bbrsim -scenario "$ex" -strict >/dev/null
+done
 
 echo "== fluid crossval smoke (divergence report schema)"
 REPORT=$(go run ./cmd/crossval -buffers 2,6 -mixes 1:1 -duration 2s 2>/dev/null)
