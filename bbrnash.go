@@ -44,6 +44,7 @@ import (
 	"bbrnash/internal/netsim"
 	"bbrnash/internal/runner"
 	"bbrnash/internal/scenario"
+	"bbrnash/internal/serve"
 	"bbrnash/internal/telemetry"
 	"bbrnash/internal/units"
 )
@@ -406,4 +407,31 @@ var (
 	// CollectReport assembles a RunReport from a run's (nil-safe)
 	// components.
 	CollectReport = telemetry.Collect
+)
+
+// The sweep service (internal/serve, cmd/bbrserve). A SweepService wraps
+// the cache+journal substrate in an HTTP API: instant answers on cache
+// hit, at most one execution per canonical scenario key no matter how many
+// clients submit it, a bounded queue that sheds overload with 429,
+// supervised workers that survive unit panics, and byte-identical crash
+// recovery off the fsynced journal — see DESIGN.md §16. The cache and
+// journal stores themselves take exclusive advisory file locks on open, so
+// two processes sharing a store fail loudly (ErrStoreLocked) instead of
+// corrupting it.
+type (
+	// SweepService is the long-running sweep server; mount
+	// (*SweepService).Handler on an http.Server and Drain on shutdown.
+	SweepService = serve.Server
+	// SweepServiceConfig assembles a SweepService; only Cache is required.
+	SweepServiceConfig = serve.Config
+	// SweepServiceStats is the machine-readable /stats snapshot.
+	SweepServiceStats = serve.Stats
+)
+
+var (
+	// NewSweepService builds a service and starts its supervised workers.
+	NewSweepService = serve.New
+	// ErrStoreLocked reports that another live process holds the advisory
+	// lock on a cache or journal path.
+	ErrStoreLocked = runner.ErrStoreLocked
 )

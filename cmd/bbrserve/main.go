@@ -1,0 +1,196 @@
+// Command bbrserve runs the sweep service: a long-lived HTTP API over the
+// simulation harness that memoizes by canonical scenario key, coalesces
+// duplicate submissions, sheds overload, and survives crashes.
+//
+// Usage:
+//
+//	bbrserve -addr 127.0.0.1:8080 -cache results.json -resume journal.jsonl
+//	bbrserve -addr 127.0.0.1:0 -workers 4 -queue 64 -timeout 30s -retries 2
+//
+// Submit a scenario:
+//
+//	curl -d @examples/mix-3bbr-2cubic.json localhost:8080/run
+//
+// The service answers a repeated spec from the cache without re-simulating,
+// runs at most one simulation per canonical key no matter how many clients
+// submit it concurrently, and answers every one of them with the same
+// bytes. A full queue sheds submissions with 429 + Retry-After instead of
+// growing without bound.
+//
+// -resume makes the service crash-safe: completed runs are journaled and
+// fsynced before clients are answered, so a kill -9 loses only in-flight
+// work. Restarting with the same flags replays the journal and resubmitted
+// specs are answered byte-identically without re-simulating
+// (scripts/serve_smoke.sh proves this end to end). The advisory store lock
+// makes a second bbrserve on the same cache or journal fail loudly at
+// startup instead of corrupting it.
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (readyz turns 503),
+// in-flight runs finish and journal, queued submissions are failed so no
+// client hangs, and the cache is persisted. -drain-timeout bounds the
+// drain; past it, in-flight runs are hard-cancelled (their journaled
+// predecessors stay durable). The actual listen address is printed on
+// startup — with -addr :0 the kernel picks a free port — and /healthz,
+// /readyz and /stats expose liveness, readiness and the full counter set.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bbrnash/internal/check"
+	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/serve"
+	"bbrnash/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the actual address is printed)")
+		cachePath    = flag.String("cache", "", "path to on-disk result cache ('' = in-memory only)")
+		resumePath   = flag.String("resume", "", "path to crash-safe resume journal ('' = no crash recovery)")
+		traceDir     = flag.String("trace", "", "write per-run traces (JSONL + CSV) into this directory ('' = no tracing)")
+		traceEvery   = flag.Duration("trace-interval", 0, "trace sampling interval (0 = default 100ms)")
+		workers      = flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 0, "submission queue depth; a full queue sheds with 429 (0 = 256)")
+		timeout      = flag.Duration("timeout", 0, "per-run stall watchdog: cancel a run making no progress for this long (0 = off)")
+		retries      = flag.Int("retries", 0, "retry a stalled or transiently failed run up to this many times")
+		deadline     = flag.Duration("deadline", 0, "how long one request waits for its result before 504 (0 = 2m; the run continues)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM; past it in-flight runs are cancelled")
+		strict       = flag.Bool("strict", false, "audit every result against physical invariants; violations fail the submission")
+		reportPath   = flag.String("report", "", "write a machine-readable JSON service report on exit ('' = no report)")
+	)
+	flag.Parse()
+
+	var (
+		rec     *telemetry.Recorder
+		cache   *runner.Cache
+		journal *runner.Journal
+		srv     *serve.Server
+		err     error
+	)
+	begin := time.Now()
+	if *reportPath != "" {
+		defer func() {
+			var pool *runner.Pool
+			if srv != nil {
+				pool = srv.Pool()
+			}
+			if err := telemetry.Collect("bbrserve", outcomeOf(code), time.Since(begin), pool, cache, journal, rec).Write(*reportPath); err != nil {
+				fmt.Fprintln(os.Stderr, "bbrserve:", err)
+			}
+		}()
+	}
+	if *traceDir != "" {
+		if rec, err = telemetry.NewRecorder(*traceDir); err != nil {
+			return fail(err)
+		}
+		rec.SetInterval(*traceEvery)
+	}
+	cache, err = runner.OpenCache(*cachePath, scenario.KeyVersion)
+	if err != nil {
+		return fail(err)
+	}
+	defer cache.Close()
+	journal, err = runner.OpenJournal(*resumePath, scenario.KeyVersion)
+	if err != nil {
+		return fail(err)
+	}
+	defer journal.Close()
+	defer saveCache(cache)
+	var audit *check.Auditor
+	if *strict {
+		audit = check.New()
+	}
+
+	srv = serve.New(serve.Config{
+		Cache:          cache,
+		Journal:        journal,
+		Recorder:       rec,
+		Audit:          audit,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		Watchdog:       *timeout,
+		Retries:        *retries,
+		RequestTimeout: *deadline,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	// The actual address, so -addr :0 callers (tests, the smoke script) can
+	// find the port. Printed to stdout and flushed before serving begins.
+	fmt.Printf("bbrserve: listening on http://%s (%d replayed journal entries, %d cached results)\n",
+		ln.Addr(), journal.Len(), cache.Len())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "bbrserve: draining")
+	case err := <-serveErr:
+		return fail(err)
+	}
+
+	// Graceful drain: stop accepting connections, finish (and journal) what
+	// is in flight, answer or fail every waiter, then persist the cache via
+	// the deferred save.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "bbrserve: http shutdown:", err)
+	}
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "bbrserve: drain cut short:", err)
+		return 1
+	}
+	st := srv.Stats()
+	fmt.Printf("bbrserve: drained (%d completed, %d failed, %d shed, %d worker restarts)\n",
+		st.Completed, st.Failed, st.Shed, st.WorkerRestarts)
+	return 0
+}
+
+// saveCache persists results; deferred so it runs on every exit path,
+// including errors and interrupts.
+func saveCache(cache *runner.Cache) {
+	if err := cache.Save(); err != nil {
+		fmt.Fprintln(os.Stderr, "bbrserve: saving cache:", err)
+	}
+}
+
+// outcomeOf maps the process exit code to the service report's outcome.
+func outcomeOf(code int) string {
+	if code == 0 {
+		return "ok"
+	}
+	return "failed"
+}
+
+func fail(err error) int {
+	if errors.Is(err, runner.ErrStoreLocked) {
+		fmt.Fprintln(os.Stderr, "bbrserve:", err)
+		fmt.Fprintln(os.Stderr, "bbrserve: another process owns this store; point -cache/-resume elsewhere or stop it")
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "bbrserve:", err)
+	return 1
+}

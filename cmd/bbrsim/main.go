@@ -149,6 +149,7 @@ func run() (code int) {
 	if err != nil {
 		return fail(err)
 	}
+	defer cache.Close()
 	journal, err = runner.OpenJournal(*resumePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)

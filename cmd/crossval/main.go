@@ -80,6 +80,7 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	defer cache.Close()
 	journal, err := runner.OpenJournal(*resumePath, scenario.KeyVersion)
 	if err != nil {
 		return fail(err)

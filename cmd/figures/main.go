@@ -129,6 +129,7 @@ func run() (code int) {
 	if err != nil {
 		return fail(err)
 	}
+	defer cache.Close()
 	scale.Cache = cache
 	journal, err := runner.OpenJournal(*resumePath, scenario.KeyVersion)
 	if err != nil {

@@ -293,6 +293,25 @@ func (a *Auditor) Violations() []Violation {
 	return append([]Violation(nil), a.vs...)
 }
 
+// ViolationsFor returns the recorded violations carrying this canonical
+// key, in record order. A long-running service audits thousands of
+// unrelated scenarios through one auditor; this is how it fails a single
+// submission on its own violations without adopting everyone else's.
+func (a *Auditor) ViolationsFor(key string) []Violation {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Violation
+	for _, v := range a.vs {
+		if v.Key == key {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Err summarizes the recorded violations as one error, nil when clean.
 func (a *Auditor) Err() error {
 	vs := a.Violations()

@@ -26,6 +26,7 @@ type Cache struct {
 	m     map[string]json.RawMessage
 	path  string
 	dirty bool
+	lock  *fileLock
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -40,6 +41,12 @@ func NewCache() *Cache {
 // existing entries. A missing file is an empty cache; Save writes back to
 // the same path. An empty path is equivalent to NewCache.
 //
+// Opening takes an exclusive advisory lock on a sibling "<path>.lock" file,
+// held until Close (or process exit — the lock is kernel-released even on
+// SIGKILL): two processes sharing one store would otherwise interleave
+// their Saves and silently lose entries. A second open fails with
+// ErrStoreLocked.
+//
 // When recognized key versions are given (e.g. scenario.KeyVersion),
 // entries whose key does not carry one of them in its version field — the
 // second |-separated segment, "v3" in "scenario|v3|…" — are skipped and
@@ -52,14 +59,21 @@ func OpenCache(path string, recognized ...string) (*Cache, error) {
 		return c, nil
 	}
 	c.path = path
+	lock, err := acquireLock(path)
+	if err != nil {
+		return nil, err
+	}
+	c.lock = lock
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return c, nil
 	}
 	if err != nil {
+		lock.release()
 		return nil, fmt.Errorf("runner: reading cache: %w", err)
 	}
 	if err := json.Unmarshal(data, &c.m); err != nil {
+		lock.release()
 		return nil, fmt.Errorf("runner: cache %s is not a JSON object: %w", path, err)
 	}
 	if len(recognized) > 0 {
@@ -137,6 +151,26 @@ func (c *Cache) Get(key string, out any) bool {
 	return false
 }
 
+// GetRaw looks key up and returns the stored JSON verbatim. The serve layer
+// uses it to answer cache hits with exactly the bytes Put recorded —
+// json.Marshal of the result value — so every reader of one key sees one
+// byte sequence, whichever path produced it. Callers must treat the bytes
+// as read-only. Hit/miss accounting matches Get.
+func (c *Cache) GetRaw(key string) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.RLock()
+	raw, ok := c.m[key]
+	c.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return raw, true
+}
+
 // Put stores v under key, replacing any previous entry. Unmarshalable
 // values are dropped silently: a cache failure must never fail the
 // experiment.
@@ -189,12 +223,16 @@ func (c *Cache) HitRate() float64 {
 	return float64(h) / float64(h+m)
 }
 
-// Save writes the store back to the path it was opened from, atomically
-// (temp file + rename). The written file keeps an existing store's
-// permission bits, and a new store is created 0644 — without the chmod the
-// rename would inherit os.CreateTemp's private 0600 mode, making a cache
-// produced by one user or CI step unreadable to the next. Save is a no-op
-// for purely in-memory caches and when nothing changed since open.
+// Save writes the store back to the path it was opened from,
+// crash-atomically: the bytes are written to a temp file in the same
+// directory, fsynced, renamed over the target, and the directory entry is
+// fsynced too — so a crash (or power loss) at any instant leaves either the
+// complete old store or the complete new one, never a torn mix. The written
+// file keeps an existing store's permission bits, and a new store is
+// created 0644 — without the chmod the rename would inherit os.CreateTemp's
+// private 0600 mode, making a cache produced by one user or CI step
+// unreadable to the next. Save is a no-op for purely in-memory caches and
+// when nothing changed since open.
 func (c *Cache) Save() error {
 	if c == nil || c.path == "" {
 		return nil
@@ -226,6 +264,13 @@ func (c *Cache) Save() error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// Sync before the rename: renaming an unsynced file can atomically
+	// install zero-length or partial content after a power loss.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -234,6 +279,25 @@ func (c *Cache) Save() error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := syncDir(c.path); err != nil {
+		return err
+	}
 	c.dirty = false
+	return nil
+}
+
+// Close releases the advisory store lock taken by OpenCache so another
+// process (or a later open in this one) can use the store. It does not
+// Save — callers persist first, then Close. In-memory caches and repeated
+// Closes are no-ops; the lock is also released by process exit, so a
+// crashed holder never wedges the store.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lock.release()
+	c.lock = nil
 	return nil
 }

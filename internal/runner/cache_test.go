@@ -77,11 +77,13 @@ func TestCacheDiskRoundTrip(t *testing.T) {
 	if err := c.Save(); err != nil {
 		t.Fatal(err)
 	}
+	c.Close()
 
 	re, err := OpenCache(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer re.Close()
 	if re.Len() != 2 {
 		t.Fatalf("reopened Len = %d, want 2", re.Len())
 	}
@@ -116,6 +118,7 @@ func TestOpenCacheSkipsUnrecognizedVersions(t *testing.T) {
 	if err := c.Save(); err != nil {
 		t.Fatal(err)
 	}
+	c.Close()
 
 	re, err := OpenCache(path, "v2")
 	if err != nil {
@@ -134,10 +137,12 @@ func TestOpenCacheSkipsUnrecognizedVersions(t *testing.T) {
 	if err := re.Save(); err != nil {
 		t.Fatal(err)
 	}
+	re.Close()
 	re2, err := OpenCache(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer re2.Close()
 	if re2.Len() != 1 {
 		t.Errorf("Save kept %d entries, want the 1 recognized", re2.Len())
 	}
@@ -240,10 +245,12 @@ func TestCacheCorruptEntryEvictedAndRecomputed(t *testing.T) {
 	if err := c.Save(); err != nil {
 		t.Fatal(err)
 	}
+	c.Close()
 	re, err := OpenCache(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer re.Close()
 	var got fakeResult
 	if !re.Get("k", &got) || got != want {
 		t.Errorf("reopened Get = %+v, want %+v", got, want)
@@ -334,11 +341,13 @@ func TestOpenCacheStaleVersionsPrunedUnderV5(t *testing.T) {
 	if err := c.Save(); err != nil {
 		t.Fatal(err)
 	}
+	c.Close()
 
 	re, err := OpenCache(path, scenario.KeyVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer re.Close()
 	var out fakeResult
 	for _, k := range staleKeys {
 		if re.Get(k, &out) {

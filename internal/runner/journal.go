@@ -26,9 +26,10 @@ import (
 // caller knows resumption is no longer covered. Methods are safe for
 // concurrent use; a nil *Journal is valid and never hits.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
-	m  map[string]json.RawMessage
+	mu   sync.Mutex
+	f    *os.File
+	m    map[string]json.RawMessage
+	lock *fileLock
 
 	hits atomic.Int64
 }
@@ -47,15 +48,30 @@ type journalLine struct {
 // compacted in place (atomically, temp file + rename) so stale and torn
 // bytes do not accumulate across resumes. An empty path returns a nil
 // journal, which is valid and inert.
+//
+// Like OpenCache, opening takes an exclusive advisory lock on a sibling
+// "<path>.lock" file, held until Close or process exit: two processes
+// appending to one journal would interleave records and corrupt each
+// other's durability promise, so the second open fails with ErrStoreLocked
+// instead. The kernel releases the lock when the holder dies — SIGKILL
+// included — so a crashed sweep's journal is immediately resumable.
 func OpenJournal(path string, recognized ...string) (*Journal, error) {
 	if path == "" {
 		return nil, nil
 	}
+	lock, err := acquireLock(path)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Journal, error) {
+		lock.release()
+		return nil, err
+	}
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("runner: reading journal: %w", err)
+		return fail(fmt.Errorf("runner: reading journal: %w", err))
 	}
-	j := &Journal{m: make(map[string]json.RawMessage)}
+	j := &Journal{m: make(map[string]json.RawMessage), lock: lock}
 	for _, line := range bytes.Split(data, []byte{'\n'}) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
@@ -82,7 +98,7 @@ func OpenJournal(path string, recognized ...string) (*Journal, error) {
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*.jsonl")
 	if err != nil {
-		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+		return fail(fmt.Errorf("runner: compacting journal: %w", err))
 	}
 	w := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(w)
@@ -90,35 +106,41 @@ func OpenJournal(path string, recognized ...string) (*Journal, error) {
 		if err := enc.Encode(journalLine{Key: key, Value: val}); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
-			return nil, fmt.Errorf("runner: compacting journal: %w", err)
+			return fail(fmt.Errorf("runner: compacting journal: %w", err))
 		}
 	}
 	if err := w.Flush(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+		return fail(fmt.Errorf("runner: compacting journal: %w", err))
 	}
 	if err := tmp.Chmod(mode); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+		return fail(fmt.Errorf("runner: compacting journal: %w", err))
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+		return fail(fmt.Errorf("runner: compacting journal: %w", err))
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+		return fail(fmt.Errorf("runner: compacting journal: %w", err))
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("runner: compacting journal: %w", err)
+		return fail(fmt.Errorf("runner: compacting journal: %w", err))
+	}
+	// Make the rename durable: without the directory fsync a power loss
+	// right after compaction could resurrect the pre-compaction file (which
+	// is still correct JSONL, but may hold entries the caller saw dropped).
+	if err := syncDir(path); err != nil {
+		return fail(fmt.Errorf("runner: compacting journal: %w", err))
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("runner: opening journal for append: %w", err)
+		return fail(fmt.Errorf("runner: opening journal for append: %w", err))
 	}
 	j.f = f
 	return j, nil
@@ -168,6 +190,16 @@ func (j *Journal) Get(key string, out any) bool {
 // the entry on resume. Errors are reported, not swallowed: a journal that
 // cannot persist must fail the unit rather than let the operator believe
 // the sweep is resumable.
+//
+// Durability contract (tested by TestJournalRecordDurableBeforeReturn): the
+// full JSON line is on disk — visible to any other reader of the file, and
+// flushed through the OS by fsync — before Record returns. A power-loss
+// - style kill can therefore lose only entries whose Record had not yet
+// returned; acknowledged entries survive. The one non-guarantee is the
+// file's *first* creation: the directory entry is made durable at the next
+// OpenJournal compaction or Cache.Save in the same directory, not per
+// Record — an empty journal lost to power failure is indistinguishable
+// from one never started, so nothing acknowledged is lost there either.
 func (j *Journal) Record(key string, v any) error {
 	if j == nil {
 		return nil
@@ -213,14 +245,17 @@ func (j *Journal) Hits() int64 {
 	return j.hits.Load()
 }
 
-// Close releases the underlying file. Entries already recorded stay
-// durable; Record after Close updates only the in-memory view.
+// Close releases the underlying file and the advisory store lock. Entries
+// already recorded stay durable; Record after Close updates only the
+// in-memory view.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.lock.release()
+	j.lock = nil
 	if j.f == nil {
 		return nil
 	}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package runner
+
+import "os"
+
+// fileLockExcl is a no-op on platforms without flock(2); the in-process
+// registry in acquireLock still catches double opens within one process,
+// which covers the tests and the common operator mistake.
+func fileLockExcl(*os.File) error { return nil }

@@ -1,0 +1,167 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStoreLockCacheDoubleOpen: a second OpenCache on the same path fails
+// loudly with ErrStoreLocked while the first handle is open, and succeeds
+// after Close — even though the .lock file is deliberately left on disk.
+func TestStoreLockCacheDoubleOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(path); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("second open: err = %v, want ErrStoreLocked", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".lock"); err != nil {
+		t.Errorf("lock file should remain on disk after Close: %v", err)
+	}
+	re, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	re.Close()
+}
+
+// TestStoreLockJournalDoubleOpen: the same protocol guards the journal, and
+// a journal lock does not conflict with a cache lock on a different path in
+// the same directory.
+func TestStoreLockJournalDoubleOpen(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(jpath); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("second open: err = %v, want ErrStoreLocked", err)
+	}
+	c, err := OpenCache(filepath.Join(dir, "cache.json"))
+	if err != nil {
+		t.Fatalf("sibling cache in the same directory must not conflict: %v", err)
+	}
+	c.Close()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	j2.Close()
+}
+
+// TestStoreLockCrossProcess: the lock is held against other processes, not
+// just other handles — a child process opening the same cache path must see
+// ErrStoreLocked. The child is this test binary re-executed with the helper
+// environment set (see TestStoreLockCrossProcessHelper).
+func TestStoreLockCrossProcess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestStoreLockCrossProcessHelper", "-test.v")
+	cmd.Env = append(os.Environ(), "RUNNER_LOCK_HELPER=1", "RUNNER_LOCK_PATH="+path)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("helper process failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "helper: store locked") {
+		t.Fatalf("child process acquired a lock the parent holds:\n%s", out)
+	}
+}
+
+// TestStoreLockCrossProcessHelper is the child half of
+// TestStoreLockCrossProcess; it is inert unless re-executed with the helper
+// environment.
+func TestStoreLockCrossProcessHelper(t *testing.T) {
+	if os.Getenv("RUNNER_LOCK_HELPER") == "" {
+		t.Skip("helper for TestStoreLockCrossProcess")
+	}
+	_, err := OpenCache(os.Getenv("RUNNER_LOCK_PATH"))
+	if errors.Is(err, ErrStoreLocked) {
+		t.Log("helper: store locked")
+		return
+	}
+	t.Fatalf("helper: OpenCache = %v, want ErrStoreLocked", err)
+}
+
+// TestJournalRecordDurableBeforeReturn pins the journal's durability
+// contract: by the time Record returns, the complete JSON line is visible
+// in the file to an independent reader (and fsynced through the OS — the
+// flush ordering is what this test can observe; the fsync call is in the
+// same critical section).
+func TestJournalRecordDurableBeforeReturn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record("scenario|v5|durable", journalResult{Rate: 3.5, Runs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Independent read: not through the journal's handle or its in-memory
+	// map.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	last := lines[len(lines)-1]
+	var rec struct {
+		Key   string          `json:"key"`
+		Value json.RawMessage `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(last), &rec); err != nil {
+		t.Fatalf("acknowledged entry is torn on disk: %q: %v", last, err)
+	}
+	if rec.Key != "scenario|v5|durable" {
+		t.Errorf("on-disk key = %q", rec.Key)
+	}
+	var val journalResult
+	if err := json.Unmarshal(rec.Value, &val); err != nil || val != (journalResult{Rate: 3.5, Runs: 2}) {
+		t.Errorf("on-disk value = %s (%v)", rec.Value, err)
+	}
+}
+
+// TestCacheGetRaw: the raw accessor returns exactly the bytes Put stored
+// (json.Marshal of the value) and shares hit/miss accounting with Get.
+func TestCacheGetRaw(t *testing.T) {
+	c := NewCache()
+	want := fakeResult{Throughput: 1.0 / 3.0, Drops: 7}
+	c.Put("k", want)
+	raw, ok := c.GetRaw("k")
+	if !ok {
+		t.Fatal("miss on stored key")
+	}
+	exact, _ := json.Marshal(want)
+	if string(raw) != string(exact) {
+		t.Errorf("GetRaw = %s, want %s", raw, exact)
+	}
+	if _, ok := c.GetRaw("absent"); ok {
+		t.Error("hit on absent key")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+	var nilCache *Cache
+	if _, ok := nilCache.GetRaw("k"); ok {
+		t.Error("nil cache hit")
+	}
+}

@@ -1,0 +1,16 @@
+//go:build unix
+
+package runner
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileLockExcl takes a non-blocking exclusive flock(2) on f. The lock
+// belongs to the open file description, so the kernel drops it when the
+// holding process exits by any means — which is exactly the recovery story
+// a crash-safe store needs (a stale lock file never wedges a resume).
+func fileLockExcl(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bbrnash/internal/exp"
+	"bbrnash/internal/netsim"
+	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/units"
+)
+
+// testSpec builds a cheap valid spec whose key varies with seed.
+func testSpec(seed uint64) scenario.Spec {
+	capacity := 10 * units.Mbps
+	sp := scenario.Mix("bbr", 1, 1, capacity,
+		units.BufferBytes(capacity, 20*time.Millisecond, 2),
+		20*time.Millisecond, 2*time.Second)
+	sp.Seed = seed
+	return sp
+}
+
+// fakeResult derives a distinguishable result from the spec, so tests can
+// tell whose bytes they received.
+func fakeResult(sp scenario.Spec) exp.SpecResult {
+	return exp.SpecResult{Link: netsim.LinkStats{Name: "fake", Drops: int(sp.Seed)}}
+}
+
+// newFakeServer builds a server over an in-memory cache with a
+// caller-supplied RunFunc, and registers Drain as cleanup.
+func newFakeServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Cache == nil {
+		cfg.Cache = runner.NewCache()
+	}
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s
+}
+
+// TestSubmitDedupSingleExecution is the single-writer-per-key acceptance
+// test: N concurrent submitters of one identical spec trigger exactly one
+// execution, and every caller receives the same bytes. Run under -race.
+func TestSubmitDedupSingleExecution(t *testing.T) {
+	const submitters = 64
+	var runs atomic.Int64
+	release := make(chan struct{})
+	s := newFakeServer(t, Config{
+		Workers: 4,
+		Run: func(_ context.Context, sp scenario.Spec) (exp.SpecResult, error) {
+			runs.Add(1)
+			<-release // hold the flight open until every submitter has joined
+			return fakeResult(sp), nil
+		},
+	})
+	sp := testSpec(7)
+
+	var joined, finished sync.WaitGroup
+	results := make([][]byte, submitters)
+	for i := 0; i < submitters; i++ {
+		joined.Add(1)
+		finished.Add(1)
+		go func(i int) {
+			defer finished.Done()
+			raw, fl, err := s.submit(sp)
+			joined.Done()
+			if err != nil {
+				t.Errorf("submitter %d: %v", i, err)
+				return
+			}
+			if raw == nil {
+				<-fl.done
+				if fl.err != nil {
+					t.Errorf("submitter %d: flight failed: %v", i, fl.err)
+					return
+				}
+				raw = fl.result
+			}
+			results[i] = raw
+		}(i)
+	}
+	joined.Wait()
+	close(release)
+	finished.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("executions = %d, want exactly 1", n)
+	}
+	want, _ := json.Marshal(fakeResult(sp))
+	for i, got := range results {
+		if !bytes.Equal(got, want) {
+			t.Fatalf("submitter %d bytes = %s, want %s", i, got, want)
+		}
+	}
+	st := s.Stats()
+	if st.Enqueued != 1 {
+		t.Errorf("enqueued = %d, want 1", st.Enqueued)
+	}
+	if st.Deduped != submitters-1 {
+		t.Errorf("deduped = %d, want %d", st.Deduped, submitters-1)
+	}
+}
+
+// TestLoadShedNoLossNoDuplication is the overload acceptance test: well
+// over 1000 concurrent submissions against a deliberately small queue.
+// Shed submitters retry until admitted; at the end every distinct key ran
+// exactly once, every submitter holds the right bytes, nothing was lost,
+// and the shedding is visible in Stats.
+func TestLoadShedNoLossNoDuplication(t *testing.T) {
+	const (
+		keys          = 200
+		perKey        = 6 // 1200 total submissions
+		expectPerSpec = 1
+	)
+	var execs [keys]atomic.Int64
+	s := newFakeServer(t, Config{
+		Workers:    8,
+		QueueDepth: 16, // small on purpose: overload must shed, not queue
+		Run: func(_ context.Context, sp scenario.Spec) (exp.SpecResult, error) {
+			execs[sp.Seed-1].Add(1)
+			time.Sleep(time.Millisecond)
+			return fakeResult(sp), nil
+		},
+	})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, keys*perKey)
+	for k := 0; k < keys; k++ {
+		for c := 0; c < perKey; c++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				sp := testSpec(uint64(k + 1))
+				want, _ := json.Marshal(fakeResult(sp))
+				for {
+					raw, fl, err := s.submit(sp)
+					if errors.Is(err, errQueueFull) {
+						time.Sleep(500 * time.Microsecond) // Retry-After, in miniature
+						continue
+					}
+					if err != nil {
+						errs <- fmt.Errorf("key %d: %v", k, err)
+						return
+					}
+					if raw == nil {
+						<-fl.done
+						if fl.err != nil {
+							errs <- fmt.Errorf("key %d: flight: %v", k, fl.err)
+							return
+						}
+						raw = fl.result
+					}
+					if !bytes.Equal(raw, want) {
+						errs <- fmt.Errorf("key %d: bytes = %s, want %s", k, raw, want)
+					}
+					return
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	for k := 0; k < keys; k++ {
+		if n := execs[k].Load(); n != expectPerSpec {
+			t.Errorf("key %d executed %d times, want %d", k, n, expectPerSpec)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != keys {
+		t.Errorf("completed = %d, want %d", st.Completed, keys)
+	}
+	if st.Failed != 0 {
+		t.Errorf("failed = %d, want 0", st.Failed)
+	}
+	if st.Enqueued != keys {
+		t.Errorf("enqueued = %d, want %d (one flight per key, ever)", st.Enqueued, keys)
+	}
+	if st.Shed == 0 {
+		t.Error("shed = 0: a 16-deep queue under 1200 submissions must shed")
+	}
+	// Every submitter is eventually admitted exactly once (sheds are
+	// retried, so they sit on top of the 1200 terminal outcomes).
+	if got := st.Instant + st.Deduped + st.Enqueued; got != keys*perKey {
+		t.Errorf("terminal admission outcomes sum to %d, want %d", got, keys*perKey)
+	}
+	if st.LatencyCount != keys || st.LatencyMaxNS <= 0 {
+		t.Errorf("latency accounting: count=%d max=%d", st.LatencyCount, st.LatencyMaxNS)
+	}
+}
+
+// TestWorkerPanicSupervision: a panic that escapes the per-unit shield (a
+// custom RunFunc panics) fails only its own flight — typed, with the stack
+// — and the supervisor restarts the worker, so the service keeps serving.
+func TestWorkerPanicSupervision(t *testing.T) {
+	const poisoned = 666
+	s := newFakeServer(t, Config{
+		Workers: 2,
+		Run: func(_ context.Context, sp scenario.Spec) (exp.SpecResult, error) {
+			if sp.Seed == poisoned {
+				panic("poisoned scenario")
+			}
+			return fakeResult(sp), nil
+		},
+	})
+
+	_, fl, err := s.submit(testSpec(poisoned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fl.done
+	var ue *runner.UnitError
+	if !errors.As(fl.err, &ue) || ue.Recovered == nil {
+		t.Fatalf("poisoned flight err = %v, want UnitError with recovered panic", fl.err)
+	}
+	if len(ue.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+
+	// The service is still alive: a healthy spec completes on the restarted
+	// worker.
+	raw, fl, err := s.submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw == nil {
+		<-fl.done
+		if fl.err != nil {
+			t.Fatalf("healthy flight after restart: %v", fl.err)
+		}
+	}
+	if n := s.Stats().WorkerRestarts; n < 1 {
+		t.Errorf("worker restarts = %d, want >= 1", n)
+	}
+}
+
+// TestDrainSemantics: drain stops admission, fails still-queued flights so
+// no waiter hangs, and completes (and answers) the flight that was already
+// executing.
+func TestDrainSemantics(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s := New(Config{
+		Cache:   runner.NewCache(),
+		Workers: 1,
+		Run: func(_ context.Context, sp scenario.Spec) (exp.SpecResult, error) {
+			started <- struct{}{}
+			<-release
+			return fakeResult(sp), nil
+		},
+	})
+
+	_, running, err := s.submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is now inside flight 1
+	_, queued, err := s.submit(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// The queued flight is failed promptly — its waiter must not hang on a
+	// server that will never run it.
+	select {
+	case <-queued.done:
+		if !errors.Is(queued.err, errDraining) {
+			t.Errorf("queued flight err = %v, want errDraining", queued.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued flight was not failed during drain")
+	}
+	if !s.Draining() {
+		t.Error("Draining() = false during drain")
+	}
+	if _, _, err := s.submit(testSpec(3)); !errors.Is(err, errDraining) {
+		t.Errorf("submit during drain = %v, want errDraining", err)
+	}
+
+	close(release) // let the in-flight run finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	<-running.done
+	if running.err != nil {
+		t.Errorf("in-flight run failed during graceful drain: %v", running.err)
+	}
+	want, _ := json.Marshal(fakeResult(testSpec(1)))
+	if !bytes.Equal(running.result, want) {
+		t.Errorf("in-flight result = %s, want %s", running.result, want)
+	}
+}
+
+// TestDrainDeadlineCancelsInFlight: when the drain context expires, the
+// base context hard-cancels in-flight executions instead of hanging
+// forever; the flight fails and Drain reports the deadline.
+func TestDrainDeadlineCancelsInFlight(t *testing.T) {
+	started := make(chan struct{}, 1)
+	s := New(Config{
+		Cache:   runner.NewCache(),
+		Workers: 1,
+		Run: func(ctx context.Context, _ scenario.Spec) (exp.SpecResult, error) {
+			started <- struct{}{}
+			<-ctx.Done() // a run that only a hard cancel can stop
+			return exp.SpecResult{}, ctx.Err()
+		},
+	})
+	_, fl, err := s.submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain = %v, want DeadlineExceeded", err)
+	}
+	<-fl.done
+	if fl.err == nil {
+		t.Error("hard-cancelled flight reported success")
+	}
+}
+
+// TestJournalReplayByteIdentity is the crash-recovery core in miniature
+// (scripts/serve_smoke.sh proves the kill -9 version end to end): a result
+// journaled by one server instance is replayed by the next — same bytes,
+// no re-simulation — even though the cache was never saved, exactly the
+// state a crash leaves behind.
+func TestJournalReplayByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "cache.json")
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	sp := testSpec(11)
+
+	runOnce := func() []byte {
+		cache, err := runner.OpenCache(cachePath, scenario.KeyVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cache.Close() // deliberately no Save: simulate dying before it
+		journal, err := runner.OpenJournal(journalPath, scenario.KeyVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer journal.Close()
+		s := New(Config{Cache: cache, Journal: journal, Workers: 1})
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Drain(ctx)
+		}()
+		raw, fl, err := s.submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw == nil {
+			<-fl.done
+			if fl.err != nil {
+				t.Fatal(fl.err)
+			}
+			raw = fl.result
+		}
+		if journal.Len() == 0 {
+			t.Fatal("completed flight not journaled")
+		}
+		return raw
+	}
+
+	first := runOnce()
+	second := runOnce() // a fresh instance must replay, not re-simulate
+
+	if !bytes.Equal(first, second) {
+		t.Fatalf("replayed bytes differ:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	// The second instance answered from the journal: its value survived the
+	// "crash" because Record fsyncs before the first instance answered.
+	cache, err := runner.OpenCache(cachePath, scenario.KeyVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	if cache.Len() != 0 {
+		t.Error("cache file was saved; the test meant to simulate a crash before Save")
+	}
+}
+
+// TestFailedFlightIsRerunnable: a failed key leaves no cache entry and no
+// open flight, so a later submission runs it again (and can succeed).
+func TestFailedFlightIsRerunnable(t *testing.T) {
+	var calls atomic.Int64
+	s := newFakeServer(t, Config{
+		Workers: 1,
+		Run: func(_ context.Context, sp scenario.Spec) (exp.SpecResult, error) {
+			if calls.Add(1) == 1 {
+				return exp.SpecResult{}, errors.New("transient outage")
+			}
+			return fakeResult(sp), nil
+		},
+	})
+	sp := testSpec(5)
+	_, fl, err := s.submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fl.done
+	if fl.err == nil {
+		t.Fatal("first attempt should have failed")
+	}
+	raw, fl, err := s.submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw == nil {
+		<-fl.done
+		if fl.err != nil {
+			t.Fatalf("second attempt: %v", fl.err)
+		}
+		raw = fl.result
+	}
+	want, _ := json.Marshal(fakeResult(sp))
+	if !bytes.Equal(raw, want) {
+		t.Errorf("second attempt bytes = %s, want %s", raw, want)
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Completed != 1 {
+		t.Errorf("failed/completed = %d/%d, want 1/1", st.Failed, st.Completed)
+	}
+}

@@ -18,10 +18,10 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner, exp, check, scenario, netsim, telemetry, fluid)"
+echo "== go test -race (runner, exp, check, scenario, netsim, telemetry, fluid, serve)"
 go test -race -timeout 1800s \
 	./internal/runner ./internal/exp ./internal/check ./internal/scenario ./internal/netsim \
-	./internal/telemetry ./internal/fluid
+	./internal/telemetry ./internal/fluid ./internal/serve
 
 echo "== engine benchmark smoke + allocation guard"
 go test ./internal/netsim -run TestSteadyStateZeroAllocs \
@@ -44,5 +44,8 @@ done
 
 echo "== journal-replay smoke test (kill a sweep mid-flight, resume, diff)"
 ./scripts/resume_smoke.sh
+
+echo "== bbrserve chaos smoke test (kill -9 the service mid-sweep, restart, diff)"
+./scripts/serve_smoke.sh
 
 echo "verify: all green"
