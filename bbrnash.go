@@ -30,6 +30,7 @@
 package bbrnash
 
 import (
+	"bbrnash/internal/adopt"
 	"bbrnash/internal/cc"
 	"bbrnash/internal/cc/bbr"
 	"bbrnash/internal/cc/bbrv2"
@@ -270,6 +271,10 @@ type (
 	SymmetricGame = game.SymmetricBinary
 	// GroupGame is its multi-RTT generalization (§4.5).
 	GroupGame = game.GroupSymmetric
+	// PopulationGame is the symmetric game over an arbitrary strategy
+	// set (profiles are per-strategy counts), the substrate of the
+	// adoption dynamics' fixed-point checks.
+	PopulationGame = game.MultiSymmetric
 )
 
 // Experiment scales.
@@ -434,4 +439,35 @@ var (
 	// ErrStoreLocked reports that another live process holds the advisory
 	// lock on a cache or journal path.
 	ErrStoreLocked = runner.ErrStoreLocked
+)
+
+// Adoption dynamics (internal/adopt, cmd/adopt). An AdoptionConfig
+// describes a population of congestion-control deployments — 10⁴–10⁶
+// agents in RTT classes, each running a registry algorithm — evolving
+// under replicator dynamics or noisy best response, with payoffs
+// evaluated through the cached experiment harness (fluid backend by
+// default). Trajectories are deterministic: byte-identical at any worker
+// count and across crash/resume cycles, with the final state checked as
+// a per-class eps-equilibrium — see DESIGN.md §17.
+type (
+	// AdoptionConfig describes one adoption-dynamics run.
+	AdoptionConfig = adopt.Config
+	// AdoptionClass is one RTT class of the population.
+	AdoptionClass = adopt.Class
+	// AdoptionResult is a completed run: trajectory, final census,
+	// fixed-point verdict, simulation accounting.
+	AdoptionResult = adopt.Result
+	// AdoptionRecord is one JSONL trajectory record.
+	AdoptionRecord = adopt.Record
+	// AdoptionPopulation is the per-class algorithm census.
+	AdoptionPopulation = adopt.Population
+)
+
+var (
+	// RunAdoption executes the adoption dynamics.
+	RunAdoption = adopt.Run
+	// WriteAdoptionJSONL writes a trajectory as deterministic JSONL.
+	WriteAdoptionJSONL = adopt.WriteJSONL
+	// StrategyDeviations enumerates a count profile's unilateral switches.
+	StrategyDeviations = game.Deviations
 )

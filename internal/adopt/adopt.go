@@ -1,0 +1,714 @@
+// Package adopt runs deterministic evolutionary dynamics over congestion
+// control algorithm populations: the paper's §5 question — if deployments
+// keep switching to whatever performs best, where does the mix of CUBIC,
+// Reno and BBR settle? — asked at population scale rather than as a static
+// equilibrium enumeration.
+//
+// A Population holds 10⁴–10⁶ agents partitioned into RTT classes, each
+// agent running one algorithm from the internal/cc registry. Per
+// generation the population's mixture is scaled down to a simulatable flow
+// profile, evaluated through the experiment harness (internal/exp, fluid
+// backend by default, memoized by canonical scenario key), and agents
+// revise strategy under replicator dynamics or noisy best response. Both
+// dynamics are serial and seeded, so a trajectory is byte-identical at any
+// worker count; the worker pool only accelerates the final fixed-point
+// check's deviation payoffs, which are cached by key and therefore
+// order-insensitive.
+package adopt
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"bbrnash/internal/cc"
+	"bbrnash/internal/check"
+	"bbrnash/internal/exp"
+	"bbrnash/internal/game"
+	"bbrnash/internal/rng"
+	"bbrnash/internal/runner"
+	"bbrnash/internal/scenario"
+	"bbrnash/internal/telemetry"
+	"bbrnash/internal/units"
+)
+
+// Dynamics names the strategy-revision rules.
+const (
+	// Replicator grows each algorithm's share in proportion to its payoff
+	// relative to the class mean (discrete-time replicator dynamics), with
+	// Noise mixing a uniform mutation term in.
+	Replicator = "replicator"
+	// BestResponse has each agent independently revise with probability
+	// ReviseProb per generation: a reviser picks the class's
+	// highest-payoff algorithm, or with probability Noise a uniformly
+	// random one.
+	BestResponse = "bestresponse"
+)
+
+// Dynamics lists the valid dynamics names.
+func Dynamics() []string { return []string{Replicator, BestResponse} }
+
+// Class is one RTT class of the population: Weight is the class's fraction
+// of agents (normalized over classes).
+type Class struct {
+	RTT    time.Duration
+	Weight float64
+}
+
+// Config describes one adoption-dynamics run. The zero value is not
+// runnable; Run validates and applies the documented defaults.
+type Config struct {
+	// Capacity and Buffer describe the shared bottleneck every payoff
+	// simulation runs through.
+	Capacity units.Rate
+	Buffer   units.Bytes
+	// Classes partitions agents into RTT classes (default: one class at
+	// 40ms). An agent never changes class — only its algorithm.
+	Classes []Class
+	// Algorithms is the strategy set, each a cc registry name (default
+	// cubic, reno, bbr — the trio the fluid backend models).
+	Algorithms []string
+	// Shares seeds every class's initial algorithm mixture (len must
+	// match Algorithms; default uniform). Normalized over its sum.
+	Shares []float64
+	// Agents is the total population size (default 10000).
+	Agents int
+	// Generations is the number of revision steps; the trajectory has
+	// Generations+1 records (states 0..Generations).
+	Generations int
+	// Dynamics selects the revision rule (default Replicator).
+	Dynamics string
+	// Noise is the mutation/exploration rate η in [0,1]: replicator mixes
+	// η of the uniform distribution into each update; best response makes
+	// a reviser pick uniformly at random with probability η. Default 0.
+	Noise float64
+	// ReviseProb is best response's per-agent revision probability
+	// (default 1: every agent revises every generation).
+	ReviseProb float64
+	// SimFlows is the total flow count the population mixture is scaled
+	// down to per payoff simulation (default 20). Must be at least
+	// len(Classes)×len(Algorithms): every (class, algorithm) cell keeps
+	// one probe flow even when its share rounds to zero, so invasion
+	// payoffs stay defined for extinct strategies.
+	SimFlows int
+	// Duration is each payoff simulation's simulated time; it is floored
+	// to the harness's NE payoff duration (see exp.PayoffDuration).
+	Duration time.Duration
+	// Seed drives everything: per-profile jitter seeds (via
+	// exp.ProfileSeed, so revisiting a mixture is a cache hit) and the
+	// revision draws of noisy best response.
+	Seed uint64
+	// Backend selects the payoff engine (default fluid — a 2-minute
+	// payoff simulation costs ~20ms there, which is what makes 10⁵ agents
+	// × 100 generations a minutes-scale run).
+	Backend string
+	// EpsFraction widens the equilibrium condition exactly as in
+	// exp.NESearchConfig: a gain only counts as an incentive if it
+	// exceeds EpsFraction of the fair-share rate (default 5%). The same
+	// eps drives revision inertia — agents ignore sub-eps payoff gaps, the
+	// paper's observation that near-equilibrium switching gains are
+	// marginal — which makes eps-equilibria absorbing states of both
+	// dynamics instead of centers of discretization limit cycles.
+	EpsFraction float64
+	// SkipCheck disables the final fixed-point check (and its deviation
+	// simulations); Result.FixedPoint is then false and meaningless.
+	SkipCheck bool
+
+	// Pool parallelizes the fixed-point check's deviation payoffs; nil
+	// means serial. The trajectory is identical at any worker count.
+	Pool *runner.Pool
+	// Cache memoizes payoff simulations by canonical scenario key (nil:
+	// a run-local cache still deduplicates revisited mixtures).
+	Cache *runner.Cache
+	// Journal write-ahead-logs completed payoff simulations for
+	// crash-safe resumption; rerunning with the same journal replays the
+	// trajectory byte-identically without re-simulating.
+	Journal *runner.Journal
+	// Ctx cancels the run between payoff simulations.
+	Ctx context.Context
+	// Audit validates every payoff simulation's physical invariants.
+	Audit *check.Auditor
+	// Trace records fresh payoff simulations' run traces.
+	Trace *telemetry.Recorder
+	// OnRecord, when non-nil, observes each trajectory record as it is
+	// produced (cmd/adopt streams JSONL through this).
+	OnRecord func(Record)
+}
+
+// Population is the per-class algorithm census: Counts[c][a] agents of
+// class c run algorithm a.
+type Population struct {
+	Counts [][]int
+}
+
+// Result is one completed run.
+type Result struct {
+	// Trajectory holds Generations+1 records: the evaluated states
+	// 0..Generations.
+	Trajectory []Record
+	// Final is the population after the last revision step.
+	Final Population
+	// FixedPoint reports whether the final state's scaled flow profile is
+	// an (eps-)equilibrium: no single flow in any class gains more than
+	// eps by switching algorithm (checked per class with all other
+	// classes frozen, via game.MultiSymmetric).
+	FixedPoint bool
+	// Simulations and CacheHits count this run's payoff evaluations that
+	// ran fresh versus came from the cache or journal.
+	Simulations int
+	CacheHits   int
+}
+
+// withDefaults validates the config and fills defaults.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Capacity <= 0 {
+		return cfg, fmt.Errorf("adopt: non-positive capacity %v", cfg.Capacity)
+	}
+	if cfg.Buffer <= 0 {
+		return cfg, fmt.Errorf("adopt: non-positive buffer %v", cfg.Buffer)
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = []Class{{RTT: 40 * time.Millisecond, Weight: 1}}
+	}
+	for i, cl := range cfg.Classes {
+		if cl.RTT <= 0 {
+			return cfg, fmt.Errorf("adopt: class %d has non-positive RTT %v", i, cl.RTT)
+		}
+		if cl.Weight <= 0 {
+			return cfg, fmt.Errorf("adopt: class %d has non-positive weight %v", i, cl.Weight)
+		}
+	}
+	if len(cfg.Algorithms) == 0 {
+		cfg.Algorithms = []string{"cubic", "reno", "bbr"}
+	}
+	if len(cfg.Algorithms) < 2 {
+		return cfg, fmt.Errorf("adopt: need at least 2 algorithms, have %v", cfg.Algorithms)
+	}
+	for _, name := range cfg.Algorithms {
+		if _, err := cc.AlgorithmByName(name); err != nil {
+			return cfg, fmt.Errorf("adopt: %w", err)
+		}
+	}
+	if cfg.Shares == nil {
+		cfg.Shares = make([]float64, len(cfg.Algorithms))
+		for i := range cfg.Shares {
+			cfg.Shares[i] = 1
+		}
+	}
+	if len(cfg.Shares) != len(cfg.Algorithms) {
+		return cfg, fmt.Errorf("adopt: %d shares for %d algorithms", len(cfg.Shares), len(cfg.Algorithms))
+	}
+	total := 0.0
+	for i, s := range cfg.Shares {
+		if s < 0 {
+			return cfg, fmt.Errorf("adopt: negative share %v for %s", s, cfg.Algorithms[i])
+		}
+		total += s
+	}
+	if total <= 0 {
+		return cfg, fmt.Errorf("adopt: shares sum to %v", total)
+	}
+	if cfg.Agents == 0 {
+		cfg.Agents = 10000
+	}
+	if cfg.Agents < 1 {
+		return cfg, fmt.Errorf("adopt: non-positive population %d", cfg.Agents)
+	}
+	if cfg.Generations < 0 {
+		return cfg, fmt.Errorf("adopt: negative generations %d", cfg.Generations)
+	}
+	if cfg.Dynamics == "" {
+		cfg.Dynamics = Replicator
+	}
+	if cfg.Dynamics != Replicator && cfg.Dynamics != BestResponse {
+		return cfg, fmt.Errorf("adopt: unknown dynamics %q (want %q or %q)", cfg.Dynamics, Replicator, BestResponse)
+	}
+	if cfg.Noise < 0 || cfg.Noise > 1 {
+		return cfg, fmt.Errorf("adopt: noise %v outside [0,1]", cfg.Noise)
+	}
+	if cfg.ReviseProb == 0 {
+		cfg.ReviseProb = 1
+	}
+	if cfg.ReviseProb < 0 || cfg.ReviseProb > 1 {
+		return cfg, fmt.Errorf("adopt: revise probability %v outside (0,1]", cfg.ReviseProb)
+	}
+	if cfg.SimFlows == 0 {
+		cfg.SimFlows = 20
+	}
+	if cells := len(cfg.Classes) * len(cfg.Algorithms); cfg.SimFlows < cells {
+		return cfg, fmt.Errorf("adopt: %d sim flows cannot cover %d (class, algorithm) probe cells", cfg.SimFlows, cells)
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = scenario.BackendFluid
+	}
+	if cfg.Backend != scenario.BackendPacket && cfg.Backend != scenario.BackendFluid {
+		return cfg, fmt.Errorf("adopt: unknown backend %q", cfg.Backend)
+	}
+	if cfg.EpsFraction == 0 {
+		cfg.EpsFraction = 0.05
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = runner.NewCache()
+	}
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
+	return cfg, nil
+}
+
+// initial seeds the population: agents are apportioned over classes by
+// weight, then within each class over algorithms by the seed shares, both
+// by largest remainder so the integer census is a pure function of the
+// config.
+func initial(cfg Config) Population {
+	weights := make([]float64, len(cfg.Classes))
+	for i, cl := range cfg.Classes {
+		weights[i] = cl.Weight
+	}
+	perClass := apportion(cfg.Agents, weights)
+	counts := make([][]int, len(cfg.Classes))
+	for c := range counts {
+		counts[c] = apportion(perClass[c], cfg.Shares)
+	}
+	return Population{Counts: counts}
+}
+
+// Run executes the adoption dynamics and reports the full trajectory.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	ev := newEvaluator(cfg)
+	pop := initial(cfg)
+	// Best-response revision draws: one stream per (generation, class),
+	// pre-split in that serial order, so the draw sequence is a pure
+	// function of the seed regardless of how payoffs were computed.
+	revRoot := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+
+	res := Result{Trajectory: make([]Record, 0, cfg.Generations+1)}
+	for gen := 0; gen <= cfg.Generations; gen++ {
+		sim := probedSimCounts(cfg, pop)
+		pay, err := ev.payoffs(cfg.Ctx, sim)
+		if err != nil {
+			return Result{}, err
+		}
+		gain, err := ev.deviationGains(cfg.Ctx, sim, pay)
+		if err != nil {
+			return Result{}, err
+		}
+		rec := makeRecord(gen, cfg, pop, sim, pay)
+		if gen == cfg.Generations && !cfg.SkipCheck {
+			fp, err := ev.fixedPoint(cfg, pop)
+			if err != nil {
+				return Result{}, err
+			}
+			res.FixedPoint = fp
+			rec.FixedPoint = &fp
+		}
+		res.Trajectory = append(res.Trajectory, rec)
+		if cfg.OnRecord != nil {
+			cfg.OnRecord(rec)
+		}
+		if gen == cfg.Generations {
+			break
+		}
+		switch cfg.Dynamics {
+		case Replicator:
+			pop = stepReplicator(cfg, pop, pay, gain)
+		case BestResponse:
+			pop = stepBestResponse(cfg, pop, gain, revRoot)
+		}
+	}
+	res.Final = pop
+	res.Simulations = int(ev.sims.Load())
+	res.CacheHits = int(ev.hits.Load())
+	return res, nil
+}
+
+// epsMbps is the indifference band shared by the revision rules and the
+// fixed-point check: EpsFraction of the scaled game's fair share.
+func (cfg Config) epsMbps() float64 {
+	return cfg.EpsFraction * (cfg.Capacity / units.Rate(cfg.SimFlows)).Mbit()
+}
+
+// settled reports whether no occupied strategy of class c has a deviation
+// gaining more than eps — the same one-flow-switch comparison
+// game.MultiSymmetric.IsEquilibrium and exp.FindNE make, which is what
+// makes eps-equilibria absorbing: payoff differences *within* a profile
+// are not switching incentives (the flow that switches lands in a
+// different profile, usually a worse one — the paper's marginal-gains
+// observation near the NE).
+func settled(counts []int, gain [][]float64, eps float64) bool {
+	for a, k := range counts {
+		if k == 0 {
+			continue
+		}
+		for _, g := range gain[a] {
+			if g > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stepReplicator applies discrete-time replicator dynamics per class:
+// share′(a) ∝ share(a)·π(a)/π̄, mixed with Noise of the uniform
+// distribution, re-apportioned to the class's integer census. A class with
+// non-positive mean payoff keeps its census (no growth signal to follow),
+// as does a settled one (no occupied strategy has a one-flow deviation
+// gaining more than eps — revision inertia).
+func stepReplicator(cfg Config, pop Population, pay [][]float64, gain [][][]float64) Population {
+	eps := cfg.epsMbps()
+	next := make([][]int, len(pop.Counts))
+	for c, counts := range pop.Counts {
+		n := sum(counts)
+		next[c] = append([]int(nil), counts...)
+		if n == 0 || settled(counts, gain[c], eps) {
+			continue
+		}
+		mean := 0.0
+		for a, k := range counts {
+			mean += float64(k) / float64(n) * pay[c][a]
+		}
+		if mean <= 0 {
+			continue
+		}
+		s := len(cfg.Algorithms)
+		w := make([]float64, s)
+		for a, k := range counts {
+			w[a] = (1-cfg.Noise)*(float64(k)/float64(n))*(pay[c][a]/mean) + cfg.Noise/float64(s)
+		}
+		next[c] = apportion(n, w)
+	}
+	return Population{Counts: next}
+}
+
+// stepBestResponse has each agent revise independently: with probability
+// ReviseProb it switches to its best deviation target — the algorithm
+// whose one-flow-switch payoff gain is largest, ties to the lowest index —
+// when that gain exceeds eps (revision inertia), except that with
+// probability Noise it explores uniformly. Agents are visited in fixed
+// (class, algorithm, agent) order and the per-class draw streams are
+// pre-split serially, so the step is deterministic in the seed.
+func stepBestResponse(cfg Config, pop Population, gain [][][]float64, root *rng.Source) Population {
+	s := len(cfg.Algorithms)
+	eps := cfg.epsMbps()
+	next := make([][]int, len(pop.Counts))
+	for c, counts := range pop.Counts {
+		src := root.Split()
+		next[c] = make([]int, s)
+		for a, k := range counts {
+			best, bestGain := a, 0.0
+			for t := 0; t < s; t++ {
+				if t != a && gain[c][a][t] > bestGain {
+					best, bestGain = t, gain[c][a][t]
+				}
+			}
+			if bestGain <= eps {
+				best = a // sub-eps gain: not worth switching for
+			}
+			for i := 0; i < k; i++ {
+				if src.Float64() >= cfg.ReviseProb {
+					next[c][a]++ // keeps its algorithm this generation
+					continue
+				}
+				if cfg.Noise > 0 && src.Float64() < cfg.Noise {
+					next[c][src.Intn(s)]++
+					continue
+				}
+				next[c][best]++
+			}
+		}
+	}
+	return Population{Counts: next}
+}
+
+// probedSimCounts scales the population census down to the simulated flow
+// profile: SimFlows flows apportioned over every (class, algorithm) cell
+// by agent count, then each empty cell is topped up to one probe flow —
+// taken from the currently largest cell — so extinct and rare strategies
+// still earn an invasion payoff. The result is a pure function of the
+// census, which is what makes revisited mixtures cache hits.
+func probedSimCounts(cfg Config, pop Population) [][]int {
+	nc, na := len(cfg.Classes), len(cfg.Algorithms)
+	weights := make([]float64, nc*na)
+	for c := range pop.Counts {
+		for a, k := range pop.Counts[c] {
+			weights[c*na+a] = float64(k)
+		}
+	}
+	flat := apportion(cfg.SimFlows, weights)
+	for i := range flat {
+		if flat[i] > 0 {
+			continue
+		}
+		j := 0
+		for m := 1; m < len(flat); m++ {
+			if flat[m] > flat[j] {
+				j = m
+			}
+		}
+		flat[j]--
+		flat[i]++
+	}
+	out := make([][]int, nc)
+	for c := range out {
+		out[c] = flat[c*na : (c+1)*na]
+	}
+	return out
+}
+
+// fixedPoint checks whether the final census, scaled exactly (no probes),
+// is a per-class eps-equilibrium of the scaled game: for each class, no
+// single flow gains more than eps (EpsFraction of the fair share) by
+// switching algorithm, other classes frozen. Deviation payoffs are
+// pre-warmed through the pool — the one place workers help — and the
+// per-class checks then read the cache serially.
+func (ev *evaluator) fixedPoint(cfg Config, pop Population) (bool, error) {
+	nc, na := len(cfg.Classes), len(cfg.Algorithms)
+	weights := make([]float64, nc*na)
+	for c := range pop.Counts {
+		for a, k := range pop.Counts[c] {
+			weights[c*na+a] = float64(k)
+		}
+	}
+	flat := apportion(cfg.SimFlows, weights)
+	base := make([][]int, nc)
+	for c := range base {
+		base[c] = flat[c*na : (c+1)*na]
+	}
+
+	// Every profile the per-class checks will evaluate: the base plus each
+	// class's unilateral deviations, other classes frozen.
+	profiles := [][][]int{base}
+	for c := range base {
+		for _, dev := range game.Deviations(base[c]) {
+			p := make([][]int, nc)
+			for cc2 := range base {
+				p[cc2] = base[cc2]
+			}
+			p[c] = dev
+			profiles = append(profiles, p)
+		}
+	}
+	if _, err := runner.MapCtx(cfg.Ctx, cfg.Pool, len(profiles), func(uctx context.Context, i int) (struct{}, error) {
+		_, err := ev.payoffs(uctx, profiles[i])
+		return struct{}{}, err
+	}); err != nil {
+		return false, err
+	}
+
+	eps := cfg.EpsFraction * (cfg.Capacity / units.Rate(cfg.SimFlows)).Mbit()
+	var evalErr error
+	for c := range base {
+		n := sum(base[c])
+		if n == 0 {
+			continue
+		}
+		g := &game.MultiSymmetric{
+			N:          n,
+			Strategies: na,
+			Payoff: func(s int, k []int) float64 {
+				p := make([][]int, nc)
+				for cc2 := range base {
+					p[cc2] = base[cc2]
+				}
+				p[c] = k
+				pay, err := ev.payoffs(cfg.Ctx, p)
+				if err != nil {
+					if evalErr == nil {
+						evalErr = err
+					}
+					return 0
+				}
+				return pay[c][s]
+			},
+		}
+		ok := g.IsEquilibrium(base[c], eps)
+		if evalErr != nil {
+			return false, evalErr
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// apportion distributes total into integer parts proportional to weights
+// by the largest-remainder method, ties broken by lowest index; an
+// all-zero weight vector distributes uniformly. Deterministic, exact sum.
+func apportion(total int, weights []float64) []int {
+	out := make([]int, len(weights))
+	if total <= 0 || len(weights) == 0 {
+		return out
+	}
+	wsum := 0.0
+	for _, w := range weights {
+		wsum += w
+	}
+	if wsum <= 0 {
+		for i := range weights {
+			out[i] = total / len(weights)
+		}
+		for i := 0; i < total-sum(out); i++ {
+			out[i%len(weights)]++
+		}
+		return out
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, len(weights))
+	used := 0
+	for i, w := range weights {
+		exact := float64(total) * w / wsum
+		out[i] = int(exact)
+		used += out[i]
+		rems[i] = rem{i, exact - float64(out[i])}
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for j := 0; j < total-used; j++ {
+		out[rems[j%len(rems)].i]++
+	}
+	return out
+}
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// evaluator runs payoff simulations through the experiment harness with
+// per-run simulation/hit accounting (per-run, not global-counter deltas —
+// the same discipline exp.FindNE uses after the cross-search attribution
+// fix).
+type evaluator struct {
+	cfg  Config
+	dur  time.Duration
+	sims atomic.Int64
+	hits atomic.Int64
+}
+
+func newEvaluator(cfg Config) *evaluator {
+	return &evaluator{cfg: cfg, dur: exp.PayoffDuration(cfg.Duration)}
+}
+
+// spec compiles one (class, algorithm) flow-count matrix to its scenario:
+// groups in class-major, algorithm-minor order (the order is part of the
+// canonical key, so one run's profiles all share a key shape), jitter seed
+// derived from the flattened profile via exp.ProfileSeed so any revisit of
+// the same mixture — later generation, deviation check, resumed run — is a
+// cache hit.
+func (ev *evaluator) spec(counts [][]int) scenario.Spec {
+	cfg := ev.cfg
+	flat := make([]int, 0, len(counts)*len(cfg.Algorithms))
+	groups := make([]scenario.Group, 0, len(counts)*len(cfg.Algorithms))
+	for c := range counts {
+		for a, k := range counts[c] {
+			flat = append(flat, k)
+			groups = append(groups, scenario.Group{
+				Algorithm: cfg.Algorithms[a],
+				Count:     k,
+				RTT:       cfg.Classes[c].RTT,
+			})
+		}
+	}
+	return scenario.Spec{
+		Capacity:    cfg.Capacity,
+		Buffer:      cfg.Buffer,
+		AckJitter:   scenario.DefaultAckJitter,
+		StartJitter: scenario.DefaultStartJitter,
+		Duration:    ev.dur,
+		Seed:        exp.ProfileSeed(cfg.Seed, flat),
+		Backend:     cfg.Backend,
+		Groups:      groups,
+	}
+}
+
+// deviationGains computes the revision signal at one evaluated profile:
+// gain[c][a][t] is how much one class-c flow of algorithm a would gain by
+// switching to t — its payoff in the post-switch profile minus its current
+// one, the exact comparison the equilibrium checks make. Deviation
+// profiles recur along a trajectory and are cached by canonical key, so
+// steady states cost no fresh simulations.
+func (ev *evaluator) deviationGains(ctx context.Context, sim [][]int, pay [][]float64) ([][][]float64, error) {
+	na := len(ev.cfg.Algorithms)
+	gain := make([][][]float64, len(sim))
+	for c := range sim {
+		gain[c] = make([][]float64, na)
+		for a := range sim[c] {
+			gain[c][a] = make([]float64, na)
+			if sim[c][a] == 0 {
+				continue // no flow of a to move (probes make this rare)
+			}
+			for t := 0; t < na; t++ {
+				if t == a {
+					continue
+				}
+				dev := make([][]int, len(sim))
+				for c2 := range sim {
+					dev[c2] = append([]int(nil), sim[c2]...)
+				}
+				dev[c][a]--
+				dev[c][t]++
+				devPay, err := ev.payoffs(ctx, dev)
+				if err != nil {
+					return nil, err
+				}
+				gain[c][a][t] = devPay[c][t] - pay[c][a]
+			}
+		}
+	}
+	return gain, nil
+}
+
+// payoffs evaluates one flow-count matrix and reports pay[c][a]: algorithm
+// a's mean per-flow throughput in class c, in Mbps (0 for empty cells).
+func (ev *evaluator) payoffs(ctx context.Context, counts [][]int) ([][]float64, error) {
+	sp := ev.spec(counts)
+	res, err := runner.Protect(sp.Key(), func() (exp.SpecResult, error) {
+		res, hit, err := exp.RunSpecCachedTraced(ctx, sp, ev.cfg.Cache, ev.cfg.Journal, ev.cfg.Audit, ev.cfg.Trace)
+		if err != nil {
+			return exp.SpecResult{}, err
+		}
+		if hit {
+			ev.hits.Add(1)
+		} else {
+			ev.sims.Add(1)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	na := len(ev.cfg.Algorithms)
+	pay := make([][]float64, len(counts))
+	for c := range counts {
+		pay[c] = make([]float64, na)
+		for a := range counts[c] {
+			gi := c*na + a
+			if gi >= len(res.Groups) {
+				continue // shape drift in an old cached value degrades, not panics
+			}
+			stats := res.Groups[gi]
+			if len(stats) == 0 {
+				continue
+			}
+			var agg units.Rate
+			for _, st := range stats {
+				agg += st.Throughput
+			}
+			pay[c][a] = (agg / units.Rate(len(stats))).Mbit()
+		}
+	}
+	return pay, nil
+}

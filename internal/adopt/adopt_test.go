@@ -1,0 +1,301 @@
+package adopt
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"bbrnash/internal/runner"
+	"bbrnash/internal/units"
+)
+
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []float64
+		want    []int
+	}{
+		{10, []float64{1, 1}, []int{5, 5}},
+		{10, []float64{2, 1}, []int{7, 3}},
+		{7, []float64{1, 1, 1}, []int{3, 2, 2}}, // remainder ties go to lowest index
+		{5, []float64{0, 0, 1}, []int{0, 0, 5}},
+		{3, []float64{0, 0}, []int{2, 1}}, // zero weights distribute uniformly
+		{0, []float64{1, 2}, []int{0, 0}},
+		{1000000, []float64{0.333, 0.333, 0.334}, []int{333000, 333000, 334000}},
+	}
+	for _, tc := range cases {
+		got := apportion(tc.total, tc.weights)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("apportion(%d, %v) = %v, want %v", tc.total, tc.weights, got, tc.want)
+		}
+		if sum(got) != tc.total {
+			t.Errorf("apportion(%d, %v) sums to %d", tc.total, tc.weights, sum(got))
+		}
+	}
+}
+
+func TestProbedSimCountsKeepsProbes(t *testing.T) {
+	cfg := Config{
+		Classes:    []Class{{RTT: 20 * time.Millisecond, Weight: 1}, {RTT: 80 * time.Millisecond, Weight: 1}},
+		Algorithms: []string{"cubic", "reno", "bbr"},
+		SimFlows:   12,
+	}
+	// Class 0 is all-BBR, class 1 all-CUBIC: four cells are extinct but
+	// every cell must keep a probe flow.
+	pop := Population{Counts: [][]int{{0, 0, 500}, {500, 0, 0}}}
+	sim := probedSimCounts(cfg, pop)
+	total := 0
+	for c := range sim {
+		for a, k := range sim[c] {
+			if k < 1 {
+				t.Errorf("cell (%d,%d) has %d flows, want >= 1 probe", c, a, k)
+			}
+			total += k
+		}
+	}
+	if total != cfg.SimFlows {
+		t.Errorf("sim flows total %d, want %d", total, cfg.SimFlows)
+	}
+	// The populated cells keep the bulk.
+	if sim[0][2] <= sim[0][0] || sim[1][0] <= sim[1][2] {
+		t.Errorf("populated cells did not dominate: %v", sim)
+	}
+}
+
+// testConfig is a fast fluid-backend run: each distinct mixture costs one
+// ~20ms two-minute fluid simulation.
+func testConfig() Config {
+	capacity := 50 * units.Mbps
+	rtt := 40 * time.Millisecond
+	return Config{
+		Capacity:    capacity,
+		Buffer:      units.BufferBytes(capacity, rtt, 3),
+		Classes:     []Class{{RTT: rtt, Weight: 1}},
+		Algorithms:  []string{"cubic", "bbr"},
+		Shares:      []float64{0.8, 0.2},
+		Agents:      1000,
+		Generations: 6,
+		Dynamics:    BestResponse,
+		Noise:       0.1,
+		ReviseProb:  0.5,
+		SimFlows:    8,
+		Seed:        7,
+	}
+}
+
+func trajectoryBytes(t *testing.T, res Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res.Trajectory); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The trajectory must be byte-identical at any worker count: the dynamics
+// are serial and the only pooled work (fixed-point deviation payoffs) is
+// cached by canonical key.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfgA := testConfig()
+	cfgA.Pool = runner.NewPool(1)
+	resA, err := Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := testConfig()
+	cfgB.Pool = runner.NewPool(runtime.GOMAXPROCS(0))
+	resB, err := Run(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := trajectoryBytes(t, resA), trajectoryBytes(t, resB)
+	if !bytes.Equal(a, b) {
+		t.Errorf("trajectories differ between 1 worker and %d workers:\n%s\nvs\n%s",
+			runtime.GOMAXPROCS(0), a, b)
+	}
+	if resA.FixedPoint != resB.FixedPoint {
+		t.Errorf("fixed-point verdicts differ: %v vs %v", resA.FixedPoint, resB.FixedPoint)
+	}
+	// Replicator dynamics must be deterministic too (no rng involvement).
+	cfgC := testConfig()
+	cfgC.Dynamics = Replicator
+	cfgC.Noise = 0.02
+	resC, err := Run(cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgD := cfgC
+	cfgD.Cache = nil
+	cfgD.Pool = runner.NewPool(runtime.GOMAXPROCS(0))
+	resD, err := Run(cfgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trajectoryBytes(t, resC), trajectoryBytes(t, resD)) {
+		t.Error("replicator trajectories differ across worker counts")
+	}
+}
+
+// Rerunning against the same journal must replay the trajectory
+// byte-identically with zero fresh simulations — the crash/resume story.
+func TestRunResumesFromJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join(t.TempDir(), "adopt.journal")
+	j1, err := runner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Journal = j1
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Simulations == 0 {
+		t.Fatal("first run simulated nothing")
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := runner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cfg2 := testConfig()
+	cfg2.Journal = j2 // fresh in-memory cache: only the journal carries over
+	res2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Simulations != 0 {
+		t.Errorf("resumed run re-simulated %d mixtures", res2.Simulations)
+	}
+	if !bytes.Equal(trajectoryBytes(t, res1), trajectoryBytes(t, res2)) {
+		t.Error("resumed trajectory is not byte-identical")
+	}
+}
+
+// The trajectory schema: Generations+1 records, generations 0..G in
+// order, every class carrying every algorithm in every map, final record
+// carrying the fixed-point verdict.
+func TestTrajectorySchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := testConfig()
+	cfg.Generations = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) != cfg.Generations+1 {
+		t.Fatalf("%d records for %d generations", len(res.Trajectory), cfg.Generations)
+	}
+	for g, rec := range res.Trajectory {
+		if rec.Generation != g {
+			t.Errorf("record %d labeled generation %d", g, rec.Generation)
+		}
+		if len(rec.Classes) != len(cfg.Classes) {
+			t.Fatalf("record %d has %d classes", g, len(rec.Classes))
+		}
+		for c, st := range rec.Classes {
+			agents, flows := 0, 0
+			for _, name := range cfg.Algorithms {
+				for field, m := range map[string]bool{
+					"counts":       hasKeyInt(st.Counts, name),
+					"sim_counts":   hasKeyInt(st.SimCounts, name),
+					"shares":       hasKeyFloat(st.Shares, name),
+					"payoffs_mbps": hasKeyFloat(st.PayoffsMbps, name),
+				} {
+					if !m {
+						t.Errorf("record %d class %d: %s missing %q", g, c, field, name)
+					}
+				}
+				agents += st.Counts[name]
+				flows += st.SimCounts[name]
+			}
+			if agents != cfg.Agents {
+				t.Errorf("record %d class %d: %d agents, want %d", g, c, agents, cfg.Agents)
+			}
+			if flows != cfg.SimFlows {
+				t.Errorf("record %d class %d: %d sim flows, want %d", g, c, flows, cfg.SimFlows)
+			}
+		}
+		if rec.MeanPayoffMbps <= 0 {
+			t.Errorf("record %d: non-positive mean payoff %v", g, rec.MeanPayoffMbps)
+		}
+		if last := g == len(res.Trajectory)-1; (rec.FixedPoint != nil) != last {
+			t.Errorf("record %d: fixed_point present=%v, want on final record only", g, rec.FixedPoint != nil)
+		}
+	}
+}
+
+func hasKeyInt(m map[string]int, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func hasKeyFloat(m map[string]float64, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig()
+	for name, mut := range map[string]func(*Config){
+		"no capacity":       func(c *Config) { c.Capacity = 0 },
+		"no buffer":         func(c *Config) { c.Buffer = 0 },
+		"bad dynamics":      func(c *Config) { c.Dynamics = "imitation" },
+		"bad algorithm":     func(c *Config) { c.Algorithms = []string{"cubic", "quic"} },
+		"one algorithm":     func(c *Config) { c.Algorithms = []string{"bbr"} },
+		"share mismatch":    func(c *Config) { c.Shares = []float64{1} },
+		"negative share":    func(c *Config) { c.Shares = []float64{-1, 2} },
+		"noise > 1":         func(c *Config) { c.Noise = 1.5 },
+		"simflows < cells":  func(c *Config) { c.SimFlows = 1 },
+		"bad backend":       func(c *Config) { c.Backend = "quantum" },
+		"negative gens":     func(c *Config) { c.Generations = -1 },
+		"zero-weight class": func(c *Config) { c.Classes = []Class{{RTT: time.Millisecond, Weight: 0}} },
+	} {
+		cfg := base
+		mut(&cfg)
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := base.withDefaults(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// Replicator dynamics cannot resurrect an extinct strategy without noise:
+// a zero share has nothing to replicate.
+func TestReplicatorKeepsExtinctExtinct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := testConfig()
+	cfg.Dynamics = Replicator
+	cfg.Noise = 0
+	cfg.Shares = []float64{1, 0} // no BBR seeded
+	cfg.Generations = 3
+	cfg.SkipCheck = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Trajectory {
+		if got := rec.Classes[0].Counts["bbr"]; got != 0 {
+			t.Fatalf("generation %d resurrected %d BBR agents", rec.Generation, got)
+		}
+	}
+}

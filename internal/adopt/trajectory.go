@@ -1,0 +1,95 @@
+package adopt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Record is one trajectory point: the population state at the start of a
+// generation together with the payoffs that state earned. Maps are keyed
+// by algorithm name; encoding/json sorts map keys, so a marshalled record
+// is byte-deterministic and trajectories can be compared with bytes.Equal.
+type Record struct {
+	Generation int          `json:"generation"`
+	Classes    []ClassState `json:"classes"`
+	// MeanPayoffMbps is the population mean payoff: each agent weighted
+	// by its class/algorithm cell's per-flow throughput.
+	MeanPayoffMbps float64 `json:"mean_payoff_mbps"`
+	// FixedPoint is set on the final record only: whether the final
+	// scaled profile is a per-class eps-equilibrium (see Result).
+	FixedPoint *bool `json:"fixed_point,omitempty"`
+}
+
+// ClassState is one RTT class's slice of a Record.
+type ClassState struct {
+	RTTMs float64 `json:"rtt_ms"`
+	// Counts is the agent census; Shares the same as fractions of the
+	// class (0 for an empty class).
+	Counts map[string]int     `json:"counts"`
+	Shares map[string]float64 `json:"shares"`
+	// SimCounts is the probed scaled flow profile this generation's
+	// payoff simulation ran with, and PayoffsMbps the per-flow throughput
+	// each cell earned there.
+	SimCounts   map[string]int     `json:"sim_counts"`
+	PayoffsMbps map[string]float64 `json:"payoffs_mbps"`
+}
+
+// makeRecord snapshots one evaluated state.
+func makeRecord(gen int, cfg Config, pop Population, sim [][]int, pay [][]float64) Record {
+	rec := Record{Generation: gen, Classes: make([]ClassState, len(cfg.Classes))}
+	totalPay := 0.0
+	for c, cl := range cfg.Classes {
+		st := ClassState{
+			RTTMs:       float64(cl.RTT) / float64(time.Millisecond),
+			Counts:      make(map[string]int, len(cfg.Algorithms)),
+			Shares:      make(map[string]float64, len(cfg.Algorithms)),
+			SimCounts:   make(map[string]int, len(cfg.Algorithms)),
+			PayoffsMbps: make(map[string]float64, len(cfg.Algorithms)),
+		}
+		n := sum(pop.Counts[c])
+		for a, name := range cfg.Algorithms {
+			k := pop.Counts[c][a]
+			st.Counts[name] = k
+			if n > 0 {
+				st.Shares[name] = float64(k) / float64(n)
+			} else {
+				st.Shares[name] = 0
+			}
+			st.SimCounts[name] = sim[c][a]
+			st.PayoffsMbps[name] = pay[c][a]
+			totalPay += float64(k) * pay[c][a]
+		}
+		rec.Classes[c] = st
+	}
+	if cfg.Agents > 0 {
+		rec.MeanPayoffMbps = totalPay / float64(cfg.Agents)
+	}
+	return rec
+}
+
+// WriteJSONL writes the trajectory as one JSON object per line. The bytes
+// are deterministic for a deterministic trajectory (map keys sort, float
+// formatting is canonical), so two runs can be diffed at the byte level.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if err := writeRecordJSON(bw, rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeRecordJSON writes one record and its newline.
+func writeRecordJSON(w io.Writer, rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("adopt: encoding trajectory record %d: %w", rec.Generation, err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,87 @@
+package adopt
+
+import (
+	"testing"
+	"time"
+
+	"bbrnash/internal/exp"
+	"bbrnash/internal/units"
+)
+
+// The binary case closes the loop with the static theory: a CUBIC/BBR
+// population's fixed point, scaled to the simulated game, must sit at (or
+// next to) an equilibrium exp.FindNE enumerates for the same bottleneck.
+// The two paths use independent jitter seeding (trial seeds versus profile
+// seeds), so agreement is asserted within a ±2 flow tolerance rather than
+// exactly.
+func TestFixedPointMatchesFindNE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 10
+	capacity := 50 * units.Mbps
+	rtt := 40 * time.Millisecond
+	buffer := units.BufferBytes(capacity, rtt, 3)
+
+	cfg := Config{
+		Capacity:    capacity,
+		Buffer:      buffer,
+		Classes:     []Class{{RTT: rtt, Weight: 1}},
+		Algorithms:  []string{"cubic", "bbr"},
+		Shares:      []float64{0.85, 0.15}, // start far from the equilibrium
+		Agents:      1000,
+		Generations: 60,
+		Dynamics:    Replicator,
+		SimFlows:    n,
+		Seed:        3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ne, err := exp.FindNE(exp.NESearchConfig{
+		Capacity:   capacity,
+		Buffer:     buffer,
+		RTT:        rtt,
+		N:          n,
+		Seed:       3,
+		Exhaustive: true,
+		Backend:    "fluid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ne.EquilibriaX) == 0 {
+		t.Fatal("FindNE found no equilibria to validate against")
+	}
+
+	// The final census scaled exactly to the game: BBR's flow count.
+	final := apportion(n, []float64{
+		float64(res.Final.Counts[0][0]),
+		float64(res.Final.Counts[0][1]),
+	})
+	bbrFlows := final[1]
+	best := n + 1
+	for _, k := range ne.EquilibriaX {
+		if d := abs(bbrFlows - k); d < best {
+			best = d
+		}
+	}
+	t.Logf("adoption fixed point: %d/%d BBR flows (fixed_point=%v); FindNE equilibria %v",
+		bbrFlows, n, res.FixedPoint, ne.EquilibriaX)
+	if best > 2 {
+		t.Errorf("fixed point %d BBR flows is %d away from nearest FindNE equilibrium %v",
+			bbrFlows, best, ne.EquilibriaX)
+	}
+	if !res.FixedPoint {
+		t.Error("converged binary trajectory did not report a fixed point")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

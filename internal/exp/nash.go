@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -106,9 +107,20 @@ type NESearchResult struct {
 	EquilibriaX []int
 	// Simulations counts simulator runs spent (memoized lookups excluded).
 	Simulations int
-	// CacheHits counts payoff lookups served by the memoizing cache
-	// instead of a fresh simulation.
+	// CacheHits counts this search's payoff lookups served by the
+	// memoizing cache (or the resume journal) instead of a fresh
+	// simulation. The count is per-search — it was formerly a delta of the
+	// cache's global hit counter, so concurrent searches sharing one cache
+	// attributed each other's hits to themselves.
 	CacheHits int
+	// Converged reports whether the search settled: exhaustive scans always
+	// converge, and walk mode converges when the incentive walk reached an
+	// incentive-free distribution within its step budget. When false, the
+	// walk cycled or exhausted its budget, EquilibriaX is only the ±2
+	// neighbourhood of wherever it stopped — possibly empty, possibly not
+	// the full answer — and the non-convergence has been logged. Formerly
+	// this outcome was silently discarded.
+	Converged bool
 }
 
 // FindNE runs the empirical search for one trial (one jitter seed).
@@ -126,8 +138,7 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 	if cache == nil {
 		cache = runner.NewCache()
 	}
-	hits0 := cache.Hits()
-	var sims atomic.Int64
+	var sims, hits atomic.Int64
 	dur := nePayoffDuration(cfg.Duration)
 	seeds := trialSeeds(cfg.Seed, cfg.N+1)
 	mixAt := func(numX int) MixConfig {
@@ -155,7 +166,9 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 			if err != nil {
 				return pair{}, err
 			}
-			if !hit {
+			if hit {
+				hits.Add(1)
+			} else {
 				sims.Add(1)
 			}
 			return pair{res.PerFlowX, res.PerFlowCubic}, nil
@@ -195,7 +208,8 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 		return NESearchResult{
 			EquilibriaX: ks,
 			Simulations: int(sims.Load()),
-			CacheHits:   int(cache.Hits() - hits0),
+			CacheHits:   int(hits.Load()),
+			Converged:   true,
 		}, nil
 	}
 
@@ -207,24 +221,40 @@ func FindNE(cfg NESearchConfig) (NESearchResult, error) {
 	}, core.Synchronized); err == nil {
 		start = int(pt.BBRFlows + 0.5)
 	}
-	k, _ := g.FirstEquilibrium(start, eps, 3*cfg.N)
-	var ks []int
-	for cand := k - 2; cand <= k+2; cand++ {
-		if cand < 0 || cand > cfg.N {
-			continue
-		}
-		if g.IsEquilibrium(cand, eps) {
-			ks = append(ks, cand)
-		}
-	}
+	ks, converged := walkNeighborhood(g, cfg.N, start, eps, 3*cfg.N)
 	if err := failed.get(); err != nil {
 		return NESearchResult{}, err
 	}
 	return NESearchResult{
 		EquilibriaX: ks,
 		Simulations: int(sims.Load()),
-		CacheHits:   int(cache.Hits() - hits0),
+		CacheHits:   int(hits.Load()),
+		Converged:   converged,
 	}, nil
+}
+
+// walkNeighborhood is the walk-mode search core shared by FindNE and
+// FindNEUtility: follow unilateral switching incentives from start, then
+// report every equilibrium in the landing zone's ±2 neighbourhood.
+// converged is FirstEquilibrium's verdict — false when the walk cycled or
+// exhausted maxSteps, in which case the neighbourhood is centred on
+// wherever the walk stopped rather than on an equilibrium, and the caller
+// must surface that instead of passing the neighbourhood off as the answer
+// (the pre-fix code discarded it).
+func walkNeighborhood(g *game.SymmetricBinary, n, start int, eps float64, maxSteps int) (ks []int, converged bool) {
+	k, ok := g.FirstEquilibrium(start, eps, maxSteps)
+	if !ok {
+		log.Printf("exp: NE walk from %d did not converge within %d steps (stopped at %d); reporting that point's ±2 neighbourhood only", start, maxSteps, k)
+	}
+	for cand := k - 2; cand <= k+2; cand++ {
+		if cand < 0 || cand > n {
+			continue
+		}
+		if g.IsEquilibrium(cand, eps) {
+			ks = append(ks, cand)
+		}
+	}
+	return ks, ok
 }
 
 // nePayoffDuration enforces the paper's two-minute protocol on equilibrium
@@ -237,6 +267,14 @@ func nePayoffDuration(base time.Duration) time.Duration {
 		return base
 	}
 	return 2 * time.Minute
+}
+
+// PayoffDuration exposes the two-minute payoff-measurement floor to other
+// game-on-simulation layers (internal/adopt), so adoption-dynamics payoffs
+// and NE-search payoffs obey the same measurement protocol and their
+// equilibria are comparable.
+func PayoffDuration(base time.Duration) time.Duration {
+	return nePayoffDuration(base)
 }
 
 // GroupNEConfig describes the §4.5 multi-RTT equilibrium search.
@@ -268,8 +306,14 @@ type GroupNEResult struct {
 	Equilibria [][]int
 	// Simulations counts simulator runs spent (memoized lookups excluded).
 	Simulations int
-	// CacheHits counts payoff lookups served by the memoizing cache.
+	// CacheHits counts this search's payoff lookups served by the
+	// memoizing cache; per-search, as in NESearchResult.
 	CacheHits int
+	// Converged reports whether the search settled (always true for
+	// exhaustive scans; for the incentive walk, whether it reached a
+	// move-free profile within its step budget). As in NESearchResult, a
+	// non-converged walk's Equilibria may be empty or incomplete.
+	Converged bool
 }
 
 // FindGroupNE runs the multi-RTT equilibrium search for one trial. Each
@@ -283,8 +327,7 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	if cache == nil {
 		cache = runner.NewCache()
 	}
-	hits0 := cache.Hits()
-	var sims atomic.Int64
+	var sims, hits atomic.Int64
 	type pair struct {
 		x, c []units.Rate
 	}
@@ -304,7 +347,9 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 			if err != nil {
 				return pair{x: make([]units.Rate, len(k)), c: make([]units.Rate, len(k))}, err
 			}
-			if !hit {
+			if hit {
+				hits.Add(1)
+			} else {
 				sims.Add(1)
 			}
 			return pair{x: res.PerFlowX, c: res.PerFlowCubic}, nil
@@ -353,7 +398,8 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 		return GroupNEResult{
 			Equilibria:  ks,
 			Simulations: int(sims.Load()),
-			CacheHits:   int(cache.Hits() - hits0),
+			CacheHits:   int(hits.Load()),
+			Converged:   true,
 		}, nil
 	}
 
@@ -364,6 +410,7 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	// landing profile is an equilibrium either way.
 	k := groupWalkStart(cfg)
 	maxSteps := 3 * total
+	settled := false
 	for step := 0; step < maxSteps; step++ {
 		moved := false
 		for i, sz := range cfg.Sizes {
@@ -389,8 +436,16 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 			}
 		}
 		if !moved {
+			settled = true
 			break
 		}
+	}
+	if !settled {
+		// The walk was still moving when the budget ran out: unlike the
+		// binary line-walk, first-improvement moves over coupled groups can
+		// genuinely cycle, so surface the non-convergence instead of
+		// passing the last profile off as the answer.
+		log.Printf("exp: group NE walk did not settle within %d steps (stopped at %v)", maxSteps, k)
 	}
 	var out [][]int
 	if g.IsEquilibrium(k, eps) {
@@ -402,7 +457,8 @@ func FindGroupNE(cfg GroupNEConfig) (GroupNEResult, error) {
 	return GroupNEResult{
 		Equilibria:  out,
 		Simulations: int(sims.Load()),
-		CacheHits:   int(cache.Hits() - hits0),
+		CacheHits:   int(hits.Load()),
+		Converged:   settled,
 	}, nil
 }
 

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bbrnash/internal/game"
+	"bbrnash/internal/runner"
+	"bbrnash/internal/units"
+)
+
+// fluidNE is a cheap NE search config: payoff simulations run on the fluid
+// backend (a 2-minute payoff sim costs ~20 ms of wall time there).
+func fluidNE(n int, seed uint64) NESearchConfig {
+	return NESearchConfig{
+		Capacity: 50 * units.Mbps,
+		Buffer:   units.BufferBytes(50*units.Mbps, 40*time.Millisecond, 3),
+		RTT:      40 * time.Millisecond,
+		N:        n,
+		Duration: 2 * time.Minute,
+		Seed:     seed,
+		Backend:  "fluid",
+	}
+}
+
+// The walk core must surface FirstEquilibrium's non-convergence instead of
+// discarding it (the pre-fix code dropped the ok return and reported the
+// stopping point's ±2 neighbourhood as the answer). With memoized payoffs
+// the binary line-walk cannot genuinely cycle — an up-move from k and a
+// down-move to k would need contradictory comparisons — so the reachable
+// non-convergence arm is step-budget exhaustion; cycling payoff functions
+// themselves are covered by internal/game's walk tests.
+func TestWalkNeighborhoodSurfacesNonConvergence(t *testing.T) {
+	g := &game.SymmetricBinary{
+		N:           50,
+		PayoffX:     func(k int) float64 { return 100 }, // always switch to X
+		PayoffCubic: func(k int) float64 { return 0 },
+	}
+	ks, converged := walkNeighborhood(g, 50, 0, 0, 5)
+	if converged {
+		t.Fatal("a walk cut off after 5 of 50 required steps claimed convergence")
+	}
+	// The ±2 neighbourhood of the stopping point (k=5) holds no
+	// equilibrium: a non-converged walk must not smuggle one in.
+	if len(ks) != 0 {
+		t.Errorf("non-converged walk reported equilibria %v", ks)
+	}
+
+	// A walk that does reach the equilibrium reports convergence.
+	g2 := &game.SymmetricBinary{
+		N:           10,
+		PayoffX:     func(k int) float64 { return 40 / float64(k) },
+		PayoffCubic: func(k int) float64 { return 60 / float64(10-k+1) },
+	}
+	ks, converged = walkNeighborhood(g2, 10, 5, 0, 30)
+	if !converged {
+		t.Fatal("converging walk reported non-convergence")
+	}
+	if len(ks) == 0 {
+		t.Error("converged walk found no equilibria in its neighbourhood")
+	}
+}
+
+// Both search modes of a healthy FindNE must report Converged.
+func TestFindNEReportsConverged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, exhaustive := range []bool{false, true} {
+		cfg := fluidNE(4, 7)
+		cfg.Exhaustive = exhaustive
+		res, err := FindNE(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("exhaustive=%v: search did not report convergence", exhaustive)
+		}
+		if len(res.EquilibriaX) == 0 {
+			t.Errorf("exhaustive=%v: no equilibria found", exhaustive)
+		}
+	}
+}
+
+// CacheHits must be attributed per-search. Pre-fix it was a delta of the
+// cache's global hit counter, so concurrent searches sharing one cache
+// counted each other's hits. An exhaustive FindNE over a fully warmed
+// cache performs exactly 3N+1 cache lookups — N+1 building the payoff
+// table plus 2N re-looking up distributions during the equilibrium
+// enumeration (payoffX at 1..N, payoffCubic at 0..N−1, one lookup per
+// fresh game-memo entry) — so each concurrent search must report exactly
+// that, not the sum over its neighbours' windows.
+func TestFindNECacheHitsPerSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 4
+	cache := runner.NewCache()
+	cfg := fluidNE(n, 11)
+	cfg.Exhaustive = true
+	cfg.Cache = cache
+
+	warm, err := FindNE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Simulations != n+1 {
+		t.Fatalf("warm-up ran %d simulations, want %d", warm.Simulations, n+1)
+	}
+	// The warm-up itself re-looks distributions up during enumeration.
+	if warm.CacheHits != 2*n {
+		t.Fatalf("warm-up CacheHits = %d, want %d", warm.CacheHits, 2*n)
+	}
+
+	const searchers = 4
+	var wg sync.WaitGroup
+	results := make([]NESearchResult, searchers)
+	errs := make([]error, searchers)
+	start := make(chan struct{})
+	for i := 0; i < searchers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = FindNE(cfg)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < searchers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].Simulations != 0 {
+			t.Errorf("search %d re-simulated %d warmed distributions", i, results[i].Simulations)
+		}
+		if results[i].CacheHits != 3*n+1 {
+			t.Errorf("search %d CacheHits = %d, want %d (cross-search attribution)",
+				i, results[i].CacheHits, 3*n+1)
+		}
+	}
+}

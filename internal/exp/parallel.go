@@ -46,6 +46,15 @@ func profileSeed(base uint64, k []int) uint64 {
 	return rng.New(base ^ h).Uint64()
 }
 
+// ProfileSeed exposes profileSeed to other layers that evaluate payoffs by
+// count profile (internal/adopt): revisiting a profile — in any order, in
+// any generation — re-derives the same seed and therefore the same
+// canonical scenario key, which is what makes repeated mixture visits cache
+// hits instead of fresh simulations.
+func ProfileSeed(base uint64, k []int) uint64 {
+	return profileSeed(base, k)
+}
+
 // runMixCached is RunMix behind the memoizing cache, the resumption
 // journal and the invariant auditor: the config compiles to its
 // scenario.Spec, and cache entries, journal records, audit records and

@@ -48,8 +48,7 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 	if cache == nil {
 		cache = runner.NewCache()
 	}
-	hits0 := cache.Hits()
-	var sims atomic.Int64
+	var sims, hits atomic.Int64
 	dur := nePayoffDuration(cfg.Duration)
 	seeds := trialSeeds(cfg.Seed, cfg.N+1)
 	type pair struct{ x, c float64 }
@@ -71,7 +70,9 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 			if err != nil {
 				return pair{}, err
 			}
-			if !hit {
+			if hit {
+				hits.Add(1)
+			} else {
 				sims.Add(1)
 			}
 			return pair{
@@ -117,25 +118,18 @@ func FindNEUtility(cfg NESearchConfig, utility UtilityFunc) (NESearchResult, err
 		return NESearchResult{
 			EquilibriaX: ks,
 			Simulations: int(sims.Load()),
-			CacheHits:   int(cache.Hits() - hits0),
+			CacheHits:   int(hits.Load()),
+			Converged:   true,
 		}, nil
 	}
-	k, _ := g.FirstEquilibrium(cfg.N/2, eps, 3*cfg.N)
-	var ks []int
-	for cand := k - 2; cand <= k+2; cand++ {
-		if cand < 0 || cand > cfg.N {
-			continue
-		}
-		if g.IsEquilibrium(cand, eps) {
-			ks = append(ks, cand)
-		}
-	}
+	ks, converged := walkNeighborhood(g, cfg.N, cfg.N/2, eps, 3*cfg.N)
 	if err := failed.get(); err != nil {
 		return NESearchResult{}, err
 	}
 	return NESearchResult{
 		EquilibriaX: ks,
 		Simulations: int(sims.Load()),
-		CacheHits:   int(cache.Hits() - hits0),
+		CacheHits:   int(hits.Load()),
+		Converged:   converged,
 	}, nil
 }

@@ -252,9 +252,23 @@ func TestGroupSymmetricValidation(t *testing.T) {
 	if _, err := (&GroupSymmetric{}).Equilibria(0); err == nil {
 		t.Error("no groups accepted")
 	}
-	g := &GroupSymmetric{Groups: []GroupSpec{{Size: 1000}}}
+	g := &GroupSymmetric{Groups: []GroupSpec{{Size: -1}}}
 	if _, err := g.Equilibria(0); err == nil {
-		t.Error("oversized group accepted")
+		t.Error("negative group size accepted")
+	}
+	// Sizes above 255 are legal since the memo keys became collision-free
+	// (the former 250 cap guarded the byte-truncating key encoding).
+	big := &GroupSymmetric{
+		Groups:      []GroupSpec{{Size: 300}},
+		PayoffX:     func(int, []int) float64 { return 1 },
+		PayoffCubic: func(int, []int) float64 { return 0 },
+	}
+	ne, err := big.Equilibria(0)
+	if err != nil {
+		t.Fatalf("size-300 group rejected: %v", err)
+	}
+	if !reflect.DeepEqual(ne, [][]int{{300}}) {
+		t.Errorf("NE = %v, want [[300]]", ne)
 	}
 }
 

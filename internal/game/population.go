@@ -1,0 +1,149 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MultiSymmetric generalizes SymmetricBinary from two strategies to m: N
+// indistinguishable players each pick one of Strategies algorithms, so a
+// strategy profile is fully described by the count vector k with k[s]
+// players on strategy s (Σk = N). It is the game the adoption dynamics
+// (internal/adopt) evolve over: each RTT class of a flow population is one
+// MultiSymmetric whose payoffs come from mixture-fraction simulations.
+//
+// Payoff(s, k) is the per-player utility of a strategy-s player under
+// profile k; it is only ever called with k[s] ≥ 1 (a payoff of an
+// unoccupied strategy is evaluated in the deviated profile that occupies
+// it, mirroring SymmetricBinary's PayoffX(k+1) convention).
+// Implementations may assume k is not retained after the call returns.
+// Payoffs are memoized: empirical evaluation costs a simulation each.
+type MultiSymmetric struct {
+	N          int
+	Strategies int
+	Payoff     func(s int, k []int) float64
+
+	memo map[string]float64
+}
+
+func (g *MultiSymmetric) payoff(s int, k []int) float64 {
+	if g.memo == nil {
+		g.memo = make(map[string]float64)
+	}
+	key := keyOf(s, k)
+	if v, ok := g.memo[key]; ok {
+		return v
+	}
+	v := g.Payoff(s, k)
+	g.memo[key] = v
+	return v
+}
+
+// validateProfile panics when k does not describe a distribution of this
+// game's N players over its strategies; as with GroupSymmetric, a malformed
+// profile would be memoized under a valid-looking key and poison later
+// lookups, so it is a wiring bug.
+func (g *MultiSymmetric) validateProfile(k []int) {
+	if len(k) != g.Strategies {
+		panic(fmt.Sprintf("game: profile has %d strategies, game has %d", len(k), g.Strategies))
+	}
+	total := 0
+	for s, v := range k {
+		if v < 0 {
+			panic(fmt.Sprintf("game: strategy %d has negative count %d", s, v))
+		}
+		total += v
+	}
+	if total != g.N {
+		panic(fmt.Sprintf("game: profile sums to %d players, game has %d", total, g.N))
+	}
+}
+
+// IsEquilibrium reports whether profile k is a Nash Equilibrium with
+// tolerance eps: no player on any occupied strategy gains more than eps by
+// unilaterally switching to any other strategy. The switcher's payoff is
+// evaluated in the deviated profile (one player moved from s to t), exactly
+// as SymmetricBinary scores a switch at k±1.
+func (g *MultiSymmetric) IsEquilibrium(k []int, eps float64) bool {
+	g.validateProfile(k)
+	for s := 0; s < g.Strategies; s++ {
+		if k[s] == 0 {
+			continue
+		}
+		stay := g.payoff(s, k)
+		for t := 0; t < g.Strategies; t++ {
+			if t == s {
+				continue
+			}
+			k[s]--
+			k[t]++
+			gain := g.payoff(t, k)
+			k[t]--
+			k[s]++
+			if gain > stay+eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Deviations lists every unilateral-switch profile reachable from k: for
+// each occupied strategy s and each t ≠ s, the profile with one player
+// moved from s to t, in (s, t) lexicographic order. Callers use it to
+// pre-warm payoff caches before an IsEquilibrium check so the memoized
+// lookups fan out through a worker pool instead of running serially.
+func Deviations(k []int) [][]int {
+	var out [][]int
+	for s := range k {
+		if k[s] == 0 {
+			continue
+		}
+		for t := range k {
+			if t == s {
+				continue
+			}
+			d := append([]int(nil), k...)
+			d[s]--
+			d[t]++
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Equilibria enumerates every equilibrium profile over the compositions of
+// N players into Strategies counts, in lexicographic order. The profile
+// space has C(N+m−1, m−1) points; as with GroupSymmetric, bounding that is
+// the caller's business.
+func (g *MultiSymmetric) Equilibria(eps float64) ([][]int, error) {
+	if g.N < 1 {
+		return nil, errors.New("game: MultiSymmetric needs N >= 1")
+	}
+	if g.Strategies < 2 {
+		return nil, errors.New("game: MultiSymmetric needs at least 2 strategies")
+	}
+	if g.Payoff == nil {
+		return nil, errors.New("game: MultiSymmetric needs a payoff function")
+	}
+	k := make([]int, g.Strategies)
+	var out [][]int
+	var walk func(s, left int)
+	walk = func(s, left int) {
+		if s == g.Strategies-1 {
+			k[s] = left
+			if g.IsEquilibrium(k, eps) {
+				out = append(out, append([]int(nil), k...))
+			}
+			k[s] = 0
+			return
+		}
+		for v := 0; v <= left; v++ {
+			k[s] = v
+			walk(s+1, left-v)
+		}
+		k[s] = 0
+	}
+	walk(0, g.N)
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package game
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bbrnash/internal/rng"
+)
+
+// Memo keys must be injective over profiles well past 255 per count: the
+// former byte(v) encoding collided (300) with (44), which silently served a
+// cached payoff for the wrong profile once group sizes entered the
+// population-scale regime. The property test drives random (group, profile)
+// pairs through keyOf and asserts distinct inputs never share a key.
+func TestKeyOfInjective(t *testing.T) {
+	src := rng.New(42)
+	seen := make(map[string][2]interface{})
+	for trial := 0; trial < 20000; trial++ {
+		group := src.Intn(4)
+		k := make([]int, 1+src.Intn(4))
+		for i := range k {
+			// Counts straddle the byte boundary: the old encoding mapped
+			// v and v+256 to one key.
+			k[i] = src.Intn(1024)
+		}
+		key := keyOf(group, k)
+		if prev, dup := seen[key]; dup {
+			pg, pk := prev[0].(int), prev[1].([]int)
+			if pg != group || !reflect.DeepEqual(pk, k) {
+				t.Fatalf("key %q collides: (%d, %v) and (%d, %v)", key, pg, pk, group, k)
+			}
+		} else {
+			seen[key] = [2]interface{}{group, append([]int(nil), k...)}
+		}
+	}
+	// The adversarial pair for the old byte(v) cast, checked explicitly.
+	if keyOf(0, []int{300}) == keyOf(0, []int{44}) {
+		t.Fatal("profiles (300) and (44) share a memo key")
+	}
+	if keyOf(1, []int{0}) == keyOf(257, []int{0}) {
+		t.Fatal("groups 1 and 257 share a memo key")
+	}
+}
+
+// A group of size > 255 must produce the same equilibria as an unmemoized
+// reference computation. Pre-fix, payoffs for k ≥ 256 hit the memo entries
+// of k−256 and steered the enumeration to bogus equilibria.
+func TestGroupSymmetricLargeGroupMatchesUnmemoized(t *testing.T) {
+	const n = 300
+	payX := func(k int) float64 { return 0.4 * 1000 / float64(k) }
+	payC := func(k int) float64 {
+		if k == n {
+			return 0
+		}
+		return 0.6 * 1000 / float64(n-k)
+	}
+	g := &GroupSymmetric{
+		Groups:      []GroupSpec{{Size: n}},
+		PayoffX:     func(_ int, k []int) float64 { return payX(k[0]) },
+		PayoffCubic: func(_ int, k []int) float64 { return payC(k[0]) },
+	}
+	got, err := g.Equilibria(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the crossing 0.4·C/k = 0.6·C/(n−k) sits at k = 0.4n = 120.
+	want := [][]int{{120}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NE = %v, want %v", got, want)
+	}
+}
+
+// Malformed profiles must panic on the memoized IsEquilibrium path, not
+// get memoized under a valid-looking key.
+func TestGroupSymmetricIsEquilibriumValidatesProfile(t *testing.T) {
+	g := &GroupSymmetric{
+		Groups:      []GroupSpec{{Size: 2}, {Size: 2}},
+		PayoffX:     func(int, []int) float64 { return 1 },
+		PayoffCubic: func(int, []int) float64 { return 1 },
+	}
+	for _, bad := range [][]int{{1}, {1, 2, 3}, {-1, 0}, {3, 0}} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("profile %v accepted", bad)
+				} else if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "game:") {
+					t.Errorf("profile %v: unexpected panic %v", bad, r)
+				}
+			}()
+			g.IsEquilibrium(bad, 0)
+		}()
+	}
+}
+
+// A two-strategy MultiSymmetric must agree with SymmetricBinary on the
+// fig6 crossing game (strategy 0 = X, strategy 1 = CUBIC).
+func TestMultiSymmetricMatchesSymmetricBinary(t *testing.T) {
+	bin := fig6Game(10, 100)
+	multi := &MultiSymmetric{
+		N:          10,
+		Strategies: 2,
+		Payoff: func(s int, k []int) float64 {
+			if s == 0 {
+				return bin.PayoffX(k[0])
+			}
+			return bin.PayoffCubic(k[0])
+		},
+	}
+	wantKs, err := bin.Equilibria(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := multi.Equilibria(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotKs []int
+	for _, k := range got {
+		gotKs = append(gotKs, k[0])
+	}
+	if !reflect.DeepEqual(gotKs, wantKs) {
+		t.Errorf("multi NE %v != binary NE %v", gotKs, wantKs)
+	}
+}
+
+// Three strategies with a strictly dominant one: the only equilibrium puts
+// every player on it, and IsEquilibrium rejects interior profiles.
+func TestMultiSymmetricDominantStrategy(t *testing.T) {
+	g := &MultiSymmetric{
+		N:          6,
+		Strategies: 3,
+		Payoff: func(s int, k []int) float64 {
+			return float64(s) // strategy 2 strictly dominates
+		},
+	}
+	ne, err := g.Equilibria(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ne, [][]int{{0, 0, 6}}) {
+		t.Errorf("NE = %v, want [[0 0 6]]", ne)
+	}
+	if g.IsEquilibrium([]int{2, 2, 2}, 0) {
+		t.Error("interior profile accepted as equilibrium")
+	}
+	if !g.IsEquilibrium([]int{0, 0, 6}, 0) {
+		t.Error("dominant-strategy profile rejected")
+	}
+}
+
+// A congestion-flavoured 3-strategy game: per-player payoff falls with the
+// strategy's own occupancy, so the equilibrium spreads players evenly.
+func TestMultiSymmetricSplitsLoad(t *testing.T) {
+	g := &MultiSymmetric{
+		N:          6,
+		Strategies: 3,
+		Payoff: func(s int, k []int) float64 {
+			return 12 / float64(k[s])
+		},
+	}
+	ne, err := g.Equilibria(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ne, [][]int{{2, 2, 2}}) {
+		t.Errorf("NE = %v, want [[2 2 2]]", ne)
+	}
+}
+
+func TestMultiSymmetricValidation(t *testing.T) {
+	if _, err := (&MultiSymmetric{Strategies: 2}).Equilibria(0); err == nil {
+		t.Error("zero-N game accepted")
+	}
+	if _, err := (&MultiSymmetric{N: 3, Strategies: 1, Payoff: func(int, []int) float64 { return 0 }}).Equilibria(0); err == nil {
+		t.Error("single-strategy game accepted")
+	}
+	if _, err := (&MultiSymmetric{N: 3, Strategies: 2}).Equilibria(0); err == nil {
+		t.Error("nil payoff accepted")
+	}
+	g := &MultiSymmetric{N: 4, Strategies: 2, Payoff: func(int, []int) float64 { return 0 }}
+	for _, bad := range [][]int{{4}, {1, 1}, {-1, 5}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("profile %v accepted", bad)
+				}
+			}()
+			g.IsEquilibrium(bad, 0)
+		}()
+	}
+}
+
+func TestDeviations(t *testing.T) {
+	got := Deviations([]int{1, 0, 1})
+	want := [][]int{{0, 1, 1}, {0, 0, 2}, {2, 0, 0}, {1, 1, 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Deviations = %v, want %v", got, want)
+	}
+	if Deviations([]int{3}) != nil {
+		t.Error("single-strategy profile has deviations")
+	}
+}

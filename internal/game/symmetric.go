@@ -2,7 +2,9 @@ package game
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"strconv"
 )
 
 // SymmetricBinary is the congestion-control choice game of §4.1: N
@@ -138,11 +140,19 @@ type GroupSymmetric struct {
 	memoC map[string]float64
 }
 
+// keyOf encodes a memo key for (group, profile) collision-free: decimal
+// counts with explicit separators. The previous encoding cast each count
+// with byte(v), which silently collided once counts exceeded 255 — profile
+// (300) and profile (44) shared a key — exactly the regime population-scale
+// games enter. Decimal digits plus separators are trivially injective: the
+// key is parseable back into the profile.
 func keyOf(group int, k []int) string {
-	b := make([]byte, 0, 2+2*len(k))
-	b = append(b, byte(group), ':')
+	b := make([]byte, 0, 4+4*len(k))
+	b = strconv.AppendInt(b, int64(group), 10)
+	b = append(b, ':')
 	for _, v := range k {
-		b = append(b, byte(v), ',')
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
 	}
 	return string(b)
 }
@@ -173,9 +183,28 @@ func (g *GroupSymmetric) payoffC(group int, k []int) float64 {
 	return v
 }
 
+// validateProfile panics when profile k does not fit the game's groups: a
+// malformed profile would be memoized under a syntactically valid key and
+// silently poison every later lookup, so it is a wiring bug, not a runtime
+// condition. Validation runs on the memoized IsEquilibrium path — not only
+// inside Equilibria — because external callers (incentive walks, adoption
+// dynamics) hand IsEquilibrium profiles they built themselves.
+func (g *GroupSymmetric) validateProfile(k []int) {
+	if len(k) != len(g.Groups) {
+		panic(fmt.Sprintf("game: profile has %d groups, game has %d", len(k), len(g.Groups)))
+	}
+	for i, spec := range g.Groups {
+		if k[i] < 0 || k[i] > spec.Size {
+			panic(fmt.Sprintf("game: group %d count %d outside [0, %d]", i, k[i], spec.Size))
+		}
+	}
+}
+
 // IsEquilibrium reports whether profile k is a Nash Equilibrium with
-// tolerance eps.
+// tolerance eps. A profile that does not fit the game's groups panics (see
+// validateProfile).
 func (g *GroupSymmetric) IsEquilibrium(k []int, eps float64) bool {
+	g.validateProfile(k)
 	for i, spec := range g.Groups {
 		if k[i] > 0 {
 			// An X player in group i switches to CUBIC.
@@ -205,8 +234,12 @@ func (g *GroupSymmetric) Equilibria(eps float64) ([][]int, error) {
 		return nil, errors.New("game: GroupSymmetric needs at least one group")
 	}
 	for _, spec := range g.Groups {
-		if spec.Size < 0 || spec.Size > 250 {
-			return nil, errors.New("game: group size out of range")
+		// No upper bound: memo keys are collision-free at any count (the
+		// former 250 cap guarded the byte(v) key encoding). The profile
+		// space is Π(Size+1) — bounding enumeration cost is the caller's
+		// business.
+		if spec.Size < 0 {
+			return nil, errors.New("game: negative group size")
 		}
 	}
 	if g.PayoffX == nil || g.PayoffCubic == nil {

@@ -18,10 +18,10 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner, exp, check, scenario, netsim, telemetry, fluid, serve)"
+echo "== go test -race (runner, exp, check, scenario, netsim, telemetry, fluid, serve, game, adopt)"
 go test -race -timeout 1800s \
 	./internal/runner ./internal/exp ./internal/check ./internal/scenario ./internal/netsim \
-	./internal/telemetry ./internal/fluid ./internal/serve
+	./internal/telemetry ./internal/fluid ./internal/serve ./internal/game ./internal/adopt
 
 echo "== engine benchmark smoke + allocation guard"
 go test ./internal/netsim -run TestSteadyStateZeroAllocs \
@@ -38,6 +38,22 @@ for field in schema_version key_version buffer_bdp regime rel_err_bbr rel_err_cu
 	diverged points max_rel_err mean_rel_err worst_point; do
 	if ! printf '%s' "$REPORT" | grep -q "\"$field\""; then
 		echo "crossval smoke: report is missing field \"$field\"" >&2
+		exit 1
+	fi
+done
+
+echo "== adoption-dynamics smoke (tiny population, 3 generations, trajectory schema)"
+TRAJ=$(go run ./cmd/adopt -capacity 50 -buffer 3 -agents 200 -generations 3 \
+	-algs cubic,bbr -shares 0.7,0.3 -simflows 6 -seed 7 2>/dev/null)
+if [ "$(printf '%s\n' "$TRAJ" | wc -l)" -ne 4 ]; then
+	echo "adopt smoke: expected 4 trajectory records, got:" >&2
+	printf '%s\n' "$TRAJ" >&2
+	exit 1
+fi
+for field in generation classes rtt_ms counts shares sim_counts payoffs_mbps \
+	mean_payoff_mbps fixed_point; do
+	if ! printf '%s' "$TRAJ" | grep -q "\"$field\""; then
+		echo "adopt smoke: trajectory is missing field \"$field\"" >&2
 		exit 1
 	fi
 done
